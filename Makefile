@@ -1,0 +1,29 @@
+# Convenience targets for the repro library.
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+test-log:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-log:
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Regenerate EXPERIMENTS.md (scales: quick / default / paper).
+report:
+	python -m repro.experiments.report --scale default --output EXPERIMENTS.md
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; python $$script; done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf src/repro.egg-info .pytest_cache

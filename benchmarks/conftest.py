@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's figures or tables at a
+laptop-friendly scale (the experiments accept bigger parameters for a
+closer-to-paper run; see EXPERIMENTS.md).  Simulations are long-running
+and deterministic, so each benchmark executes exactly one round — the
+timing numbers are honest wall-clock costs of regenerating the result,
+and the scientific outputs land in ``extra_info`` (visible with
+``pytest benchmarks/ --benchmark-only --benchmark-verbose`` or in the
+saved JSON).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,64 @@
+"""Microbenchmarks of the simulator substrate itself.
+
+These are conventional pytest-benchmark measurements (many rounds) of
+the hot paths every experiment leans on: the event loop, the queue
+discipline, and end-to-end packet forwarding.  They guard against
+performance regressions that would silently inflate every figure's
+regeneration time.
+"""
+
+import pytest
+
+from repro.net import DropTailQueue, Packet, build_dumbbell
+from repro.sim import Simulator
+from repro.tcp import TcpFlow
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule/dispatch cost of 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_queue_enqueue_dequeue(benchmark):
+    """Drop-tail admission + occupancy accounting for 10k packets."""
+
+    def run():
+        sim = Simulator()
+        queue = DropTailQueue(sim, capacity_packets=1000)
+        pkt = Packet(src=1, dst=2, payload=960)
+        for _ in range(10_000):
+            queue.enqueue(pkt)
+            queue.dequeue()
+        return queue.departures
+
+    assert benchmark(run) == 10_000
+
+
+def test_tcp_transfer_end_to_end(benchmark):
+    """A complete 200-packet TCP transfer through a dumbbell."""
+
+    def run():
+        sim = Simulator()
+        net = build_dumbbell(sim, n_pairs=1, bottleneck_rate="50Mbps",
+                             buffer_packets=100, rtts=["20ms"])
+        flow = TcpFlow(sim, net.senders[0], net.receivers[0], size_packets=200)
+        sim.run(until=30.0)
+        assert flow.completed
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events > 1000

@@ -1,0 +1,34 @@
+"""Figures 2-5: single-flow sawtooth at under/exact/over buffering.
+
+Regenerates the W(t)/Q(t) dynamics and checks the measured utilization
+against the closed-form AIMD model for each buffering regime.
+"""
+
+import pytest
+
+from repro.experiments.single_flow import run_single_flow
+
+PARAMS = dict(pipe_packets=125.0, bottleneck_rate="10Mbps",
+              warmup=40.0, duration=80.0)
+
+
+@pytest.mark.parametrize("fraction,figure", [
+    (0.5, "fig4-underbuffered"),
+    (1.0, "fig3-exact"),
+    (2.0, "fig5-overbuffered"),
+])
+def test_single_flow_regime(benchmark, run_once, fraction, figure):
+    trace = run_once(run_single_flow, fraction, **PARAMS)
+    benchmark.extra_info.update({
+        "figure": figure,
+        "utilization": round(trace.utilization, 4),
+        "model_utilization": round(trace.model_utilization, 4),
+        "min_queue_pkts": trace.min_queue,
+        "max_queue_pkts": trace.max_queue,
+    })
+    # Sim matches the Section 2 closed form.
+    assert trace.utilization == pytest.approx(trace.model_utilization, abs=0.02)
+    if fraction < 1.0:
+        assert trace.link_ever_idle          # Figure 4 symptom
+    if fraction > 1.0:
+        assert trace.standing_queue > 0      # Figure 5 symptom

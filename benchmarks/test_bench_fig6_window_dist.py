@@ -1,0 +1,41 @@
+"""Figure 6: the aggregate congestion window converges to a Gaussian.
+
+Regenerates the Sum(W_i) distribution for 100 flows, fits a normal, and
+records the Kolmogorov-Smirnov distance plus the synchronization index
+(the Section 3 claim that flows desynchronize at scale).
+"""
+
+import pytest
+
+from repro.experiments.window_distribution import run_window_distribution, sync_vs_n
+
+PARAMS = dict(pipe_packets=400.0, bottleneck_rate="40Mbps",
+              warmup=25.0, duration=50.0, seed=7)
+
+
+def test_fig6_gaussian_aggregate_window(benchmark, run_once):
+    result = run_once(run_window_distribution, n_flows=100, **PARAMS)
+    fit = result.fit
+    benchmark.extra_info.update({
+        "figure": "fig6",
+        "n_flows": result.n_flows,
+        "fit_mean_pkts": round(fit.mean, 1),
+        "fit_std_pkts": round(fit.std, 2),
+        "ks_distance": round(fit.ks_distance, 4),
+        "sync_index": round(result.sync_index, 4),
+        "utilization": round(result.utilization, 4),
+    })
+    assert result.looks_gaussian
+    assert result.sync_index < 0.2  # desynchronized at n=100
+
+
+def test_fig6_synchronization_declines_with_n(benchmark, run_once):
+    points = run_once(sync_vs_n, n_values=(4, 16, 64),
+                      pipe_packets=400.0, bottleneck_rate="40Mbps",
+                      warmup=15.0, duration=30.0, seed=7)
+    benchmark.extra_info.update({
+        "figure": "fig6-sync-vs-n",
+        "sync_by_n": {str(n): round(s, 4) for n, s in points},
+    })
+    sync = dict(points)
+    assert sync[64] < sync[4]  # synchronization fades with scale

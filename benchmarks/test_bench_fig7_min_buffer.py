@@ -1,0 +1,52 @@
+"""Figure 7: minimum buffer for target utilization vs number of flows.
+
+Regenerates the min-buffer curves at 98% / 99.5% targets over a grid of
+buffer sizes, and checks the paper's shape claims: the requirement
+falls as n grows, and stays within a small multiple of RTTxC/sqrt(n)
+once there are enough flows to desynchronize.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.long_flow_sweep import min_buffer_sweep
+
+PARAMS = dict(
+    targets=(0.98, 0.995),
+    factors=(0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0),
+    pipe_packets=400.0,
+    bottleneck_rate="40Mbps",
+    warmup=20.0,
+    duration=40.0,
+    seed=3,
+)
+
+
+def test_fig7_min_buffer_vs_n(benchmark, run_once):
+    result = run_once(min_buffer_sweep, n_values=(16, 36, 100), **PARAMS)
+    table = {}
+    for point in result.points:
+        table.setdefault(point.n_flows, {})[point.target] = (
+            round(point.buffer_packets, 1), round(point.buffer_factor, 2))
+    benchmark.extra_info.update({
+        "figure": "fig7",
+        "min_buffer_by_n_and_target": {
+            str(n): {str(t): v for t, v in row.items()}
+            for n, row in table.items()
+        },
+    })
+    # Shape 1: the 98% requirement falls as n grows.
+    b98 = {p.n_flows: p.buffer_packets for p in result.for_target(0.98)
+           if p.achieved}
+    assert b98[100] < b98[16]
+    # Shape 2: at n=100 the requirement is within ~3x the sqrt(n) rule.
+    factor_100 = [p.buffer_factor for p in result.for_target(0.98)
+                  if p.n_flows == 100 and p.achieved]
+    assert factor_100 and factor_100[0] <= 3.0
+    # Shape 3: higher targets need bigger buffers.
+    b995 = {p.n_flows: p.buffer_packets for p in result.for_target(0.995)
+            if p.achieved}
+    for n in b995:
+        if n in b98:
+            assert b995[n] >= b98[n]

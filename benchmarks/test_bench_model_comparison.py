@@ -1,0 +1,40 @@
+"""Bracket benchmark: where the sqrt(n) buffer requirement comes from.
+
+Synchronized fluid needs ~the full BDP; deterministic desynchronized
+fluid needs almost nothing; the Gaussian model's sqrt(n) curve is the
+statistical fluctuation between the two extremes.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.model_comparison import compare_models
+
+
+def test_fluid_modes_bracket_the_gaussian_curve(benchmark, run_once):
+    rows = run_once(compare_models, n_values=(16, 64, 256), target=0.99,
+                    fluid_duration=80.0)
+    benchmark.extra_info["rows"] = [
+        {"n": row.n_flows,
+         "sqrt_rule": round(row.sqrt_rule, 1),
+         "gaussian": round(row.gaussian, 1),
+         "fluid_desync": round(row.fluid_desync, 1),
+         "fluid_sync": round(row.fluid_sync, 1)}
+        for row in rows
+    ]
+    by_n = {row.n_flows: row for row in rows}
+    for n, row in by_n.items():
+        # The bracket: desync fluid <= Gaussian <= sync fluid.
+        assert row.fluid_desync <= row.gaussian + 1.0, n
+        assert row.gaussian <= row.fluid_sync * 1.5, n
+    # Gaussian tracks the sqrt rule within a small factor.
+    for row in rows:
+        assert 0.2 < row.gaussian / row.sqrt_rule < 3.0
+    # Synchronized mode does not benefit from more flows the way the
+    # Gaussian term does: its requirement shrinks far more slowly.
+    sync_ratio = by_n[16].fluid_sync / by_n[256].fluid_sync
+    gauss_ratio = by_n[16].gaussian / by_n[256].gaussian
+    assert sync_ratio < gauss_ratio
+    # Deterministic desynchronized AIMD needs almost nothing at scale.
+    assert by_n[256].fluid_desync < 0.2 * by_n[256].sqrt_rule

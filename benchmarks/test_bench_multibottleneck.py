@@ -1,0 +1,30 @@
+"""Extension benchmark: the single-congestion-point assumption.
+
+Runs end-to-end plus cross traffic over a parking-lot chain whose
+backbone links all use sqrt(n)-rule buffers, recording per-hop
+utilization and the end-to-end flows' share.
+"""
+
+import pytest
+
+from repro.experiments.multibottleneck import run_multibottleneck
+
+
+def test_multibottleneck_sqrt_rule_per_link(benchmark, run_once):
+    result = run_once(
+        run_multibottleneck,
+        n_hops=3, n_e2e=8, n_cross_per_hop=24,
+        link_rate="20Mbps", warmup=20.0, duration=40.0, seed=31,
+    )
+    benchmark.extra_info.update({
+        "experiment": "multibottleneck-extension",
+        "hop_utilizations": [round(u, 4) for u in result.hop_utilizations],
+        "e2e_share": round(result.e2e_throughput_share, 4),
+        "e2e_progress": round(result.e2e_progress, 1),
+        "cross_progress": round(result.cross_progress, 1),
+    })
+    # The sqrt(n) rule holds per link even with two congestion points...
+    for util in result.hop_utilizations:
+        assert util > 0.9
+    # ...while multi-hop flows pay the classic unfairness.
+    assert result.e2e_progress < result.cross_progress

@@ -1,0 +1,51 @@
+"""Table 10: utilization — Gaussian model vs simulation vs emulated
+testbed — across flow counts and buffer multiples of RTTxC/sqrt(n).
+
+The scaled grid preserves the table's dimensionless structure (buffer
+in sqrt-rule units, pipe-per-flow of a few packets at the top end) and
+checks its qualitative content: utilization is high at 1x, near-full at
+2x and 3x, and rises with n at fixed multiple.
+"""
+
+import pytest
+
+from repro.experiments.utilization_table import utilization_table
+
+PARAMS = dict(
+    factors=(0.5, 1.0, 2.0, 3.0),
+    pipe_packets=400.0,
+    bottleneck_rate="40Mbps",
+    warmup=20.0,
+    duration=40.0,
+    seed=9,
+)
+
+
+def test_table10_model_sim_exp(benchmark, run_once):
+    rows = run_once(utilization_table, n_values=(36, 100), **PARAMS)
+    benchmark.extra_info["table"] = "table10"
+    benchmark.extra_info["rows"] = [
+        {
+            "n": row.n_flows,
+            "factor": row.factor,
+            "pkts": row.buffer_packets,
+            "model": round(row.model, 4),
+            "sim": round(row.sim, 4),
+            "exp": round(row.exp, 4),
+        }
+        for row in rows
+    ]
+    by_key = {(r.n_flows, r.factor): r for r in rows}
+    # 2x and 3x buffers achieve near-full utilization at any n.
+    for (n, factor), row in by_key.items():
+        if factor >= 2.0:
+            assert row.sim > 0.985, (n, factor, row.sim)
+    # Utilization is monotone in the buffer multiple.
+    for n in (36, 100):
+        sims = [by_key[(n, f)].sim for f in (0.5, 1.0, 2.0)]
+        assert sims[0] <= sims[1] + 0.01 <= sims[2] + 0.02
+    # The model column upper-bounds nothing exactly but tracks the sim
+    # within a few percent at 1x and above.
+    for (n, factor), row in by_key.items():
+        if factor >= 1.0:
+            assert abs(row.model - row.sim) < 0.06

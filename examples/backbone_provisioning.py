@@ -1,0 +1,77 @@
+"""Provisioning a backbone link: an operator's walk through the paper.
+
+Scenario: you run a 2.5 Gb/s (OC48) backbone link carrying ~10,000
+concurrent flows with a 250 ms mean RTT.  Your vendor shipped the
+rule-of-thumb buffer.  This example:
+
+1. sizes the buffer under both rules and prices the memory (chips);
+2. plots predicted utilization vs buffer size around the sqrt(n) point;
+3. quantifies the loss-rate cost of the smaller buffer;
+4. sanity-checks the prediction with a scaled-down simulation that
+   preserves the dimensionless parameters.
+
+Run:  python examples/backbone_provisioning.py
+"""
+
+import math
+
+from repro import (
+    format_size,
+    loss_rate,
+    plan_buffer_memory,
+    predicted_utilization,
+    recommend_buffer,
+    rule_of_thumb_packets,
+    small_buffer_packets,
+)
+from repro.experiments.ascii_plot import line_plot
+from repro.experiments.common import run_long_flow_experiment
+
+CAPACITY = "2.5Gbps"
+RTT = "250ms"
+N_FLOWS = 10_000
+PACKET = 1000  # bytes
+
+if __name__ == "__main__":
+    pipe = rule_of_thumb_packets(RTT, CAPACITY, PACKET)
+    small = small_buffer_packets(RTT, CAPACITY, N_FLOWS, PACKET)
+    print(f"link: {CAPACITY}, RTT {RTT}, {N_FLOWS} flows")
+    print(f"  rule-of-thumb buffer:  {pipe:10.0f} packets ({format_size(pipe * PACKET)})")
+    print(f"  sqrt(n)-rule buffer:   {small:10.0f} packets ({format_size(small * PACKET)})")
+
+    print("\nmemory plans (Section 1.3 arithmetic):")
+    for label, nbytes in [("rule-of-thumb", pipe * PACKET), ("sqrt(n) rule", small * PACKET)]:
+        print(f"  {label} ({format_size(nbytes)}):")
+        for plan in plan_buffer_memory(CAPACITY, nbytes):
+            verdict = "feasible" if plan.feasible else "NOT feasible"
+            speed = "fast enough" if plan.fast_enough else "too slow"
+            print(f"    {plan.technology.name:14s} {plan.chips:6d} chip(s), "
+                  f"{speed:12s} -> {verdict}")
+
+    print("\npredicted utilization vs buffer (Gaussian aggregate-window model):")
+    points = []
+    for factor in (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0):
+        b = factor * small
+        util = predicted_utilization(pipe, b, N_FLOWS)
+        points.append((factor, util * 100))
+        print(f"  B = {factor:4.2f} x sqrt(n)-rule: {util * 100:7.3f}%")
+    print()
+    print(line_plot({"model": points}, width=60, height=12,
+                    xlabel="buffer in units of RTTxC/sqrt(n)", ylabel="% util"))
+
+    print("\nloss-rate cost (l = 0.76/W^2):")
+    for label, b in [("rule-of-thumb", pipe), ("sqrt(n) rule", small)]:
+        print(f"  {label:14s}: loss ~ {loss_rate(pipe, b, N_FLOWS) * 100:.3f}%")
+
+    print("\nscaled-down simulation check (same dimensionless operating point):")
+    # Keep pipe/n and B/(pipe/sqrt(n)) matched with far fewer flows.
+    n_sim = 100
+    pipe_sim = 400.0
+    b_sim = max(2, round(pipe_sim / math.sqrt(n_sim)))
+    result = run_long_flow_experiment(n_flows=n_sim, buffer_packets=b_sim,
+                                      pipe_packets=pipe_sim, warmup=20,
+                                      duration=40, seed=2)
+    print(f"  n={n_sim}, B=1.0x: measured utilization {result.utilization * 100:.2f}% "
+          f"(loss {result.loss_rate * 100:.2f}%)")
+    rec = recommend_buffer(capacity=CAPACITY, rtt=RTT, n_long_flows=N_FLOWS)
+    print(f"\nbottom line: {rec.summary()}")

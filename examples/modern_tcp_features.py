@@ -1,0 +1,49 @@
+"""Beyond the paper: SACK, pacing, and ECN at tiny buffers.
+
+The paper closes by asking whether operators can be persuaded to shrink
+buffers.  The transport features that arrived alongside that debate all
+make small buffers *easier* to live with, and this library implements
+them:
+
+* **SACK** (RFC 2018/6675) repairs multi-loss windows without timeouts;
+* **pacing** spreads each window over an RTT, removing the bursts tiny
+  buffers cannot absorb;
+* **ECN** (RFC 3168) signals congestion by marking instead of dropping.
+
+This example holds the workload fixed (64 long-lived flows) and shrinks
+the buffer to a quarter of the sqrt(n) rule — an operating point plain
+Reno handles poorly — then switches each feature on.
+
+Run:  python examples/modern_tcp_features.py
+"""
+
+import math
+
+from repro.experiments.common import run_long_flow_experiment
+
+N_FLOWS = 64
+PIPE = 400.0
+FACTOR = 0.25  # quarter of the sqrt(n) rule: deliberately starved
+
+if __name__ == "__main__":
+    buffer_packets = max(2, round(FACTOR * PIPE / math.sqrt(N_FLOWS)))
+    base = dict(n_flows=N_FLOWS, buffer_packets=buffer_packets,
+                pipe_packets=PIPE, bottleneck_rate="40Mbps",
+                warmup=15.0, duration=30.0, seed=21)
+    print(f"{N_FLOWS} long-lived flows, buffer {buffer_packets} pkts "
+          f"({FACTOR} x RTTC/sqrt(n)) — deliberately underbuffered\n")
+    print(f"{'configuration':28s} {'utilization':>12} {'loss':>8} {'timeouts':>9}")
+    cases = [
+        ("plain Reno, drop-tail", {}),
+        ("Reno + SACK", dict(sack=True)),
+        ("Reno + pacing", dict(pacing=True)),
+        ("Reno + SACK + pacing", dict(sack=True, pacing=True)),
+        ("Reno + RED + ECN", dict(red=True, ecn=True)),
+    ]
+    for label, extra in cases:
+        result = run_long_flow_experiment(**base, **extra)
+        print(f"{label:28s} {result.utilization * 100:11.2f}% "
+              f"{result.loss_rate * 100:7.2f}% {result.timeouts:9d}")
+    print("\ntakeaway: the paper's sqrt(n) buffers are comfortable for "
+          "stock Reno;\nmodern sender features push the workable buffer "
+          "even lower.")

@@ -1,0 +1,67 @@
+"""Quickstart: size a router buffer, then watch the rule work.
+
+Part 1 uses the analytic API to size buffers for a few classic links
+(including the paper's headline examples).  Part 2 spins up the
+packet-level simulator and checks that a bottleneck with the
+``RTT x C / sqrt(n)`` buffer really does stay busy.
+
+Run:  python examples/quickstart.py
+"""
+
+import math
+
+from repro import (
+    Simulator,
+    TcpFlow,
+    build_dumbbell,
+    format_size,
+    predicted_utilization,
+    recommend_buffer,
+)
+from repro.experiments.common import run_long_flow_experiment
+
+
+def part1_theory() -> None:
+    print("=" * 68)
+    print("Part 1: the sizing rules")
+    print("=" * 68)
+    examples = [
+        ("regional 155Mb/s (OC3), 400 flows", "155Mbps", "80ms", 400),
+        ("backbone 2.5Gb/s (OC48), 10,000 flows", "2.5Gbps", "250ms", 10_000),
+        ("backbone 10Gb/s, 50,000 flows", "10Gbps", "250ms", 50_000),
+    ]
+    for label, capacity, rtt, n in examples:
+        rec = recommend_buffer(capacity=capacity, rtt=rtt, n_long_flows=n)
+        print(f"\n{label}")
+        print(f"  rule-of-thumb: {format_size(rec.rule_of_thumb_packets * 1000)}")
+        print(f"  {rec.summary()}")
+
+
+def part2_simulation() -> None:
+    print()
+    print("=" * 68)
+    print("Part 2: verify in the packet-level simulator (100 flows)")
+    print("=" * 68)
+    n = 100
+    pipe = 400  # packets: a scaled-down OC3
+    for factor in (0.5, 1.0, 2.0):
+        buffer_packets = max(2, round(factor * pipe / math.sqrt(n)))
+        result = run_long_flow_experiment(
+            n_flows=n, buffer_packets=buffer_packets, pipe_packets=pipe,
+            warmup=20.0, duration=40.0, seed=1,
+        )
+        model = predicted_utilization(pipe, buffer_packets, n)
+        print(f"  B = {factor:3.1f} x RTTC/sqrt(n) = {buffer_packets:3d} pkts:  "
+              f"measured {result.utilization * 100:6.2f}%   "
+              f"model {model * 100:6.2f}%")
+    print(
+        "\nA buffer 1-2x RTTC/sqrt(n) — a few percent of the delay-bandwidth\n"
+        "product — keeps the link busy.  (At n around 100 the flows are still\n"
+        "partially synchronized, so measurements trail the desynchronized\n"
+        "model a little; the paper reports the same effect below ~250 flows.)"
+    )
+
+
+if __name__ == "__main__":
+    part1_theory()
+    part2_simulation()

@@ -1,0 +1,49 @@
+"""Router memory design: the Section 1.3 arithmetic, reproduced.
+
+Why do buffer sizes matter to hardware?  Because at 40 Gb/s a
+minimum-size packet arrives every 8 ns while commodity DRAM takes 50 ns
+per random access, and an SRAM buffer big enough for the rule-of-thumb
+needs hundreds of chips.  This example regenerates the paper's numbers
+and shows how the sqrt(n) rule moves the buffer on-chip.
+
+Run:  python examples/router_design.py
+"""
+
+from repro import (
+    format_size,
+    format_time,
+    min_packet_interarrival,
+    plan_buffer_memory,
+    rule_of_thumb_bytes,
+    small_buffer_bytes,
+)
+from repro.core.memory import DRAM_2004, EMBEDDED_DRAM_2004, SRAM_2004
+
+if __name__ == "__main__":
+    print("the access-time wall (40-byte packets at line rate):")
+    for rate in ("2.5Gbps", "10Gbps", "40Gbps"):
+        gap = min_packet_interarrival(rate)
+        print(f"  {rate:>8}: packet every {format_time(gap)}; "
+              f"memory budget {format_time(gap / 2)} per access "
+              f"(DRAM needs {format_time(DRAM_2004.access_time)})")
+
+    print("\nDRAM access time improves ~7%/year; in 10 years it is only "
+          f"{format_time(DRAM_2004.access_time_in(10))} — the wall persists.")
+
+    for rate, rtt, flows in [("10Gbps", "250ms", 50_000), ("40Gbps", "250ms", 100_000)]:
+        rot = rule_of_thumb_bytes(rtt, rate)
+        small = small_buffer_bytes(rtt, rate, flows)
+        print(f"\n{rate} linecard, RTT {rtt}, {flows} flows:")
+        for label, size in [("rule-of-thumb", rot), (f"sqrt(n) rule", small)]:
+            print(f"  {label}: {format_size(size)}")
+            for plan in plan_buffer_memory(rate, size):
+                notes = []
+                notes.append("fast enough" if plan.fast_enough else "TOO SLOW")
+                if plan.technology.on_chip:
+                    notes.append("on-chip")
+                verdict = "feasible" if plan.feasible else "not feasible"
+                print(f"    {plan.technology.name:14s} {plan.chips:5d} chip(s) "
+                      f"({', '.join(notes)}) -> {verdict}")
+
+    print("\nheadline: a 10Gb/s link with 50k flows needs ~10Mbit — "
+          "on-chip SRAM instead of a DRAM subsystem.")

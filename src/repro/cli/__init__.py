@@ -1,0 +1,21 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro.cli``).
+
+Commands
+--------
+``size``       size a buffer for a link and traffic mix (the paper's rules)
+``memory``     sketch the buffer's memory implementation (chips, feasibility)
+``simulate``   run one packet-level simulation (long-flows / short-flows /
+               single-flow) and print the measurements
+``fluid``      run the fast fluid-model integrator for an (n, buffer) point
+``figure``     regenerate one of the paper's figures (2, 6, 7, 8, 9)
+``table``      regenerate one of the paper's tables (10, 11)
+``ablations``  run the design-choice ablation suite
+
+Every command is a thin shell over the library; anything printed here
+is available programmatically from :mod:`repro.core` and
+:mod:`repro.experiments`.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["main", "build_parser"]

@@ -1,0 +1,239 @@
+"""Implementations of the ``repro`` subcommands.
+
+Each function takes the parsed ``argparse.Namespace`` and returns a
+process exit code; all output goes to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+from repro.core import plan_buffer_memory, predicted_utilization, recommend_buffer
+from repro.errors import ReproError
+from repro.units import format_bandwidth, format_size, parse_bandwidth, parse_time
+
+__all__ = [
+    "cmd_size",
+    "cmd_memory",
+    "cmd_simulate_long",
+    "cmd_simulate_short",
+    "cmd_simulate_single",
+    "cmd_fluid",
+    "cmd_figure",
+    "cmd_table",
+    "cmd_ablations",
+]
+
+
+def _fail(message: str) -> int:
+    print(f"error: {message}")
+    return 2
+
+
+def cmd_size(args: argparse.Namespace) -> int:
+    """``repro size``: apply the paper's sizing rules to a link."""
+    try:
+        rec = recommend_buffer(
+            capacity=args.capacity,
+            rtt=args.rtt,
+            n_long_flows=args.flows,
+            short_flow_load=args.short_load,
+            packet_bytes=args.packet_bytes,
+        )
+    except ReproError as exc:
+        return _fail(str(exc))
+    print(f"link: {args.capacity} at RTT {args.rtt}")
+    if args.flows:
+        print(f"  long flows: {args.flows}")
+    if args.short_load:
+        print(f"  short-flow load: {args.short_load}")
+    print(f"  rule-of-thumb:  {rec.rule_of_thumb_packets:12.0f} packets "
+          f"({format_size(rec.rule_of_thumb_packets * args.packet_bytes)})")
+    if not math.isnan(rec.long_flow_packets):
+        print(f"  sqrt(n) rule:   {rec.long_flow_packets:12.0f} packets")
+    if not math.isnan(rec.short_flow_packets):
+        print(f"  short-flow rule:{rec.short_flow_packets:12.0f} packets")
+    print(f"  => {rec.summary()}")
+    return 0
+
+
+def cmd_memory(args: argparse.Namespace) -> int:
+    """``repro memory``: chip counts and feasibility for a buffer."""
+    try:
+        plans = plan_buffer_memory(args.rate, args.buffer)
+    except ReproError as exc:
+        return _fail(str(exc))
+    print(f"buffer {args.buffer} at line rate {args.rate}:")
+    for plan in plans:
+        speed = "fast enough" if plan.fast_enough else "TOO SLOW"
+        verdict = "feasible" if plan.feasible else "not feasible"
+        print(f"  {plan.technology.name:14s} {plan.chips:6d} chip(s), "
+              f"{speed:12s} -> {verdict}")
+    return 0
+
+
+def cmd_simulate_long(args: argparse.Namespace) -> int:
+    """``repro simulate long-flows``."""
+    from repro.experiments.common import run_long_flow_experiment
+
+    if args.buffer_packets is not None:
+        buffer_packets = args.buffer_packets
+    else:
+        buffer_packets = max(2, round(
+            args.buffer_factor * args.pipe / math.sqrt(args.flows)))
+    ecn = getattr(args, "ecn", False)
+    red = args.red or ecn
+    try:
+        result = run_long_flow_experiment(
+            n_flows=args.flows,
+            buffer_packets=buffer_packets,
+            pipe_packets=args.pipe,
+            bottleneck_rate=args.rate,
+            warmup=args.warmup,
+            duration=args.duration,
+            seed=args.seed,
+            cc=args.cc,
+            red=red,
+            pacing=args.pacing,
+            sack=getattr(args, "sack", False),
+            ecn=ecn,
+        )
+    except ReproError as exc:
+        return _fail(str(exc))
+    model = predicted_utilization(args.pipe, buffer_packets, args.flows)
+    tags = "".join(
+        f" ({name})" for name, on in
+        [("RED", red), ("paced", args.pacing),
+         ("SACK", getattr(args, "sack", False)), ("ECN", ecn)]
+        if on
+    )
+    print(f"{args.flows} long-lived {args.cc} flows, pipe {args.pipe:.0f} pkts, "
+          f"buffer {buffer_packets} pkts{tags}")
+    print(f"  utilization: {result.utilization * 100:6.2f}%   "
+          f"(Gaussian model: {model * 100:.2f}%)")
+    print(f"  throughput:  {format_bandwidth(result.throughput_bps)}")
+    print(f"  loss rate:   {result.loss_rate * 100:6.3f}%")
+    print(f"  mean queue:  {result.mean_queue:6.1f} pkts")
+    print(f"  timeouts:    {result.timeouts}, fast retransmits: "
+          f"{result.fast_retransmits}")
+    return 0
+
+
+def cmd_simulate_short(args: argparse.Namespace) -> int:
+    """``repro simulate short-flows``."""
+    from repro.experiments.common import run_short_flow_experiment
+    from repro.traffic.sizes import FixedSize
+
+    try:
+        result = run_short_flow_experiment(
+            load=args.load,
+            buffer_packets=args.buffer_packets,
+            sizes=FixedSize(args.flow_packets),
+            bottleneck_rate=args.rate,
+            rtt=args.rtt,
+            duration=args.duration,
+            seed=args.seed,
+        )
+    except ReproError as exc:
+        return _fail(str(exc))
+    buffer_label = (f"{args.buffer_packets} pkts" if args.buffer_packets
+                    else "unbounded")
+    print(f"short flows ({args.flow_packets} pkts) at load {args.load}, "
+          f"buffer {buffer_label}")
+    print(f"  flows completed: {result.n_completed}")
+    print(f"  AFCT:        {result.afct * 1000:8.1f} ms "
+          f"(p99: {result.p99_fct * 1000:.1f} ms)")
+    print(f"  drop rate:   {result.drop_rate * 100:8.3f}%")
+    print(f"  utilization: {result.utilization * 100:8.2f}%")
+    return 0
+
+
+def cmd_simulate_single(args: argparse.Namespace) -> int:
+    """``repro simulate single-flow``."""
+    from repro.experiments.single_flow import run_single_flow
+
+    try:
+        trace = run_single_flow(
+            args.fraction, pipe_packets=args.pipe,
+            bottleneck_rate=args.rate, duration=args.duration,
+        )
+    except ReproError as exc:
+        return _fail(str(exc))
+    print(f"single flow, B = {args.fraction} x RTTxC = {trace.buffer_packets} pkts")
+    print(f"  utilization: {trace.utilization * 100:.2f}% "
+          f"(closed form: {trace.model_utilization * 100:.2f}%)")
+    print(f"  queue range: [{trace.min_queue:.0f}, {trace.max_queue:.0f}] pkts")
+    if trace.link_ever_idle and args.fraction < 1.0:
+        print("  -> underbuffered: the queue drained and the link idled (Fig 4)")
+    elif trace.standing_queue > 0:
+        print("  -> overbuffered: a standing queue adds pure delay (Fig 5)")
+    else:
+        print("  -> correctly buffered: queue just touches zero (Fig 3)")
+    return 0
+
+
+def cmd_fluid(args: argparse.Namespace) -> int:
+    """``repro fluid``: the fast deterministic integrator."""
+    from repro.fluid import FluidAimdModel
+
+    rtt = parse_time(args.rtt)
+    capacity_pps = args.pipe / rtt
+    buffer_packets = args.buffer_factor * args.pipe / math.sqrt(args.flows)
+    rtts = [rtt * (0.5 + (i + 1) / (args.flows + 1)) for i in range(args.flows)]
+    try:
+        model = FluidAimdModel(args.flows, capacity_pps, buffer_packets, rtts,
+                               synchronized=args.synchronized)
+        result = model.run(duration=args.duration, warmup=args.duration / 2)
+    except ReproError as exc:
+        return _fail(str(exc))
+    mode = "synchronized" if args.synchronized else "desynchronized"
+    print(f"fluid model: {args.flows} {mode} flows, "
+          f"B = {buffer_packets:.1f} pkts "
+          f"({args.buffer_factor} x pipe/sqrt(n))")
+    print(f"  utilization: {result.utilization * 100:.2f}%")
+    print(f"  mean queue:  {result.mean_queue:.1f} pkts")
+    print(f"  loss events: {result.loss_events}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """``repro figure N``: regenerate one paper figure."""
+    if args.number in (2, 3, 4, 5):
+        from repro.experiments.single_flow import main as fig_main
+    elif args.number == 6:
+        from repro.experiments.window_distribution import main as fig_main
+    elif args.number == 7:
+        from repro.experiments.long_flow_sweep import main as fig_main
+    elif args.number == 8:
+        from repro.experiments.short_flow_sweep import main as fig_main
+    else:
+        from repro.experiments.afct_comparison import main as fig_main
+    fig_main()
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    """``repro table N``: regenerate one paper table."""
+    if args.number == 10:
+        from repro.experiments.utilization_table import main as table_main
+    else:
+        from repro.experiments.production_network import main as table_main
+    table_main()
+    return 0
+
+
+def cmd_ablations(args: argparse.Namespace) -> int:
+    """``repro ablations``: the design-choice ablation suite."""
+    from repro.experiments.ablations import main as ablations_main
+    ablations_main()
+    return 0
+
+
+def cmd_profiles(args: argparse.Namespace) -> int:
+    """``repro profiles``: the canonical link classes and their buffers."""
+    from repro.scenarios import PROFILES
+
+    for profile in PROFILES.values():
+        print(profile.describe())
+    return 0

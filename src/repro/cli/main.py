@@ -1,0 +1,130 @@
+"""Argument parsing and dispatch for the ``repro`` command."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cli import commands
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the full argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sizing Router Buffers (SIGCOMM 2004): sizing rules, "
+                    "packet-level simulation, and the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_size = sub.add_parser("size", help="size a router buffer for a link")
+    p_size.add_argument("--capacity", required=True,
+                        help='link capacity, e.g. "2.5Gbps"')
+    p_size.add_argument("--rtt", default="250ms",
+                        help='mean round-trip propagation time (default 250ms)')
+    p_size.add_argument("--flows", type=int, default=0,
+                        help="concurrent long-lived flows (default 0)")
+    p_size.add_argument("--short-load", type=float, default=0.0,
+                        help="short-flow load in (0,1) (default 0: none)")
+    p_size.add_argument("--packet-bytes", type=int, default=1000,
+                        help="average packet size (default 1000)")
+    p_size.set_defaults(func=commands.cmd_size)
+
+    p_mem = sub.add_parser("memory", help="memory plan for a buffer")
+    p_mem.add_argument("--rate", required=True,
+                       help='linecard rate, e.g. "40Gbps"')
+    p_mem.add_argument("--buffer", required=True,
+                       help='buffer size, e.g. "1.25GB" or "10Mbit"')
+    p_mem.set_defaults(func=commands.cmd_memory)
+
+    p_sim = sub.add_parser("simulate", help="run one packet-level simulation")
+    sim_sub = p_sim.add_subparsers(dest="scenario", required=True)
+
+    p_long = sim_sub.add_parser("long-flows",
+                                help="n long-lived flows through a bottleneck")
+    p_long.add_argument("--flows", type=int, default=64)
+    p_long.add_argument("--buffer-factor", type=float, default=1.0,
+                        help="buffer in units of RTTxC/sqrt(n) (default 1.0)")
+    p_long.add_argument("--buffer-packets", type=int, default=None,
+                        help="absolute buffer in packets (overrides factor)")
+    p_long.add_argument("--pipe", type=float, default=400.0,
+                        help="bandwidth-delay product in packets (default 400)")
+    p_long.add_argument("--rate", default="40Mbps")
+    p_long.add_argument("--warmup", type=float, default=20.0)
+    p_long.add_argument("--duration", type=float, default=40.0)
+    p_long.add_argument("--seed", type=int, default=1)
+    p_long.add_argument("--cc", default="reno",
+                        choices=["tahoe", "reno", "newreno"])
+    p_long.add_argument("--red", action="store_true",
+                        help="use a RED queue instead of drop-tail")
+    p_long.add_argument("--pacing", action="store_true",
+                        help="pace senders at srtt/cwnd")
+    p_long.add_argument("--sack", action="store_true",
+                        help="SACK senders/receivers (RFC 2018/6675)")
+    p_long.add_argument("--ecn", action="store_true",
+                        help="ECN marking instead of dropping (implies --red)")
+    p_long.set_defaults(func=commands.cmd_simulate_long)
+
+    p_short = sim_sub.add_parser("short-flows",
+                                 help="Poisson short flows at a target load")
+    p_short.add_argument("--load", type=float, default=0.8)
+    p_short.add_argument("--buffer-packets", type=int, default=None,
+                         help="buffer in packets (default: unbounded)")
+    p_short.add_argument("--flow-packets", type=int, default=14)
+    p_short.add_argument("--rate", default="40Mbps")
+    p_short.add_argument("--rtt", default="80ms")
+    p_short.add_argument("--duration", type=float, default=40.0)
+    p_short.add_argument("--seed", type=int, default=1)
+    p_short.set_defaults(func=commands.cmd_simulate_short)
+
+    p_single = sim_sub.add_parser("single-flow",
+                                  help="one long-lived flow (Figures 2-5)")
+    p_single.add_argument("--fraction", type=float, default=1.0,
+                          help="buffer as a fraction of RTTxC (default 1.0)")
+    p_single.add_argument("--pipe", type=float, default=125.0)
+    p_single.add_argument("--rate", default="10Mbps")
+    p_single.add_argument("--duration", type=float, default=100.0)
+    p_single.set_defaults(func=commands.cmd_simulate_single)
+
+    p_fluid = sub.add_parser("fluid", help="fast fluid-model integration")
+    p_fluid.add_argument("--flows", type=int, default=64)
+    p_fluid.add_argument("--buffer-factor", type=float, default=1.0)
+    p_fluid.add_argument("--pipe", type=float, default=400.0,
+                         help="pipe in packets (default 400)")
+    p_fluid.add_argument("--rtt", default="80ms")
+    p_fluid.add_argument("--synchronized", action="store_true",
+                         help="all flows halve together (lockstep mode)")
+    p_fluid.add_argument("--duration", type=float, default=120.0)
+    p_fluid.set_defaults(func=commands.cmd_fluid)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", type=int, choices=[2, 3, 4, 5, 6, 7, 8, 9],
+                       help="figure number (2-5 share the single-flow module)")
+    p_fig.set_defaults(func=commands.cmd_figure)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("number", type=int, choices=[10, 11])
+    p_table.set_defaults(func=commands.cmd_table)
+
+    p_abl = sub.add_parser("ablations", help="run the ablation suite")
+    p_abl.set_defaults(func=commands.cmd_ablations)
+
+    p_prof = sub.add_parser("profiles",
+                            help="list canonical link profiles and their buffers")
+    p_prof.set_defaults(func=commands.cmd_profiles)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Section 5.1.1: the loss-rate cost of smaller buffers.
+
+Shrinking the buffer shrinks the queueing delay, hence the RTT, hence
+the average window ``W`` each flow sustains — and TCP's loss rate is
+tied to the window by ``l ~= 0.76 / W^2`` (Morris 2000, the paper's
+[16]).  These helpers quantify that trade so experiments can report the
+loss-rate column alongside utilization.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ModelError
+
+__all__ = [
+    "loss_rate_from_window",
+    "window_from_loss_rate",
+    "average_window",
+    "loss_rate",
+]
+
+#: Constant in Morris's square-root law, as quoted by the paper.
+MORRIS_CONSTANT = 0.76
+
+
+def loss_rate_from_window(window_packets: float) -> float:
+    """``l = 0.76 / W^2`` — loss rate sustained at average window ``W``."""
+    if window_packets <= 0:
+        raise ModelError("window must be positive")
+    return MORRIS_CONSTANT / window_packets ** 2
+
+
+def window_from_loss_rate(loss: float) -> float:
+    """Inverse of :func:`loss_rate_from_window`: ``W = sqrt(0.76 / l)``."""
+    if not 0.0 < loss <= 1.0:
+        raise ModelError(f"loss rate must be in (0, 1], got {loss}")
+    return math.sqrt(MORRIS_CONSTANT / loss)
+
+
+def average_window(pipe_packets: float, buffer_packets: float, n_flows: int) -> float:
+    """Average per-flow window when ``n`` flows share the link.
+
+    The aggregate in-flight data is pipe plus (typically full-ish)
+    buffer, split across flows: ``W_bar = (P + B) / n``.
+    """
+    if n_flows < 1:
+        raise ModelError("need at least one flow")
+    if pipe_packets <= 0:
+        raise ModelError("pipe must be positive")
+    if buffer_packets < 0:
+        raise ModelError("buffer must be >= 0")
+    return (pipe_packets + buffer_packets) / n_flows
+
+
+def loss_rate(pipe_packets: float, buffer_packets: float, n_flows: int) -> float:
+    """Predicted loss rate for ``n`` long flows and buffer ``B``.
+
+    Combines :func:`average_window` with Morris's law.  The key
+    qualitative behaviour: halving the buffer raises loss, but only
+    through the (usually modest) reduction in ``P + B``.
+    """
+    return loss_rate_from_window(average_window(pipe_packets, buffer_packets, n_flows))

@@ -1,0 +1,59 @@
+"""Utilization prediction and its inversion (Figure 7 / Table 10 model).
+
+Thin functional wrappers over
+:class:`repro.core.aggregate.AggregateWindowModel`:
+
+* :func:`predicted_utilization` — the "Model" column of Table 10;
+* :func:`buffer_for_utilization` — the model curves of Figure 7
+  (minimum buffer achieving a target utilization for ``n`` flows).
+
+The paper's two calibration points are built in as sanity anchors:
+``B = RTT*C/sqrt(n)`` should predict ~99.9% utilization, and twice that
+buffer ~100% ("we needed buffers twice as big for 99.9%" refers to the
+empirical minimum; see EXPERIMENTS.md for the measured comparison).
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregate import AggregateWindowModel, DEFAULT_PEAK_QUANTILE
+from repro.errors import ModelError
+from repro.mathutils import bisect_increasing
+
+__all__ = ["predicted_utilization", "buffer_for_utilization"]
+
+
+def predicted_utilization(pipe_packets: float, buffer_packets: float, n_flows: int,
+                          peak_quantile: float = DEFAULT_PEAK_QUANTILE) -> float:
+    """Predicted utilization of a bottleneck with ``n_flows`` long flows.
+
+    Parameters mirror :class:`~repro.core.aggregate.AggregateWindowModel`.
+
+    >>> round(predicted_utilization(1290, 129, 100), 3) >= 0.99
+    True
+    """
+    model = AggregateWindowModel(pipe_packets, buffer_packets, n_flows,
+                                 peak_quantile=peak_quantile)
+    return model.utilization()
+
+
+def buffer_for_utilization(target_utilization: float, pipe_packets: float,
+                           n_flows: int,
+                           peak_quantile: float = DEFAULT_PEAK_QUANTILE) -> float:
+    """Minimum buffer (packets) whose predicted utilization reaches the target.
+
+    Inverts :func:`predicted_utilization` by bisection (utilization is
+    nondecreasing in the buffer).  Targets of 1.0 or more are rejected:
+    the Gaussian model approaches full utilization only asymptotically.
+    """
+    if not 0.0 < target_utilization < 1.0:
+        raise ModelError(
+            f"target utilization must be in (0, 1), got {target_utilization}"
+        )
+    fn = lambda b: predicted_utilization(pipe_packets, b, n_flows, peak_quantile)
+    # The pipe itself is an upper bound for any plausible target; grow if needed.
+    hi = pipe_packets
+    while fn(hi) < target_utilization:
+        hi *= 2.0
+        if hi > pipe_packets * 1e6:
+            raise ModelError("target utilization unreachable")
+    return bisect_increasing(fn, target_utilization, 0.0, hi, tol=1e-6)

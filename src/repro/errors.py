@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single exception type at an API boundary.  More
+specific subclasses distinguish configuration mistakes (bad units, invalid
+scenario parameters) from runtime simulation faults (scheduling into the
+past, routing black holes).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "UnitError",
+    "SimulationError",
+    "SchedulingError",
+    "RoutingError",
+    "QueueError",
+    "ModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A scenario, topology, or agent was configured with invalid values."""
+
+
+class UnitError(ConfigurationError):
+    """A quantity string ("155Mbps", "80ms", ...) could not be parsed."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled at a time earlier than the current clock."""
+
+
+class RoutingError(SimulationError):
+    """A packet reached a node with no route toward its destination."""
+
+
+class QueueError(SimulationError):
+    """A queue invariant was violated (e.g. negative occupancy)."""
+
+
+class ModelError(ReproError, ValueError):
+    """An analytic model was evaluated outside its domain (e.g. load >= 1)."""

@@ -1,0 +1,342 @@
+"""Shared experiment scaffolding.
+
+Two workhorse runners cover most of the paper's evaluation:
+
+* :func:`run_long_flow_experiment` — ``n`` long-lived flows over a
+  dumbbell, returning utilization, loss, timeout counts, queue
+  statistics, and (optionally) aggregate-window statistics.
+* :func:`run_short_flow_experiment` — Poisson short-flow arrivals at a
+  target load, returning AFCT and drop statistics.
+
+Both accept *dimensionless-first* parameters: the bottleneck pipe in
+packets (``pipe_packets``) plus a line rate, from which the mean RTT
+follows (``rtt = pipe * packet_bits / rate``).  This keeps scaled-down
+runs in the same dynamical regime as the paper's OC3 experiments: what
+matters to the theory is the pipe size in packets, the per-flow share
+``pipe/n``, and the buffer in units of ``pipe/sqrt(n)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.metrics import (
+    FctCollector,
+    FlowProgressMeter,
+    QueueMonitor,
+    UtilizationMonitor,
+    WindowTracker,
+)
+from repro.metrics.windows import GaussianFit
+from repro.net import REDQueue, build_dumbbell
+from repro.net.packet import TCP_HEADER_BYTES
+from repro.net.queues import DropTailQueue
+from repro.net.topology import DumbbellNetwork
+from repro.sim import RngStreams, Simulator
+from repro.traffic import LongLivedWorkload, ShortFlowWorkload
+from repro.traffic.sizes import FlowSizeDistribution
+from repro.units import Quantity, parse_bandwidth
+
+__all__ = [
+    "LongFlowResult",
+    "ShortFlowResult",
+    "run_long_flow_experiment",
+    "run_short_flow_experiment",
+    "rtt_for_pipe",
+]
+
+#: Wire size of a data segment in the experiments (mss 960 + 40 header).
+PACKET_BYTES = 1000
+MSS = PACKET_BYTES - TCP_HEADER_BYTES
+
+
+def rtt_for_pipe(pipe_packets: float, rate: Quantity,
+                 packet_bytes: int = PACKET_BYTES) -> float:
+    """Mean two-way propagation delay giving the requested pipe.
+
+    ``pipe = rate * rtt / (8 * packet_bytes)`` inverted for ``rtt``.
+    """
+    rate_bps = parse_bandwidth(rate)
+    return pipe_packets * packet_bytes * 8.0 / rate_bps
+
+
+@dataclass
+class LongFlowResult:
+    """Outcome of a long-lived-flow experiment."""
+
+    n_flows: int
+    buffer_packets: int
+    pipe_packets: float
+    utilization: float
+    throughput_bps: float
+    loss_rate: float
+    timeouts: int
+    fast_retransmits: int
+    mean_queue: float
+    jain_fairness: float = math.nan
+    sync_index: float = math.nan
+    gaussian_fit: Optional[GaussianFit] = None
+    peak_to_trough: float = math.nan
+    window_histogram: Optional[Tuple[List[float], List[int]]] = None
+    events_processed: int = 0
+
+    @property
+    def buffer_in_sqrt_units(self) -> float:
+        """Buffer expressed in units of ``pipe / sqrt(n)``."""
+        return self.buffer_packets / (self.pipe_packets / math.sqrt(self.n_flows))
+
+
+@dataclass
+class ShortFlowResult:
+    """Outcome of a short-flow experiment."""
+
+    load: float
+    buffer_packets: Optional[int]
+    afct: float
+    n_completed: int
+    drop_rate: float
+    utilization: float
+    p99_fct: float
+    flows_with_loss: int
+    events_processed: int = 0
+
+
+def _make_jitter(rng: random.Random, mean: float) -> Callable[[], float]:
+    """Exponential per-packet host processing delay with the given mean."""
+    return lambda: rng.expovariate(1.0 / mean)
+
+
+def run_long_flow_experiment(
+    n_flows: int,
+    buffer_packets: int,
+    pipe_packets: float = 400.0,
+    bottleneck_rate: Quantity = "40Mbps",
+    warmup: float = 20.0,
+    duration: float = 40.0,
+    seed: int = 1,
+    cc: str = "reno",
+    rtt_spread: Tuple[float, float] = (0.5, 1.5),
+    max_window: int = 10_000,
+    delayed_ack: bool = False,
+    track_windows: bool = False,
+    window_period: float = 0.05,
+    proc_jitter_mean: float = 0.0,
+    red: bool = False,
+    start_spread: Optional[float] = None,
+    pacing: bool = False,
+    sack: bool = False,
+    ecn: bool = False,
+) -> LongFlowResult:
+    """Run ``n_flows`` long-lived TCP flows through a bottleneck.
+
+    Parameters
+    ----------
+    n_flows:
+        Concurrent long-lived flows (one per dumbbell pair).
+    buffer_packets:
+        Bottleneck drop-tail buffer in packets.
+    pipe_packets:
+        Target bandwidth-delay product in packets; the mean RTT is
+        derived from this and ``bottleneck_rate``.
+    warmup, duration:
+        Measurement starts at ``warmup`` and lasts ``duration`` seconds.
+    rtt_spread:
+        Per-flow RTT is uniform in ``rtt_mean * [lo, hi]`` — the paper's
+        25–300 ms spread normalized.
+    track_windows:
+        Record the aggregate congestion window (needed for the Figure 6
+        statistics; costs memory/time).
+    proc_jitter_mean:
+        Mean exponential per-packet host processing delay (the paper's
+        "small variations in processing time"); 0 disables it.
+    red:
+        Use a RED bottleneck queue instead of drop-tail (ablation).
+    start_spread:
+        Interval over which flow starts are staggered (default:
+        ``warmup / 2``).
+
+    Returns
+    -------
+    LongFlowResult
+    """
+    if n_flows < 1:
+        raise ConfigurationError("need at least one flow")
+    if warmup < 0 or duration <= 0:
+        raise ConfigurationError("need warmup >= 0 and duration > 0")
+    streams = RngStreams(seed)
+    sim = Simulator()
+    rtt_mean = rtt_for_pipe(pipe_packets, bottleneck_rate)
+    rtt_rng = streams.stream("rtt")
+    lo, hi = rtt_spread
+    rtts = [rtt_rng.uniform(lo * rtt_mean, hi * rtt_mean) for _ in range(n_flows)]
+
+    jitter = None
+    if proc_jitter_mean > 0:
+        jitter = _make_jitter(streams.stream("jitter"), proc_jitter_mean)
+
+    if ecn and not red:
+        raise ConfigurationError("ecn=True requires red=True (the AQM marks)")
+    queue_spec = None
+    if red:
+        # Configure RED comparably to the drop-tail buffer under study:
+        # early drops ramp over [B/4, B] with 2B of physical headroom
+        # (comparing at equal *physical* capacity would handicap RED,
+        # which holds its average near max_thresh).  Two classic tuning
+        # caveats at small-buffer scale: max_p must match the loss rate
+        # AIMD needs (~0.76/W^2, a couple of percent), and the EWMA
+        # weight must track the short queue's timescale — the textbook
+        # (0.1, 0.002) over-drops and lags, costing >10 points of
+        # utilization here.
+        pkt_time = PACKET_BYTES * 8.0 / parse_bandwidth(bottleneck_rate)
+
+        def queue_factory():
+            return REDQueue(sim, capacity_packets=2 * buffer_packets,
+                            min_thresh=buffer_packets / 4.0,
+                            max_thresh=float(buffer_packets),
+                            max_p=0.02, weight=0.02,
+                            mean_pkt_time=pkt_time,
+                            ecn=ecn,
+                            rng=streams.stream("red"))
+
+        queue_spec = queue_factory
+
+    net = build_dumbbell(
+        sim,
+        n_pairs=n_flows,
+        bottleneck_rate=bottleneck_rate,
+        buffer_packets=None if red else buffer_packets,
+        bottleneck_queue=queue_spec,
+        rtts=rtts,
+        bottleneck_delay=rtt_mean / 20.0,
+        receiver_delay=rtt_mean / 100.0,
+        proc_jitter=jitter,
+    )
+    workload = LongLivedWorkload(
+        net,
+        cc=cc,
+        start_spread=warmup / 2.0 if start_spread is None else start_spread,
+        rng=streams.stream("starts"),
+        mss=MSS,
+        max_window=max_window,
+        delayed_ack=delayed_ack,
+        pacing=pacing,
+        sack=sack,
+        ecn=ecn,
+    )
+    t_end = warmup + duration
+    util_mon = UtilizationMonitor(sim, net.bottleneck_link, t_start=warmup, t_end=t_end)
+    queue_mon = QueueMonitor(sim, net.bottleneck_queue, t_start=warmup, t_end=t_end,
+                             sample_period=max(duration / 2000.0, 0.005))
+    tracker = None
+    if track_windows:
+        tracker = WindowTracker(sim, workload.senders, period=window_period,
+                                t_start=warmup)
+    progress = FlowProgressMeter(sim, workload.senders, t_start=warmup,
+                                 t_end=t_end)
+    sim.run(until=t_end)
+
+    timeouts = sum(flow.cc.timeouts for flow in workload.flows)
+    fast_rtx = sum(flow.sender.fast_retransmits for flow in workload.flows)
+    return LongFlowResult(
+        n_flows=n_flows,
+        buffer_packets=buffer_packets,
+        pipe_packets=pipe_packets,
+        utilization=util_mon.utilization,
+        throughput_bps=util_mon.throughput_bps,
+        loss_rate=queue_mon.loss_rate,
+        timeouts=timeouts,
+        fast_retransmits=fast_rtx,
+        mean_queue=queue_mon.mean_occupancy(),
+        jain_fairness=progress.fairness(),
+        sync_index=tracker.synchronization_index() if tracker else math.nan,
+        gaussian_fit=tracker.fit_gaussian() if tracker else None,
+        peak_to_trough=tracker.peak_to_trough() if tracker else math.nan,
+        window_histogram=tracker.histogram() if tracker else None,
+        events_processed=sim.events_processed,
+    )
+
+
+def run_short_flow_experiment(
+    load: float,
+    buffer_packets: Optional[int],
+    sizes: FlowSizeDistribution,
+    bottleneck_rate: Quantity = "40Mbps",
+    rtt: Quantity = "80ms",
+    warmup: float = 10.0,
+    duration: float = 40.0,
+    seed: int = 1,
+    n_pairs: int = 20,
+    max_window: int = 43,
+    access_multiplier: float = 10.0,
+    cc: str = "reno",
+) -> ShortFlowResult:
+    """Poisson short-flow arrivals at a target load.
+
+    Parameters
+    ----------
+    load:
+        Offered load in (0, 1) — the x-axis quantity of Figure 8.
+    buffer_packets:
+        Bottleneck buffer; ``None`` means an unbounded queue (the
+        "infinite buffer" AFCT baseline).
+    sizes:
+        Flow-length distribution in packets.
+    n_pairs:
+        Host pairs to cycle arrivals over.
+    access_multiplier:
+        Access links run this many times faster than the bottleneck
+        (bigger = burstier arrivals; the paper's worst case is infinite).
+
+    Returns
+    -------
+    ShortFlowResult with AFCT measured over flows that *start* inside
+    the measurement window and complete before the run ends (plus a
+    drain period of 25% of the duration to let stragglers finish).
+    """
+    if not 0.0 < load < 1.0:
+        raise ConfigurationError(f"load must be in (0, 1), got {load}")
+    streams = RngStreams(seed)
+    sim = Simulator()
+    rate_bps = parse_bandwidth(bottleneck_rate)
+    if buffer_packets is None:
+        queue_spec = lambda: DropTailQueue(sim, unbounded=True)
+    else:
+        queue_spec = int(buffer_packets)
+    net = build_dumbbell(
+        sim,
+        n_pairs=n_pairs,
+        bottleneck_rate=rate_bps,
+        buffer_packets=None,
+        bottleneck_queue=queue_spec,
+        rtts=[rtt],
+        access_rate=rate_bps * access_multiplier,
+    )
+    t_end = warmup + duration
+    collector = FctCollector(t_start=warmup, t_end=t_end)
+    workload = ShortFlowWorkload.for_load(
+        net, load=load, sizes=sizes, rng=streams.stream("arrivals"),
+        t_stop=t_end, max_window=max_window, on_complete=collector,
+        cc=cc, mss=MSS,
+    )
+    util_mon = UtilizationMonitor(sim, net.bottleneck_link, t_start=warmup, t_end=t_end)
+    queue_mon = QueueMonitor(sim, net.bottleneck_queue, t_start=warmup, t_end=t_end,
+                             sample_period=max(duration / 2000.0, 0.005))
+    workload.start()
+    # Drain period so flows that started near t_end can complete.
+    sim.run(until=t_end + duration * 0.25)
+
+    return ShortFlowResult(
+        load=load,
+        buffer_packets=buffer_packets,
+        afct=collector.afct,
+        n_completed=len(collector),
+        drop_rate=queue_mon.loss_rate,
+        utilization=util_mon.utilization,
+        p99_fct=collector.percentile(0.99),
+        flows_with_loss=collector.flows_with_loss,
+        events_processed=sim.events_processed,
+    )

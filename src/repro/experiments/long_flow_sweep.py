@@ -1,0 +1,168 @@
+"""Figure 7: minimum buffer for a target utilization vs number of flows.
+
+For each flow count ``n``, utilization is measured over a grid of
+buffer sizes expressed in units of ``pipe / sqrt(n)``; the minimum
+buffer reaching each utilization target (98%, 99.5%, 99.9% in the
+paper) is then interpolated from the measured curve.  The model curve
+``B = RTT*C/sqrt(n)`` (doubled for the highest target, as the paper
+finds) is reported alongside.
+
+One grid of simulations per ``n`` serves all targets, keeping the sweep
+affordable; the grid and run lengths are parameters, so the paper-scale
+sweep (OC3, n up to 400+) is one call away from the laptop-scale
+default.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.ascii_plot import line_plot
+from repro.experiments.common import run_long_flow_experiment
+
+__all__ = ["MinBufferPoint", "SweepResult", "min_buffer_sweep", "main"]
+
+DEFAULT_FACTORS = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
+DEFAULT_TARGETS = (0.98, 0.995, 0.999)
+
+
+@dataclass
+class MinBufferPoint:
+    """Minimum buffer found for one (n, target) pair."""
+
+    n_flows: int
+    target: float
+    buffer_packets: float
+    buffer_factor: float  # in units of pipe / sqrt(n)
+    model_packets: float  # the sqrt(n)-rule prediction
+
+    @property
+    def achieved(self) -> bool:
+        """Whether any grid point reached the target."""
+        return not math.isnan(self.buffer_packets)
+
+
+@dataclass
+class SweepResult:
+    """Full Figure 7 sweep output."""
+
+    pipe_packets: float
+    points: List[MinBufferPoint]
+    curves: Dict[int, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: curves[n] = [(buffer_packets, utilization), ...] — the raw data.
+
+    def for_target(self, target: float) -> List[MinBufferPoint]:
+        return [p for p in self.points if p.target == target]
+
+
+def _interpolate_min_buffer(curve: Sequence[Tuple[float, float]],
+                            target: float) -> float:
+    """Smallest buffer reaching ``target`` utilization, by linear
+    interpolation on the measured (buffer, utilization) curve.
+
+    Returns NaN when even the largest grid buffer missed the target.
+    """
+    prev_b, prev_u = None, None
+    for b, u in curve:
+        if u >= target:
+            if prev_b is None or prev_u is None or prev_u >= target:
+                return float(b)
+            frac = (target - prev_u) / (u - prev_u)
+            return prev_b + frac * (b - prev_b)
+        prev_b, prev_u = b, u
+    return math.nan
+
+
+def min_buffer_sweep(
+    n_values: Sequence[int] = (25, 50, 100, 200),
+    targets: Sequence[float] = DEFAULT_TARGETS,
+    factors: Sequence[float] = DEFAULT_FACTORS,
+    pipe_packets: float = 400.0,
+    warmup: float = 20.0,
+    duration: float = 40.0,
+    seed: int = 3,
+    **kwargs,
+) -> SweepResult:
+    """Measure min-buffer-vs-n for the given utilization targets.
+
+    Parameters
+    ----------
+    n_values:
+        Flow counts to sweep (the paper's x-axis).
+    targets:
+        Utilization targets (the paper's three curves).
+    factors:
+        Buffer grid in units of ``pipe / sqrt(n)``; must be increasing.
+    pipe_packets, warmup, duration, seed, kwargs:
+        Forwarded to :func:`run_long_flow_experiment`.
+    """
+    if list(factors) != sorted(factors):
+        raise ConfigurationError("factors must be increasing")
+    points: List[MinBufferPoint] = []
+    curves: Dict[int, List[Tuple[float, float]]] = {}
+    for n in n_values:
+        unit = pipe_packets / math.sqrt(n)
+        curve: List[Tuple[float, float]] = []
+        for factor in factors:
+            buffer_packets = max(2, int(round(factor * unit)))
+            result = run_long_flow_experiment(
+                n_flows=n,
+                buffer_packets=buffer_packets,
+                pipe_packets=pipe_packets,
+                warmup=warmup,
+                duration=duration,
+                seed=seed,
+                **kwargs,
+            )
+            curve.append((buffer_packets, result.utilization))
+        # Enforce monotonicity for interpolation robustness (tiny
+        # non-monotonic wiggles are measurement noise).
+        best = 0.0
+        monotone = []
+        for b, u in curve:
+            best = max(best, u)
+            monotone.append((b, best))
+        curves[n] = curve
+        for target in targets:
+            b_min = _interpolate_min_buffer(monotone, target)
+            points.append(MinBufferPoint(
+                n_flows=n,
+                target=target,
+                buffer_packets=b_min,
+                buffer_factor=b_min / unit if not math.isnan(b_min) else math.nan,
+                model_packets=unit,
+            ))
+    return SweepResult(pipe_packets=pipe_packets, points=points, curves=curves)
+
+
+def main() -> None:  # pragma: no cover - exercised via examples
+    result = min_buffer_sweep()
+    print("Figure 7: minimum buffer for target utilization (packets)")
+    print(f"{'n':>5} {'model RTTC/sqrt(n)':>20} "
+          + "".join(f"{f'{t * 100:.1f}%':>12}" for t in DEFAULT_TARGETS))
+    n_values = sorted({p.n_flows for p in result.points})
+    for n in n_values:
+        row = [p for p in result.points if p.n_flows == n]
+        model = row[0].model_packets
+        cells = "".join(
+            f"{p.buffer_packets:12.0f}" if p.achieved else f"{'>grid':>12}"
+            for p in sorted(row, key=lambda p: p.target)
+        )
+        print(f"{n:5d} {model:20.0f} {cells}")
+    series = {}
+    for target in DEFAULT_TARGETS:
+        pts = [(p.n_flows, p.buffer_packets) for p in result.for_target(target)
+               if p.achieved]
+        if pts:
+            series[f"{target * 100:.1f}%"] = pts
+    series["model"] = [(n, result.pipe_packets / math.sqrt(n)) for n in n_values]
+    print()
+    print(line_plot(series, title="min buffer vs n (model = RTTxC/sqrt(n))",
+                    xlabel="number of long-lived flows", ylabel="buffer (packets)"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,119 @@
+"""Where the sqrt(n) buffer requirement comes from: a bracket argument.
+
+Three instruments compute the minimum buffer for a utilization target
+as a function of flow count:
+
+1. the **fluid integrator, synchronized mode** — all flows halve
+   together.  Needs ~the full bandwidth-delay product at every ``n``:
+   the rule-of-thumb's world.
+2. the **fluid integrator, desynchronized mode** — one flow halves at a
+   time, everything else is deterministic.  Needs almost *no* buffer at
+   large ``n``: with statistics removed, the surviving flows' additive
+   increase covers one victim's halving almost instantly.
+3. the **Gaussian aggregate-window model** (Section 3) — tracks
+   ``pipe/sqrt(n)``.
+
+The bracket is the insight: the sqrt(n) requirement is *exactly the
+statistical fluctuation term*.  Deterministic desynchronized AIMD needs
+~zero buffer; full synchronization needs the whole BDP; real traffic —
+desynchronized but random — sits between, and the CLT says the gap
+scales as ``1/sqrt(n)``.  The packet-level simulator (optional column;
+slow) lands near the Gaussian curve, confirming that real packet-level
+randomness, not AIMD geometry, sets the requirement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import buffer_for_utilization
+from repro.experiments.long_flow_sweep import min_buffer_sweep
+from repro.fluid.sweep import fluid_min_buffer
+
+__all__ = ["ComparisonRow", "compare_models", "main"]
+
+
+@dataclass
+class ComparisonRow:
+    """Minimum buffer (packets) for one flow count, per instrument."""
+
+    n_flows: int
+    gaussian: float
+    fluid_desync: float
+    fluid_sync: float
+    packet_sim: float  # NaN unless requested
+    sqrt_rule: float
+
+    def normalized(self) -> Dict[str, float]:
+        """Each instrument's answer in units of pipe/sqrt(n)."""
+        return {
+            "gaussian": self.gaussian / self.sqrt_rule,
+            "fluid_desync": self.fluid_desync / self.sqrt_rule,
+            "fluid_sync": self.fluid_sync / self.sqrt_rule,
+            "packet_sim": self.packet_sim / self.sqrt_rule,
+        }
+
+
+def compare_models(
+    n_values: Sequence[int] = (16, 64, 256),
+    target: float = 0.99,
+    pipe_packets: float = 400.0,
+    include_packet_sim: bool = False,
+    fluid_duration: float = 120.0,
+    sim_kwargs: Optional[dict] = None,
+) -> List[ComparisonRow]:
+    """Compute the min-buffer curve with every available instrument.
+
+    Parameters
+    ----------
+    n_values:
+        Flow counts.
+    target:
+        Utilization target.
+    include_packet_sim:
+        Also run the packet-level sweep (slow; off by default).
+    sim_kwargs:
+        Extra parameters for the packet sweep.
+    """
+    packet_answers: Dict[int, float] = {}
+    if include_packet_sim:
+        sweep = min_buffer_sweep(
+            n_values=n_values, targets=(target,),
+            pipe_packets=pipe_packets, **(sim_kwargs or {}))
+        packet_answers = {p.n_flows: p.buffer_packets
+                          for p in sweep.for_target(target)}
+    rows: List[ComparisonRow] = []
+    for n in n_values:
+        rows.append(ComparisonRow(
+            n_flows=n,
+            gaussian=buffer_for_utilization(target, pipe_packets, n),
+            fluid_desync=fluid_min_buffer(
+                n, target, pipe_packets, synchronized=False,
+                duration=fluid_duration, warmup=fluid_duration / 2),
+            fluid_sync=fluid_min_buffer(
+                n, target, pipe_packets, synchronized=True,
+                duration=fluid_duration, warmup=fluid_duration / 2),
+            packet_sim=packet_answers.get(n, math.nan),
+            sqrt_rule=pipe_packets / math.sqrt(n),
+        ))
+    return rows
+
+
+def main() -> None:  # pragma: no cover - exercised via examples
+    rows = compare_models()
+    print("Min buffer for 99% utilization (packets) — three instruments")
+    print(f"{'n':>5} {'sqrt-rule':>10} {'Gaussian':>10} {'fluid-desync':>13} "
+          f"{'fluid-sync':>11}")
+    for row in rows:
+        print(f"{row.n_flows:5d} {row.sqrt_rule:10.1f} {row.gaussian:10.1f} "
+              f"{row.fluid_desync:13.1f} {row.fluid_sync:11.1f}")
+    print("\nreading: synchronized fluid needs ~the full BDP at any n;"
+          "\ndeterministic desynchronized fluid needs almost none; the Gaussian"
+          "\nmodel's sqrt(n) curve is the statistical fluctuation between those"
+          "\nextremes — which is what real (packet-level) traffic pays.")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

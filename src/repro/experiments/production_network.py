@@ -1,0 +1,163 @@
+"""Table 11: the production-network check, emulated.
+
+The paper throttled a Stanford dormitory router to 20 Mb/s and measured
+utilization at buffer sizes of 500/85/65/46 packets (~2x/1.5x/1.2x/0.8x
+of ``RTT*C/sqrt(n)`` with n ~ 400 and RTT <= 250 ms).  We cannot replay
+Stanford's live traffic; following DESIGN.md's substitution table, the
+workload here mirrors its stated composition: a few hundred concurrent
+flows from a heavy-tailed (bounded-Pareto) size distribution arriving
+continuously, a minority of unresponsive UDP traffic, and a wide RTT
+spread capped at 250 ms — at a 20 Mb/s bottleneck with 540-byte average
+packets (production traffic's mean packet is about half an MTU, which
+is how 46 packets can be 0.8 of the paper's sqrt-rule unit).
+
+The reproduced *shape*: ~full utilization at the model size and above,
+decaying once the buffer falls below ~1x the rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import rtt_for_pipe
+from repro.metrics import FctCollector, UtilizationMonitor
+from repro.net import build_dumbbell
+from repro.net.packet import TCP_HEADER_BYTES
+from repro.sim import RngStreams, Simulator
+from repro.traffic import BoundedPareto, LongLivedWorkload, ShortFlowWorkload, UdpSink, UdpSource
+from repro.units import Quantity, parse_bandwidth
+
+__all__ = ["ProductionRow", "production_table", "main"]
+
+#: The paper's Table 11 buffer sizes (packets).
+PAPER_BUFFERS = (500, 85, 65, 46)
+#: Production-traffic mean packet size used for the sizing arithmetic.
+PACKET_BYTES = 540
+MSS = PACKET_BYTES - TCP_HEADER_BYTES
+
+
+@dataclass
+class ProductionRow:
+    """One Table 11 row."""
+
+    buffer_packets: int
+    rule_multiple: float
+    utilization: float
+    throughput_bps: float
+    model_utilization: float
+
+
+def production_table(
+    buffers: Sequence[int] = PAPER_BUFFERS,
+    bottleneck_rate: Quantity = "20Mbps",
+    n_concurrent: int = 400,
+    rtt_max: float = 0.25,
+    tcp_load: float = 0.4,
+    udp_fraction: float = 0.03,
+    warmup: float = 15.0,
+    duration: float = 45.0,
+    seed: int = 17,
+    n_pairs: int = 120,
+    n_long: int = 100,
+) -> List[ProductionRow]:
+    """Emulate the Stanford throttling experiment.
+
+    Parameters
+    ----------
+    buffers:
+        Buffer sizes to test (packets).
+    n_concurrent:
+        Assumed concurrent flow count for the rule arithmetic (the
+        paper estimated ~400).
+    tcp_load:
+        Offered short-flow (web churn) load on top of the long flows.
+    udp_fraction:
+        Unresponsive CBR traffic as a fraction of capacity.
+    n_long:
+        Long-lived "download" flows; these dominate demand (the dorm
+        link was congested by sustained downloads, which is why it was
+        throttled), so the utilization dip at small buffers comes from
+        their congestion-avoidance dynamics.
+
+    Returns one row per buffer with measured utilization and the
+    Gaussian-model prediction at ``n_concurrent`` flows.
+    """
+    from repro.core import predicted_utilization
+
+    rate_bps = parse_bandwidth(bottleneck_rate)
+    pipe_packets = rate_bps * rtt_max / (8.0 * PACKET_BYTES)
+    unit = pipe_packets / math.sqrt(n_concurrent)
+    rows: List[ProductionRow] = []
+    for buffer_packets in buffers:
+        streams = RngStreams(seed)
+        sim = Simulator()
+        rtt_rng = streams.stream("rtt")
+        rtts = [rtt_rng.uniform(0.1 * rtt_max, rtt_max) for _ in range(n_pairs)]
+        net = build_dumbbell(
+            sim, n_pairs=n_pairs, bottleneck_rate=rate_bps,
+            buffer_packets=int(buffer_packets), rtts=rtts,
+            bottleneck_delay=rtt_max / 50.0, receiver_delay=rtt_max / 100.0,
+        )
+        # A few long-lived bulk downloads.
+        long_view = type(net)(
+            net.network, net.senders[:n_long], net.receivers[:n_long],
+            net.left, net.right, net.bottleneck, net.reverse, net.rtts[:n_long],
+        )
+        LongLivedWorkload(long_view, cc="reno", start_spread=warmup / 2.0,
+                          rng=streams.stream("starts"), mss=MSS)
+        # Heavy-tailed web-like churn over the remaining pairs.
+        short_view = type(net)(
+            net.network, net.senders[n_long:], net.receivers[n_long:],
+            net.left, net.right, net.bottleneck, net.reverse, net.rtts[n_long:],
+        )
+        t_end = warmup + duration
+        collector = FctCollector(t_start=warmup, t_end=t_end)
+        sizes = BoundedPareto(shape=1.2, minimum=2, maximum=2000)
+        short = ShortFlowWorkload.for_load(
+            short_view, load=min(tcp_load, 0.99), sizes=sizes,
+            rng=streams.stream("arrivals"), t_stop=t_end, max_window=43,
+            on_complete=collector, mss=MSS,
+        )
+        if tcp_load > 0.99:
+            # Scale the arrival rate beyond the for_load cap to model
+            # offered demand exceeding the throttled capacity.
+            short.arrival_rate *= tcp_load / 0.99
+        short.start()
+        # Unresponsive CBR component.
+        udp_sink = UdpSink(sim, net.receivers[n_long], port=9)
+        udp = UdpSource(
+            sim, net.senders[n_long], dst_address=net.receivers[n_long].address,
+            dport=9, rate=rate_bps * udp_fraction, payload=MSS,
+            poisson=True, rng=streams.stream("udp"), sport=9,
+        )
+        udp.start()
+
+        util_mon = UtilizationMonitor(sim, net.bottleneck_link,
+                                      t_start=warmup, t_end=t_end)
+        sim.run(until=t_end)
+        rows.append(ProductionRow(
+            buffer_packets=int(buffer_packets),
+            rule_multiple=buffer_packets / unit,
+            utilization=util_mon.utilization,
+            throughput_bps=util_mon.throughput_bps,
+            model_utilization=predicted_utilization(
+                pipe_packets, buffer_packets, n_concurrent),
+        ))
+    return rows
+
+
+def main() -> None:  # pragma: no cover - exercised via examples
+    rows = production_table()
+    print("Table 11: emulated production network at 20 Mb/s")
+    print(f"{'buffer':>7} {'xRTTC/sqrt(n)':>14} {'util(meas)':>11} "
+          f"{'Mb/s':>7} {'util(model)':>12}")
+    for row in rows:
+        print(f"{row.buffer_packets:7d} {row.rule_multiple:14.1f} "
+              f"{row.utilization * 100:10.2f}% {row.throughput_bps / 1e6:7.3f} "
+              f"{row.model_utilization * 100:11.1f}%")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,36 @@
+"""Measurement: the quantities the paper's figures are made of.
+
+* :class:`~repro.metrics.utilization.UtilizationMonitor` — bottleneck
+  busy-fraction over a warm-up-excluding window (every figure's y-axis
+  or pass/fail criterion).
+* :class:`~repro.metrics.queues.QueueMonitor` — occupancy time series
+  and drop statistics for the router buffer.
+* :class:`~repro.metrics.fct.FctCollector` — flow-completion times and
+  the AFCT metric of Figures 8–9.
+* :class:`~repro.metrics.windows.WindowTracker` — per-flow and aggregate
+  congestion-window traces, the Gaussian fit of Figure 6, and the
+  synchronization index used to test the desynchronization assumption.
+
+All monitors are passive: they read counters maintained by the data
+path and never perturb packet timing.
+"""
+
+from repro.metrics.export import results_to_json, rows_to_csv, timeseries_to_csv
+from repro.metrics.fairness import FlowProgressMeter, jain_index
+from repro.metrics.fct import FctCollector
+from repro.metrics.queues import QueueMonitor
+from repro.metrics.utilization import UtilizationMonitor
+from repro.metrics.windows import GaussianFit, WindowTracker
+
+__all__ = [
+    "UtilizationMonitor",
+    "QueueMonitor",
+    "FctCollector",
+    "WindowTracker",
+    "GaussianFit",
+    "FlowProgressMeter",
+    "jain_index",
+    "timeseries_to_csv",
+    "rows_to_csv",
+    "results_to_json",
+]

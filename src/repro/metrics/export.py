@@ -1,0 +1,131 @@
+"""Export measurement data to CSV and JSON.
+
+The ASCII plots are enough to eyeball a result in a terminal; for a
+paper-grade figure you want the raw series in a real plotting tool.
+These helpers write :class:`~repro.sim.trace.TimeSeries` objects,
+result dataclasses, and generic row tables without any dependency
+beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import math
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import TimeSeries
+
+__all__ = [
+    "timeseries_to_csv",
+    "rows_to_csv",
+    "result_to_dict",
+    "results_to_json",
+]
+
+
+def timeseries_to_csv(path: str, *series: TimeSeries,
+                      labels: Sequence[str] = ()) -> None:
+    """Write one or more time series to a CSV file.
+
+    Series are merged on their sample times (rows are the union of all
+    timestamps; missing values are left blank).  Column names come from
+    ``labels`` or each series' ``name``.
+
+    Parameters
+    ----------
+    path:
+        Output file path.
+    series:
+        One or more :class:`TimeSeries`.
+    labels:
+        Optional column labels overriding the series names.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    names = list(labels) if labels else [s.name or f"series{i}"
+                                         for i, s in enumerate(series)]
+    if len(names) != len(series):
+        raise ConfigurationError("labels must match the number of series")
+    all_times = sorted({t for s in series for t in s.times})
+    lookup = [dict(zip(s.times, s.values)) for s in series]
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time"] + names)
+        for t in all_times:
+            row: List[Any] = [t]
+            for table in lookup:
+                value = table.get(t)
+                row.append("" if value is None else value)
+            writer.writerow(row)
+
+
+def rows_to_csv(path: str, rows: Sequence[Mapping[str, Any]]) -> None:
+    """Write a list of mappings (or dataclasses) as a CSV table.
+
+    Columns are the union of keys, in first-seen order.
+    """
+    if not rows:
+        raise ConfigurationError("no rows to write")
+    dict_rows = [result_to_dict(row) for row in rows]
+    columns: List[str] = []
+    for row in dict_rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        for row in dict_rows:
+            writer.writerow(row)
+
+
+def result_to_dict(obj: Any) -> Dict[str, Any]:
+    """Convert a result object (dataclass or mapping) to a plain dict.
+
+    Nested dataclasses are flattened one level with ``parent.child``
+    keys; NaN becomes ``None`` (JSON-safe); non-scalar leaves are
+    stringified.
+    """
+    if isinstance(obj, Mapping):
+        base = dict(obj)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        base = dataclasses.asdict(obj)
+    else:
+        raise ConfigurationError(f"cannot convert {type(obj).__name__} to dict")
+    flat: Dict[str, Any] = {}
+    for key, value in base.items():
+        if isinstance(value, dict):
+            for sub_key, sub_value in value.items():
+                flat[f"{key}.{sub_key}"] = _scalar(sub_value)
+        else:
+            flat[key] = _scalar(value)
+    return flat
+
+
+def _scalar(value: Any) -> Any:
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def results_to_json(path: str, results: Union[Mapping[str, Any], Sequence[Any]],
+                    indent: int = 2) -> None:
+    """Serialize results (dataclasses, mappings, or lists thereof) to JSON."""
+
+    def convert(obj: Any) -> Any:
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            return result_to_dict(obj)
+        if isinstance(obj, Mapping):
+            return {str(k): convert(v) for k, v in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [convert(v) for v in obj]
+        return _scalar(obj)
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(convert(results), fh, indent=indent)
+        fh.write("\n")

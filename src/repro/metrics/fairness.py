@@ -1,0 +1,80 @@
+"""Fairness measurement: Jain's index over per-flow progress.
+
+The sqrt(n) argument treats flows as statistically identical; grossly
+unfair bandwidth sharing would undermine the CLT argument (a few
+dominant flows act like a small-n system).  Jain's fairness index
+
+    J = (sum x_i)^2 / (n * sum x_i^2)
+
+is 1 for perfectly equal shares and 1/n when one flow takes everything.
+:class:`FlowProgressMeter` snapshots every sender's cumulative
+acknowledged data at the measurement window's edges so the index
+reflects steady-state sharing, not slow-start transients.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.tcp.sender import TcpSender
+
+__all__ = ["jain_index", "FlowProgressMeter"]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of ``values`` (NaN for empty/all-zero)."""
+    xs = list(values)
+    if not xs:
+        return math.nan
+    if any(x < 0 for x in xs):
+        raise ConfigurationError("fairness values must be non-negative")
+    total = sum(xs)
+    squares = sum(x * x for x in xs)
+    if squares == 0:
+        return math.nan
+    return total * total / (len(xs) * squares)
+
+
+class FlowProgressMeter:
+    """Per-flow delivered segments over a measurement window.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    senders:
+        The senders to meter (read live; completed senders keep their
+        final count).
+    t_start, t_end:
+        Window edges (absolute sim time).
+    """
+
+    def __init__(self, sim, senders: Sequence[TcpSender],
+                 t_start: float, t_end: float):
+        if t_end <= t_start:
+            raise ConfigurationError("t_end must exceed t_start")
+        self.sim = sim
+        self.senders = senders
+        self._start_counts: List[int] = []
+        self._end_counts: List[int] = []
+        sim.call_at(t_start, self._open)
+        sim.call_at(t_end, self._close)
+
+    def _open(self) -> None:
+        self._start_counts = [s.snd_una for s in self.senders]
+
+    def _close(self) -> None:
+        self._end_counts = [s.snd_una for s in self.senders]
+
+    def progress(self) -> List[int]:
+        """Segments each flow got acknowledged within the window."""
+        if not self._end_counts:
+            raise ConfigurationError("window has not closed yet")
+        return [end - start for start, end
+                in zip(self._start_counts, self._end_counts)]
+
+    def fairness(self) -> float:
+        """Jain's index over the windowed per-flow progress."""
+        return jain_index(self.progress())

@@ -1,0 +1,109 @@
+"""Queue-occupancy monitoring for the router buffer under study.
+
+Wraps a :class:`~repro.net.queues.Queue` with a sampling probe and
+windowed drop/arrival accounting, producing the Q(t) traces of
+Figures 2–5 and the loss-rate numbers discussed in Section 5.1.1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.net.queues import Queue
+from repro.sim.trace import Probe, TimeSeries
+
+__all__ = ["QueueMonitor"]
+
+
+class QueueMonitor:
+    """Samples queue length and accounts drops over a window.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    queue:
+        The queue to observe.
+    sample_period:
+        Sampling period for the occupancy trace (default 10 ms).
+    t_start:
+        When to begin sampling and windowed counting (default: now).
+    t_end:
+        Optional end of the accounting window.
+    """
+
+    def __init__(self, sim, queue: Queue, sample_period: float = 0.01,
+                 t_start: Optional[float] = None, t_end: Optional[float] = None):
+        self.sim = sim
+        self.queue = queue
+        self.t_start = sim.now if t_start is None else t_start
+        self.t_end = t_end
+        self.series = TimeSeries("queue-occupancy")
+        self._probe = Probe(sim, lambda: len(queue), sample_period, series=self.series)
+        self._arrivals_at_start = 0
+        self._drops_at_start = 0
+        self._arrivals_at_end: Optional[int] = None
+        self._drops_at_end: Optional[int] = None
+        sim.call_at(self.t_start, self._open)
+        if t_end is not None:
+            sim.call_at(t_end, self._close)
+
+    def _open(self) -> None:
+        self._arrivals_at_start = self.queue.arrivals
+        self._drops_at_start = self.queue.drops
+        self._probe.start()
+
+    def _close(self) -> None:
+        self._arrivals_at_end = self.queue.arrivals
+        self._drops_at_end = self.queue.drops
+        self._probe.stop()
+
+    def _ensure_closed(self) -> None:
+        if self._arrivals_at_end is None:
+            self._arrivals_at_end = self.queue.arrivals
+            self._drops_at_end = self.queue.drops
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def drops(self) -> int:
+        """Packets dropped within the window."""
+        self._ensure_closed()
+        return self._drops_at_end - self._drops_at_start
+
+    @property
+    def arrivals(self) -> int:
+        """Packets offered within the window."""
+        self._ensure_closed()
+        return self._arrivals_at_end - self._arrivals_at_start
+
+    @property
+    def loss_rate(self) -> float:
+        """Windowed drop probability (NaN with no arrivals)."""
+        self._ensure_closed()
+        return self.drops / self.arrivals if self.arrivals else math.nan
+
+    def mean_occupancy(self) -> float:
+        """Mean sampled queue length in packets."""
+        return self.series.mean()
+
+    def max_occupancy(self) -> float:
+        """Peak sampled queue length in packets."""
+        return self.series.maximum()
+
+    def min_occupancy(self) -> float:
+        """Minimum sampled queue length in packets."""
+        return self.series.minimum()
+
+    def occupancy_fraction_below(self, threshold: float) -> float:
+        """Fraction of samples with occupancy strictly below ``threshold``.
+
+        ``occupancy_fraction_below(1)`` estimates the empty-queue
+        probability — the underbuffering symptom of Figure 4.
+        """
+        if not len(self.series):
+            return math.nan
+        below = sum(1 for v in self.series.values if v < threshold)
+        return below / len(self.series)

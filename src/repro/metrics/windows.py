@@ -1,0 +1,188 @@
+"""Aggregate congestion-window tracking (Figure 6 and the
+synchronization analysis of Section 3).
+
+The theory's central random variable is the sum of all congestion
+windows, ``W = sum(W_i)``.  :class:`WindowTracker` samples every
+sender's ``cwnd`` on a fixed period and maintains:
+
+* the aggregate time series (for the Figure 6 histogram);
+* online mean/variance per flow and for the aggregate (Welford), which
+  give the **synchronization index** — for independent flows
+  ``Var(sum W_i) == sum Var(W_i)``; for perfectly in-phase flows it is
+  ``n`` times larger.  The index normalizes this ratio to [0, 1].
+
+:class:`GaussianFit` quantifies how close the aggregate-window
+distribution is to the CLT Gaussian via the Kolmogorov–Smirnov distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mathutils import normal_cdf
+from repro.sim.trace import TimeSeries
+from repro.tcp.sender import TcpSender
+
+__all__ = ["WindowTracker", "GaussianFit"]
+
+
+@dataclass
+class GaussianFit:
+    """Result of fitting a normal distribution to aggregate-window samples.
+
+    Attributes
+    ----------
+    mean, std:
+        Moments of the fitted Gaussian.
+    ks_distance:
+        Kolmogorov–Smirnov statistic between the empirical distribution
+        and the fitted Gaussian (0 = perfect fit; < ~0.05 is visually
+        indistinguishable at Figure-6 scale).
+    n_samples:
+        Number of samples used.
+    """
+
+    mean: float
+    std: float
+    ks_distance: float
+    n_samples: int
+
+    def pdf(self, x: float) -> float:
+        """Density of the fitted Gaussian at ``x``."""
+        if self.std <= 0:
+            return math.nan
+        z = (x - self.mean) / self.std
+        return math.exp(-0.5 * z * z) / (self.std * math.sqrt(2.0 * math.pi))
+
+
+class _Welford:
+    """Online mean/variance accumulator."""
+
+    __slots__ = ("count", "mean", "m2")
+
+    def __init__(self):
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        return self.m2 / self.count if self.count > 1 else 0.0
+
+
+class WindowTracker:
+    """Samples per-sender congestion windows on a fixed period.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    senders:
+        The senders whose windows are summed.  The list may be mutated
+        by the caller (e.g. flow churn); sampling reads it live and
+        skips completed senders.
+    period:
+        Sampling period in seconds (default 50 ms).
+    t_start:
+        When to begin sampling (exclude slow-start warm-up).
+    keep_per_flow:
+        Also store full per-flow series (memory: n_flows x samples);
+        required only for trajectory plots, not for the sync index.
+    """
+
+    def __init__(self, sim, senders: Sequence[TcpSender], period: float = 0.05,
+                 t_start: float = 0.0, keep_per_flow: bool = False):
+        if period <= 0:
+            raise ConfigurationError("period must be positive")
+        self.sim = sim
+        self.senders = senders
+        self.period = period
+        self.t_start = t_start
+        self.keep_per_flow = keep_per_flow
+        self.aggregate = TimeSeries("sum-cwnd")
+        self.per_flow: List[TimeSeries] = []
+        self._flow_stats: List[_Welford] = []
+        self._aggregate_stats = _Welford()
+        self._started = False
+        sim.call_at(t_start, self._begin)
+
+    def _begin(self) -> None:
+        self._started = True
+        n = len(self.senders)
+        self._flow_stats = [_Welford() for _ in range(n)]
+        if self.keep_per_flow:
+            self.per_flow = [TimeSeries(f"cwnd-{i}") for i in range(n)]
+        self._tick()
+
+    def _tick(self) -> None:
+        total = 0.0
+        now = self.sim.now
+        for i, sender in enumerate(self.senders):
+            w = 0.0 if sender.completed else sender.cc.cwnd
+            total += w
+            if i < len(self._flow_stats):
+                self._flow_stats[i].add(w)
+                if self.keep_per_flow:
+                    self.per_flow[i].append(now, w)
+        self.aggregate.append(now, total)
+        self._aggregate_stats.add(total)
+        self.sim.schedule(self.period, self._tick)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def fit_gaussian(self) -> GaussianFit:
+        """Fit N(mean, std) to the aggregate samples and compute the K-S
+        distance of the empirical distribution from that fit."""
+        values = self.aggregate.values
+        n = len(values)
+        if n < 2:
+            return GaussianFit(math.nan, math.nan, math.nan, n)
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / n
+        std = math.sqrt(var)
+        if std == 0:
+            return GaussianFit(mean, 0.0, 1.0, n)
+        ordered = sorted(values)
+        ks = 0.0
+        for i, x in enumerate(ordered):
+            cdf = normal_cdf(x, mean, std)
+            ks = max(ks, abs(cdf - (i + 1) / n), abs(cdf - i / n))
+        return GaussianFit(mean, std, ks, n)
+
+    def synchronization_index(self) -> float:
+        """Degree of in-phase window synchronization in [0, 1].
+
+        0 means the flows' windows fluctuate independently
+        (``Var(sum) == sum Var``); 1 means they march in lockstep
+        (``Var(sum) == n * sum Var``).  Requires at least two flows and
+        two samples; returns NaN otherwise.
+        """
+        n = len(self._flow_stats)
+        if n < 2 or self._aggregate_stats.count < 2:
+            return math.nan
+        independent_var = sum(stat.variance for stat in self._flow_stats)
+        if independent_var <= 0:
+            return math.nan
+        ratio = self._aggregate_stats.variance / independent_var
+        return min(max((ratio - 1.0) / (n - 1.0), 0.0), 1.0)
+
+    def peak_to_trough(self) -> float:
+        """Max minus min of the aggregate window — the quantity the buffer
+        must absorb according to Section 3's argument."""
+        if not len(self.aggregate):
+            return math.nan
+        return self.aggregate.maximum() - self.aggregate.minimum()
+
+    def histogram(self, nbins: int = 60) -> Tuple[List[float], List[int]]:
+        """Histogram of the aggregate window (Figure 6's empirical curve)."""
+        return self.aggregate.histogram(nbins)

@@ -1,0 +1,40 @@
+"""Packet-level network substrate.
+
+This subpackage provides the ns-2-equivalent data path: packets, output
+queues (drop-tail and RED), rate+delay links, hosts and routers with
+static routing, and topology builders (dumbbell, parking lot).
+
+The flow of a packet through the substrate::
+
+    agent.send(pkt) -> host.inject(pkt) -> routing -> Interface.enqueue
+        -> Queue (may drop) -> Link (serialization + propagation)
+        -> next node.receive -> ... -> destination host -> agent.deliver
+
+Utilization, queue occupancy, and drop counters are tracked where the
+physics happen (interface and queue), so measurement never perturbs the
+simulation.
+"""
+
+from repro.net.packet import Packet, PacketFlags
+from repro.net.queues import DropTailQueue, Queue, REDQueue
+from repro.net.link import Link
+from repro.net.interface import Interface
+from repro.net.node import Host, Node, Router
+from repro.net.topology import DumbbellNetwork, Network, build_dumbbell, build_parking_lot
+
+__all__ = [
+    "Packet",
+    "PacketFlags",
+    "Queue",
+    "DropTailQueue",
+    "REDQueue",
+    "Link",
+    "Interface",
+    "Node",
+    "Host",
+    "Router",
+    "Network",
+    "DumbbellNetwork",
+    "build_dumbbell",
+    "build_parking_lot",
+]

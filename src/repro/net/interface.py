@@ -1,0 +1,71 @@
+"""Output interface: the queue-plus-link pair that forms a router port.
+
+An :class:`Interface` owns exactly one :class:`~repro.net.queues.Queue`
+and one :class:`~repro.net.link.Link`.  Packets offered to the interface
+go through the queue's admission decision (this is where router buffer
+size bites); whenever the link transmitter is idle and the queue is
+non-empty, the head packet is pulled and serialized.
+
+This is the object experiments point their measurement at: the
+bottleneck interface's queue statistics and link busy time are the
+utilization/occupancy/drop data in every figure of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.queues import Queue
+
+__all__ = ["Interface"]
+
+
+class Interface:
+    """Binds a queue to a link and keeps the link fed.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    queue:
+        Admission/buffering discipline.
+    link:
+        Transmission medium toward the next node.
+    name:
+        Optional label for diagnostics.
+    """
+
+    def __init__(self, sim, queue: Queue, link: Link, name: str = ""):
+        self.sim = sim
+        self.queue = queue
+        self.link = link
+        self.name = name or link.name
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Offer a packet for output; returns False if the queue dropped it."""
+        accepted = self.queue.enqueue(packet)
+        if accepted and not self.link.busy:
+            self._pump()
+        return accepted
+
+    def _pump(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is not None:
+            self.link.transmit(packet, on_idle=self._on_link_idle)
+
+    def _on_link_idle(self) -> None:
+        if len(self.queue):
+            self._pump()
+
+    @property
+    def backlog_packets(self) -> int:
+        """Packets currently waiting (not counting the one on the wire)."""
+        return len(self.queue)
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes currently waiting (not counting the one on the wire)."""
+        return self.queue.byte_occupancy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interface({self.name!r}, backlog={len(self.queue)}pkt)"

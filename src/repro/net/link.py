@@ -1,0 +1,118 @@
+"""Point-to-point links: rate, propagation delay, and busy-time accounting.
+
+A :class:`Link` is unidirectional.  The owning
+:class:`~repro.net.interface.Interface` hands it one packet at a time;
+the link serializes it (``size * 8 / rate`` seconds), then propagates it
+(``delay`` seconds), then delivers to the far node.  The interface is
+called back at end-of-serialization so it can start the next packet —
+this models an output port exactly: at most one packet on the wire's
+transmitter at a time, back-to-back transmission when the queue is
+non-empty.
+
+Busy time is accumulated here, so link utilization is measured where it
+physically occurs rather than inferred from packet counts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.units import parse_bandwidth, parse_time, Quantity
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A unidirectional link with finite rate and fixed propagation delay.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    rate:
+        Capacity; float b/s or a string like ``"155Mbps"``.
+    delay:
+        One-way propagation delay; float seconds or a string like ``"10ms"``.
+    dst:
+        Node whose ``receive(packet)`` is invoked on delivery.
+    name:
+        Optional label used in reprs and error messages.
+    """
+
+    def __init__(self, sim, rate: Quantity, delay: Quantity, dst=None, name: str = ""):
+        self.sim = sim
+        self.rate = parse_bandwidth(rate)
+        if self.rate <= 0:
+            raise ConfigurationError("link rate must be positive")
+        self.delay = parse_time(delay)
+        self.dst = dst
+        self.name = name
+        self.busy = False
+        self.packets_delivered = 0
+        self.bytes_delivered = 0
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
+        self._on_idle: Optional[Callable[[], None]] = None
+
+    def serialization_time(self, packet: Packet) -> float:
+        """Seconds needed to clock ``packet`` onto the wire."""
+        return packet.size * 8.0 / self.rate
+
+    def transmit(self, packet: Packet, on_idle: Optional[Callable[[], None]] = None) -> None:
+        """Begin transmitting ``packet``.
+
+        ``on_idle`` is invoked when serialization finishes (the
+        transmitter is free again); delivery to ``dst`` happens one
+        propagation delay later.  Calling transmit while busy is a
+        programming error.
+        """
+        if self.busy:
+            raise ConfigurationError(f"link {self.name!r} is busy")
+        if self.dst is None:
+            raise ConfigurationError(f"link {self.name!r} has no destination node")
+        self.busy = True
+        self._busy_since = self.sim.now
+        self._on_idle = on_idle
+        tx = self.serialization_time(packet)
+        self.sim.schedule(tx, self._end_serialization, packet)
+
+    def _end_serialization(self, packet: Packet) -> None:
+        self.busy = False
+        if self._busy_since is not None:
+            self.busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+        self.sim.schedule(self.delay, self._deliver, packet)
+        on_idle = self._on_idle
+        self._on_idle = None
+        if on_idle is not None:
+            on_idle()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.packets_delivered += 1
+        self.bytes_delivered += packet.size
+        packet.hops += 1
+        self.dst.receive(packet)
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def utilization(self, t_start: float, t_end: Optional[float] = None) -> float:
+        """Fraction of ``[t_start, t_end]`` spent serializing packets.
+
+        Note: this is cumulative busy time; for windowed measurements use
+        :class:`repro.metrics.utilization.UtilizationMonitor`, which
+        snapshots counters at window edges.
+        """
+        t_end = self.sim.now if t_end is None else t_end
+        span = t_end - t_start
+        if span <= 0:
+            return float("nan")
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.sim.now - self._busy_since
+        return min(busy / span, 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name!r}, rate={self.rate:.3g}b/s, delay={self.delay:.4g}s)"

@@ -1,0 +1,157 @@
+"""Nodes: hosts (traffic endpoints) and routers (store-and-forward).
+
+Hosts own agents (TCP senders/receivers, UDP sources/sinks) demultiplexed
+by destination port.  Routers forward by destination address through a
+static routing table built by :class:`repro.net.topology.Network`.
+
+A host can be configured with a *processing-jitter* function: a small
+random delay applied to each locally-delivered packet.  The paper notes
+that "small variations in RTT or processing time are sufficient to
+prevent synchronization" — this knob is how experiments introduce (or,
+by omission, withhold) that desynchronizing noise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.net.interface import Interface
+from repro.net.packet import Packet
+
+__all__ = ["Node", "Host", "Router"]
+
+#: Loop guard: a packet traversing more links than this is a routing bug.
+MAX_HOPS = 64
+
+
+class Node:
+    """Base class: anything a link can deliver packets to.
+
+    Attributes
+    ----------
+    node_id:
+        Unique integer assigned by the :class:`~repro.net.topology.Network`.
+    name:
+        Human-readable label.
+    """
+
+    def __init__(self, sim, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.node_id: int = -1
+        self.interfaces: Dict[int, Interface] = {}  # neighbour node_id -> iface
+        self._routes: Dict[int, Interface] = {}  # dst address -> iface
+
+    def attach_interface(self, neighbour_id: int, iface: Interface) -> None:
+        """Register the output interface reaching ``neighbour_id``."""
+        self.interfaces[neighbour_id] = iface
+
+    def add_route(self, dst_address: int, iface: Interface) -> None:
+        """Install a static route: packets for ``dst_address`` leave via ``iface``."""
+        self._routes[dst_address] = iface
+
+    def route_for(self, dst_address: int) -> Interface:
+        """Look up the output interface for ``dst_address``."""
+        iface = self._routes.get(dst_address)
+        if iface is None:
+            raise RoutingError(
+                f"node {self.name!r} has no route to address {dst_address}"
+            )
+        return iface
+
+    def receive(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def forward(self, packet: Packet) -> bool:
+        """Send ``packet`` toward its destination; returns False on drop."""
+        if packet.hops > MAX_HOPS:
+            raise RoutingError(f"routing loop detected for {packet!r}")
+        return self.route_for(packet.dst).enqueue(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Router(Node):
+    """Store-and-forward router: every received packet is looked up and
+    queued on the proper output interface.  Per-port buffering lives in
+    the interfaces, so the "router buffer" of the paper is the queue on
+    this router's bottleneck-facing interface."""
+
+    def receive(self, packet: Packet) -> None:
+        self.forward(packet)
+
+
+class Host(Node):
+    """Traffic endpoint.
+
+    Agents register with :meth:`bind`; arriving packets are demultiplexed
+    by destination port.  Outbound packets go through :meth:`inject`,
+    which stamps creation time and routes them.
+
+    Parameters
+    ----------
+    proc_jitter:
+        Optional zero-argument callable returning a per-packet local
+        processing delay in seconds, applied before an arriving packet
+        reaches its agent.  ``None`` means zero delay.
+    """
+
+    def __init__(self, sim, name: str = "", proc_jitter: Optional[Callable[[], float]] = None):
+        super().__init__(sim, name)
+        self.address: int = -1
+        self.proc_jitter = proc_jitter
+        self._agents: Dict[int, "AgentLike"] = {}
+        self.packets_received = 0
+        self.packets_sent = 0
+
+    def bind(self, port: int, agent: "AgentLike") -> None:
+        """Attach ``agent`` to ``port``; arriving packets with that dport
+        are handed to ``agent.deliver``."""
+        if port in self._agents:
+            raise ConfigurationError(f"host {self.name!r}: port {port} already bound")
+        self._agents[port] = agent
+
+    def unbind(self, port: int) -> None:
+        """Detach whatever agent is bound to ``port`` (idempotent)."""
+        self._agents.pop(port, None)
+
+    def inject(self, packet: Packet) -> bool:
+        """Send a locally-generated packet into the network."""
+        packet.created_at = self.sim.now
+        self.packets_sent += 1
+        if packet.dst == self.address:
+            # Loopback: deliver without touching any link.
+            self._dispatch(packet)
+            return True
+        return self.forward(packet)
+
+    def receive(self, packet: Packet) -> None:
+        if packet.dst != self.address:
+            # Hosts do not forward; a misdelivered packet is a topology bug.
+            raise RoutingError(
+                f"host {self.name!r} (addr {self.address}) received packet "
+                f"for address {packet.dst}"
+            )
+        self.packets_received += 1
+        if self.proc_jitter is not None:
+            delay = self.proc_jitter()
+            if delay > 0:
+                self.sim.schedule(delay, self._dispatch, packet)
+                return
+        self._dispatch(packet)
+
+    def _dispatch(self, packet: Packet) -> None:
+        agent = self._agents.get(packet.dport)
+        if agent is not None:
+            agent.deliver(packet)
+        # Unbound port: silently discard, mirroring a host dropping
+        # traffic for a closed socket.
+
+
+class AgentLike:
+    """Protocol for objects bindable to a host port (documentation only)."""
+
+    def deliver(self, packet: Packet) -> None:  # pragma: no cover - interface
+        raise NotImplementedError

@@ -1,0 +1,152 @@
+"""The packet: the unit of everything that moves through the simulator.
+
+A :class:`Packet` is deliberately protocol-agnostic: TCP and UDP agents
+fill in the generic ``seq`` / ``ack`` / ``flags`` / ``port`` fields.  The
+size accounting distinguishes payload bytes from header bytes so that a
+40-byte pure ACK and a 1000-byte data segment serialize onto links with
+the correct timing — the detail the whole buffer-sizing question hinges
+on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import IntFlag
+from typing import Any, Dict, Optional
+
+__all__ = ["Packet", "PacketFlags", "TCP_HEADER_BYTES", "UDP_HEADER_BYTES"]
+
+#: Combined IP + TCP header size used for segments and pure ACKs (bytes).
+TCP_HEADER_BYTES = 40
+#: Combined IP + UDP header size (bytes).
+UDP_HEADER_BYTES = 28
+
+_packet_uid = itertools.count()
+
+
+class PacketFlags(IntFlag):
+    """TCP/IP control flags carried by a packet.
+
+    ``ECT``/``CE`` model the IP ECN field (RFC 3168): ``ECT`` marks the
+    transport as ECN-capable, ``CE`` is set by an AQM queue instead of
+    dropping.  ``ECE``/``CWR`` are the TCP echo bits: the receiver sets
+    ``ECE`` on ACKs until the sender confirms its window reduction with
+    ``CWR``.
+    """
+
+    NONE = 0
+    ACK = 1
+    SYN = 2
+    FIN = 4
+    ECT = 8
+    CE = 16
+    ECE = 32
+    CWR = 64
+
+
+class Packet:
+    """One packet in flight.
+
+    Attributes
+    ----------
+    src, dst:
+        Integer host addresses.
+    sport, dport:
+        Port numbers demultiplexing to agents on the destination host.
+    payload:
+        Application payload size in bytes (0 for pure ACKs).
+    header:
+        Header size in bytes; :attr:`size` = payload + header.
+    seq, ack:
+        Sequence/acknowledgement numbers in **segments** (the paper
+        counts windows in packets; so do we).
+    flags:
+        :class:`PacketFlags` bitmask.
+    flow_id:
+        Identifier of the owning flow (for per-flow accounting).
+    created_at:
+        Simulation time at which the source injected the packet.
+    hops:
+        Number of links traversed so far (TTL-style loop guard).
+    meta:
+        Scratch dictionary for agents (e.g. timestamp echo).
+    """
+
+    __slots__ = (
+        "uid",
+        "src",
+        "dst",
+        "sport",
+        "dport",
+        "payload",
+        "header",
+        "size",
+        "seq",
+        "ack",
+        "flags",
+        "flow_id",
+        "created_at",
+        "hops",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        payload: int = 0,
+        header: int = TCP_HEADER_BYTES,
+        seq: int = 0,
+        ack: int = 0,
+        flags: PacketFlags = PacketFlags.NONE,
+        flow_id: int = 0,
+        sport: int = 0,
+        dport: int = 0,
+        created_at: float = 0.0,
+        meta: Optional[Dict[str, Any]] = None,
+    ):
+        self.uid = next(_packet_uid)
+        self.src = src
+        self.dst = dst
+        self.sport = sport
+        self.dport = dport
+        self.payload = payload
+        self.header = header
+        # Wire size never changes after construction; precompute it
+        # (it is read several times per hop on the hot path).
+        self.size = payload + header
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.flow_id = flow_id
+        self.created_at = created_at
+        self.hops = 0
+        # Lazily-allocated scratch space: most packets never need it,
+        # and a dict per packet is measurable at simulation scale.
+        self.meta = meta
+
+    @property
+    def is_ack(self) -> bool:
+        """Whether the ACK flag is set."""
+        return bool(self.flags & PacketFlags.ACK)
+
+    @property
+    def is_data(self) -> bool:
+        """Whether the packet carries payload bytes."""
+        return self.payload > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = []
+        if self.flags & PacketFlags.SYN:
+            kind.append("SYN")
+        if self.flags & PacketFlags.ACK:
+            kind.append("ACK")
+        if self.flags & PacketFlags.FIN:
+            kind.append("FIN")
+        if self.payload:
+            kind.append(f"DATA[{self.payload}B]")
+        label = "|".join(kind) or "EMPTY"
+        return (
+            f"Packet(#{self.uid} {self.src}->{self.dst} {label} "
+            f"seq={self.seq} ack={self.ack} flow={self.flow_id})"
+        )

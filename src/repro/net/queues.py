@@ -1,0 +1,350 @@
+"""Output-queue disciplines: drop-tail FIFO and RED.
+
+The router buffer under study *is* one of these queues.  Capacity can be
+expressed in packets (the paper's unit) or bytes.  Both disciplines keep
+running counters (arrivals, drops, departures, byte totals) and a
+time-weighted occupancy average so experiments can read statistics
+without installing probes.
+
+The paper's evaluation uses a single FIFO drop-tail queue and asserts the
+results also hold under RED; :class:`REDQueue` implements the gentle RED
+variant of Floyd & Jacobson so the ablation benchmark can test that
+assertion.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.errors import ConfigurationError, QueueError
+from repro.net.packet import Packet, PacketFlags
+
+__all__ = ["Queue", "DropTailQueue", "REDQueue"]
+
+DropHook = Callable[[Packet], None]
+
+
+class Queue:
+    """Abstract FIFO queue with capacity accounting and statistics.
+
+    Subclasses implement :meth:`_admit`, deciding whether an arriving
+    packet is accepted (and possibly which packet to drop).
+
+    Parameters
+    ----------
+    sim:
+        Simulator (for timestamps on occupancy statistics).
+    capacity_packets:
+        Maximum queue length in packets, or ``None`` for no packet limit.
+    capacity_bytes:
+        Maximum queue length in bytes, or ``None`` for no byte limit.
+        At least one limit must be given unless ``unbounded=True``.
+    unbounded:
+        Explicitly allow an infinite queue (used for "infinite buffer"
+        baselines such as the AFCT reference in Figure 8).
+    """
+
+    def __init__(
+        self,
+        sim,
+        capacity_packets: Optional[int] = None,
+        capacity_bytes: Optional[int] = None,
+        unbounded: bool = False,
+    ):
+        if not unbounded and capacity_packets is None and capacity_bytes is None:
+            raise ConfigurationError(
+                "queue needs capacity_packets and/or capacity_bytes "
+                "(or unbounded=True for an explicit infinite buffer)"
+            )
+        if capacity_packets is not None and capacity_packets < 1:
+            raise ConfigurationError(f"capacity_packets must be >= 1, got {capacity_packets}")
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ConfigurationError(f"capacity_bytes must be >= 1, got {capacity_bytes}")
+        self.sim = sim
+        self.capacity_packets = capacity_packets
+        self.capacity_bytes = capacity_bytes
+        self._items: Deque[Packet] = deque()
+        self._bytes = 0
+        # Counters.
+        self.arrivals = 0
+        self.departures = 0
+        self.drops = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.bytes_dropped = 0
+        # Time-weighted occupancy accounting, inlined for speed: the
+        # occupancy between two changes is piecewise constant, so we
+        # accumulate value*dt at each change.
+        self._occ_start = sim.now
+        self._occ_time = sim.now
+        self._occ_area_pkts = 0.0
+        self._occ_area_bytes = 0.0
+        self.peak_packets = 0
+        self.peak_bytes = 0
+        self._drop_hooks: List[DropHook] = []
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def byte_occupancy(self) -> int:
+        """Bytes currently queued."""
+        return self._bytes
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the queue.
+
+        Returns ``True`` if the packet was accepted, ``False`` if dropped
+        (drop hooks fire before returning).
+        """
+        self.arrivals += 1
+        self.bytes_in += packet.size
+        if self._admit(packet):
+            self._record_occupancy()
+            self._items.append(packet)
+            self._bytes += packet.size
+            n = len(self._items)
+            if n > self.peak_packets:
+                self.peak_packets = n
+            if self._bytes > self.peak_bytes:
+                self.peak_bytes = self._bytes
+            return True
+        self._drop(packet)
+        return False
+
+    def dequeue(self) -> Optional[Packet]:
+        """Remove and return the head-of-line packet, or ``None`` if empty."""
+        if not self._items:
+            return None
+        self._record_occupancy()
+        packet = self._items.popleft()
+        self._bytes -= packet.size
+        if self._bytes < 0:
+            raise QueueError("negative byte occupancy")
+        self.departures += 1
+        self.bytes_out += packet.size
+        return packet
+
+    def peek(self) -> Optional[Packet]:
+        """Return the head-of-line packet without removing it."""
+        return self._items[0] if self._items else None
+
+    def on_drop(self, hook: DropHook) -> None:
+        """Register a callback invoked with each dropped packet."""
+        self._drop_hooks.append(hook)
+
+    @property
+    def drop_fraction(self) -> float:
+        """Drops divided by arrivals (NaN before any arrival)."""
+        return self.drops / self.arrivals if self.arrivals else math.nan
+
+    def mean_occupancy(self) -> float:
+        """Time-weighted mean queue length in packets so far."""
+        span = self.sim.now - self._occ_start
+        if span <= 0:
+            return math.nan
+        area = self._occ_area_pkts + len(self._items) * (self.sim.now - self._occ_time)
+        return area / span
+
+    def mean_occupancy_bytes(self) -> float:
+        """Time-weighted mean queue length in bytes so far."""
+        span = self.sim.now - self._occ_start
+        if span <= 0:
+            return math.nan
+        area = self._occ_area_bytes + self._bytes * (self.sim.now - self._occ_time)
+        return area / span
+
+    def reset_stats(self) -> None:
+        """Zero counters and restart occupancy averaging (post-warm-up)."""
+        self.arrivals = self.departures = self.drops = 0
+        self.bytes_in = self.bytes_out = self.bytes_dropped = 0
+        self.peak_packets = len(self._items)
+        self.peak_bytes = self._bytes
+        self._occ_start = self.sim.now
+        self._occ_time = self.sim.now
+        self._occ_area_pkts = 0.0
+        self._occ_area_bytes = 0.0
+
+    # ------------------------------------------------------------------
+    # Subclass contract & internals
+    # ------------------------------------------------------------------
+    def _admit(self, packet: Packet) -> bool:
+        raise NotImplementedError
+
+    def _fits(self, packet: Packet) -> bool:
+        """True if accepting ``packet`` keeps both capacity limits."""
+        if self.capacity_packets is not None and len(self._items) + 1 > self.capacity_packets:
+            return False
+        if self.capacity_bytes is not None and self._bytes + packet.size > self.capacity_bytes:
+            return False
+        return True
+
+    def _drop(self, packet: Packet) -> None:
+        self.drops += 1
+        self.bytes_dropped += packet.size
+        for hook in self._drop_hooks:
+            hook(packet)
+
+    def _record_occupancy(self) -> None:
+        """Accumulate occupancy*dt for the interval just ending.
+
+        Called *before* the occupancy changes, so the current length
+        is the value that held since the previous change.
+        """
+        now = self.sim.now
+        dt = now - self._occ_time
+        if dt > 0.0:
+            self._occ_area_pkts += len(self._items) * dt
+            self._occ_area_bytes += self._bytes * dt
+            self._occ_time = now
+
+
+class DropTailQueue(Queue):
+    """Plain FIFO: accept while there is room, drop the arriving packet
+    otherwise.  This is the discipline the paper's theory and evaluation
+    assume."""
+
+    def _admit(self, packet: Packet) -> bool:
+        return self._fits(packet)
+
+
+class REDQueue(Queue):
+    """Random Early Detection (gentle variant, Floyd & Jacobson 1993).
+
+    Maintains an EWMA of the queue length and drops arriving packets with
+    a probability that rises linearly from 0 at ``min_thresh`` to
+    ``max_p`` at ``max_thresh``, then (gentle mode) from ``max_p`` to 1
+    at ``2 * max_thresh``.  Above that — or when the instantaneous queue
+    is physically full — arrivals are force-dropped.
+
+    Parameters
+    ----------
+    min_thresh, max_thresh:
+        Average-queue thresholds in packets.  Defaults follow the common
+        ns-2 guidance: ``min = capacity/4``, ``max = 3*capacity/4``.
+    max_p:
+        Drop probability at ``max_thresh`` (default 0.1).
+    weight:
+        EWMA weight ``w_q`` (default 0.002).
+    rng:
+        ``random.Random`` used for drop decisions; pass a seeded stream
+        for reproducibility.
+    mean_pkt_time:
+        Estimated transmission time of one packet on the outgoing link,
+        in seconds; used to decay the average over idle periods (ns-2
+        passes the link bandwidth to RED for exactly this).  Default
+        1 ms.
+    ecn:
+        Mark ECN-capable packets (``ECT`` flag set) with ``CE`` instead
+        of early-dropping them (RFC 3168).  Forced drops — physical
+        overflow — still drop, and non-ECT packets are dropped as in
+        plain RED.
+    """
+
+    def __init__(
+        self,
+        sim,
+        capacity_packets: int,
+        min_thresh: Optional[float] = None,
+        max_thresh: Optional[float] = None,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+        rng=None,
+        gentle: bool = True,
+        mean_pkt_time: float = 1e-3,
+        ecn: bool = False,
+    ):
+        super().__init__(sim, capacity_packets=capacity_packets)
+        if rng is None:
+            raise ConfigurationError("REDQueue requires an explicit rng stream")
+        self.min_thresh = capacity_packets / 4.0 if min_thresh is None else float(min_thresh)
+        self.max_thresh = 3.0 * capacity_packets / 4.0 if max_thresh is None else float(max_thresh)
+        if not 0 < self.min_thresh < self.max_thresh:
+            raise ConfigurationError(
+                f"RED thresholds must satisfy 0 < min < max, got "
+                f"min={self.min_thresh}, max={self.max_thresh}"
+            )
+        if not 0 < max_p <= 1:
+            raise ConfigurationError(f"max_p must be in (0, 1], got {max_p}")
+        if not 0 < weight <= 1:
+            raise ConfigurationError(f"weight must be in (0, 1], got {weight}")
+        if mean_pkt_time <= 0:
+            raise ConfigurationError("mean_pkt_time must be positive")
+        self.max_p = max_p
+        self.weight = weight
+        self.gentle = gentle
+        self.rng = rng
+        self.mean_pkt_time = mean_pkt_time
+        self.ecn = ecn
+        self.ecn_marks = 0
+        self.avg = 0.0
+        self._count_since_drop = -1
+        self._idle_since: Optional[float] = sim.now
+        self.early_drops = 0
+        self.forced_drops = 0
+
+    def _admit(self, packet: Packet) -> bool:
+        self._update_average()
+        if not self._fits(packet):
+            self.forced_drops += 1
+            self._count_since_drop = 0
+            return False
+        if self._should_early_drop():
+            self._count_since_drop = 0
+            if self.ecn and packet.flags & PacketFlags.ECT:
+                # Congestion signal without loss: mark and admit.
+                packet.flags |= PacketFlags.CE
+                self.ecn_marks += 1
+                return True
+            self.early_drops += 1
+            return False
+        self._count_since_drop += 1
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        packet = super().dequeue()
+        if packet is not None and not self._items:
+            self._idle_since = self.sim.now
+        return packet
+
+    # ------------------------------------------------------------------
+    # RED internals
+    # ------------------------------------------------------------------
+    def _update_average(self) -> None:
+        q = len(self._items)
+        if q == 0 and self._idle_since is not None:
+            # Decay the average over the idle period as if the link had
+            # kept serving empty slots: (1-w)^m with m idle packet times
+            # (Floyd & Jacobson's idle-period correction).
+            idle = self.sim.now - self._idle_since
+            slots = int(idle / self.mean_pkt_time)
+            if slots > 0:
+                self.avg *= (1.0 - self.weight) ** min(slots, 100_000)
+        self._idle_since = None if q > 0 else self._idle_since
+        self.avg = (1.0 - self.weight) * self.avg + self.weight * q
+        if q > 0:
+            self._idle_since = None
+
+    def _should_early_drop(self) -> bool:
+        avg = self.avg
+        if avg < self.min_thresh:
+            return False
+        if avg < self.max_thresh:
+            frac = (avg - self.min_thresh) / (self.max_thresh - self.min_thresh)
+            p_b = self.max_p * frac
+        elif self.gentle and avg < 2.0 * self.max_thresh:
+            frac = (avg - self.max_thresh) / self.max_thresh
+            p_b = self.max_p + (1.0 - self.max_p) * frac
+        else:
+            return True
+        if p_b <= 0:
+            return False
+        # Uniformize inter-drop spacing (Floyd & Jacobson, section 7).
+        denom = 1.0 - self._count_since_drop * p_b
+        p_a = p_b / denom if denom > 0 else 1.0
+        return self.rng.random() < p_a

@@ -1,0 +1,196 @@
+"""The discrete-event scheduler.
+
+A :class:`Simulator` owns a virtual clock (float seconds) and a binary
+heap of pending :class:`Event` objects.  Components schedule callbacks
+with :meth:`Simulator.schedule` / :meth:`Simulator.call_at` and the main
+loop dispatches them in timestamp order.  Ties are broken by insertion
+order (FIFO), which keeps packet processing deterministic.
+
+Design notes
+------------
+* Cancellation is *lazy*: cancelled events stay in the heap with their
+  callback detached and are skipped on pop.  This makes TCP
+  retransmission-timer churn cheap (cancel + reschedule per ACK).
+* The loop supports three stop conditions that may be combined: an
+  explicit horizon (:meth:`run` ``until=``), event-queue exhaustion, and
+  :meth:`stop` called from inside a callback.
+* No wall-clock coupling anywhere: runs are exactly reproducible given
+  the same seeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SchedulingError, SimulationError
+
+__all__ = ["Event", "Simulator"]
+
+
+class Event:
+    """A handle to a scheduled callback.
+
+    Instances are created by :meth:`Simulator.schedule`; user code only
+    holds them to :meth:`cancel` pending work (e.g. TCP retransmission
+    timers).  Internally the heap stores ``(time, seq, event)`` tuples
+    so ordering is decided by fast C-level tuple comparison rather than
+    a Python ``__lt__``.
+    """
+
+    __slots__ = ("time", "callback", "args")
+
+    def __init__(self, time: float, callback: Optional[Callable], args: Tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+
+    def cancel(self) -> None:
+        """Detach the callback; the event becomes a no-op when popped."""
+        self.callback = None
+        self.args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called (or the event already ran)."""
+        return self.callback is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else getattr(self.callback, "__name__", "?")
+        return f"Event(t={self.time:.6f}, {state})"
+
+
+class Simulator:
+    """Discrete-event simulator: virtual clock plus event heap.
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value in seconds (default 0.0).
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "hello")
+    >>> sim.run()
+    >>> (sim.now, fired)
+    (1.5, ['hello'])
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event` handle.  ``delay`` must be
+        non-negative; zero-delay events run after all events already
+        scheduled for the current instant (FIFO tie-break).
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r}")
+        time = self._now + delay
+        event = Event(time, callback, args)
+        heapq.heappush(self._heap, (time, next(self._seq), event))
+        return event
+
+    def call_at(self, time: float, callback: Callable, *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time:.9f}, clock already at t={self._now:.9f}"
+            )
+        event = Event(time, callback, args)
+        heapq.heappush(self._heap, (time, next(self._seq), event))
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Dispatch events in order until exhaustion, ``until``, or :meth:`stop`.
+
+        Parameters
+        ----------
+        until:
+            Optional horizon (absolute virtual time).  Events at exactly
+            ``until`` are executed; later events remain queued and the
+            clock is advanced to ``until``.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            heap = self._heap
+            pop = heapq.heappop
+            while heap and not self._stopped:
+                time = heap[0][0]
+                if until is not None and time > until:
+                    break
+                event = pop(heap)[2]
+                callback = event.callback
+                if callback is None:
+                    continue
+                self._now = time
+                event.callback = None  # mark as consumed
+                args = event.args
+                event.args = ()
+                self.events_processed += 1
+                callback(*args)
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute the single next non-cancelled event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue is empty.
+        Useful for unit tests and debugging.
+        """
+        heap = self._heap
+        while heap:
+            time, _seq, event = heapq.heappop(heap)
+            if event.callback is None:
+                continue
+            self._now = time
+            callback = event.callback
+            event.callback = None
+            args = event.args
+            event.args = ()
+            self.events_processed += 1
+            callback(*args)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request the run loop to exit after the current callback."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of queued, non-cancelled events (O(n); diagnostics only)."""
+        return sum(1 for _, _, event in self._heap if not event.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if the queue is empty."""
+        live = [time for time, _, event in self._heap if not event.cancelled]
+        return min(live) if live else None

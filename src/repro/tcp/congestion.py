@@ -1,0 +1,168 @@
+"""AIMD congestion-control algorithms: Tahoe, Reno, NewReno.
+
+The congestion window ``cwnd`` is a float counted in packets.  The
+classical dynamics the paper's theory relies on:
+
+* **slow start** — ``cwnd += 1`` per newly-acknowledged packet while
+  ``cwnd < ssthresh`` (exponential growth per RTT);
+* **congestion avoidance** — ``cwnd += 1/cwnd`` per newly-acknowledged
+  packet (one packet per RTT: the additive-increase ramp of the
+  sawtooth);
+* **multiplicative decrease** — on loss detection, ``ssthresh =
+  max(flight/2, 2)`` and the window halves (fast recovery) or collapses
+  to 1 (timeout, or any loss under Tahoe).
+
+The variants differ only in loss recovery:
+
+=========  ==========================  ==================================
+algorithm  3 duplicate ACKs            during recovery
+=========  ==========================  ==================================
+Tahoe      retransmit, cwnd = 1        (no fast recovery)
+Reno       fast retransmit + recovery  exit on first new ACK
+NewReno    fast retransmit + recovery  stay until `recover` is acked;
+                                       retransmit on each partial ACK
+=========  ==========================  ==================================
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CongestionControl", "TahoeCC", "RenoCC", "NewRenoCC", "make_cc"]
+
+#: Lower bound on ssthresh after a loss event, in packets (RFC 5681).
+MIN_SSTHRESH = 2.0
+
+
+class CongestionControl:
+    """Shared slow-start / congestion-avoidance machinery.
+
+    Subclasses set :attr:`has_fast_recovery` and
+    :attr:`recovery_until_recover` and may refine the hook methods.
+
+    Parameters
+    ----------
+    initial_cwnd:
+        Initial window in packets.  The paper's slow-start description
+        ("each flow first sends out two packets, then four ...") uses 2.
+    initial_ssthresh:
+        Initial slow-start threshold in packets (effectively infinite by
+        default, so a fresh flow slow-starts until its first loss).
+    """
+
+    #: Whether three duplicate ACKs trigger fast recovery (vs Tahoe collapse).
+    has_fast_recovery = True
+    #: Whether recovery persists until the pre-loss highest seq is acked.
+    recovery_until_recover = False
+
+    def __init__(self, initial_cwnd: float = 2.0, initial_ssthresh: float = 1e9):
+        if initial_cwnd < 1:
+            raise ConfigurationError("initial_cwnd must be >= 1 packet")
+        self.cwnd = float(initial_cwnd)
+        self.ssthresh = float(initial_ssthresh)
+        self.initial_cwnd = float(initial_cwnd)
+        # Event counters for diagnostics / tests.
+        self.fast_recoveries = 0
+        self.timeouts = 0
+
+    # ------------------------------------------------------------------
+    # Hooks called by the sender
+    # ------------------------------------------------------------------
+    def on_ack(self, newly_acked: int) -> None:
+        """Window growth for ``newly_acked`` packets cumulatively ACKed
+        (called outside recovery)."""
+        for _ in range(newly_acked):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0  # slow start
+            else:
+                self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+
+    def enter_recovery(self, flight_size: float) -> None:
+        """Three duplicate ACKs: halve, inflate by the three dup ACKs."""
+        self.ssthresh = max(flight_size / 2.0, MIN_SSTHRESH)
+        self.cwnd = self.ssthresh + 3.0
+        self.fast_recoveries += 1
+
+    def on_dup_ack_in_recovery(self) -> None:
+        """Window inflation: each further dup ACK signals a departure."""
+        self.cwnd += 1.0
+
+    def on_partial_ack(self, newly_acked: int) -> None:
+        """NewReno partial ACK: deflate by the amount acked, re-inflate by
+        one for the retransmission that is about to go out."""
+        self.cwnd = max(self.cwnd - newly_acked + 1.0, 1.0)
+
+    def exit_recovery(self) -> None:
+        """Recovery complete: deflate the window back to ssthresh."""
+        self.cwnd = self.ssthresh
+
+    def on_timeout(self, flight_size: float) -> None:
+        """Retransmission timeout: multiplicative decrease and restart
+        from slow start."""
+        self.ssthresh = max(flight_size / 2.0, MIN_SSTHRESH)
+        self.cwnd = 1.0
+        self.timeouts += 1
+
+    def on_tahoe_loss(self, flight_size: float) -> None:
+        """Tahoe's reaction to three duplicate ACKs (no fast recovery)."""
+        self.ssthresh = max(flight_size / 2.0, MIN_SSTHRESH)
+        self.cwnd = 1.0
+
+    @property
+    def in_slow_start(self) -> bool:
+        """True while the window grows exponentially.
+
+        The paper's short/long flow taxonomy is exactly this predicate:
+        a "short" flow is one that never leaves slow start.
+        """
+        return self.cwnd < self.ssthresh
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{type(self).__name__}(cwnd={self.cwnd:.2f}, "
+                f"ssthresh={self.ssthresh:.2f})")
+
+
+class TahoeCC(CongestionControl):
+    """TCP Tahoe: any loss collapses the window to one packet."""
+
+    has_fast_recovery = False
+    recovery_until_recover = False
+
+
+class RenoCC(CongestionControl):
+    """TCP Reno: fast recovery, exited by the first new ACK."""
+
+    has_fast_recovery = True
+    recovery_until_recover = False
+
+
+class NewRenoCC(CongestionControl):
+    """TCP NewReno (RFC 6582): fast recovery persists across partial ACKs
+    until the entire pre-loss window is acknowledged."""
+
+    has_fast_recovery = True
+    recovery_until_recover = True
+
+
+_CC_BY_NAME = {
+    "tahoe": TahoeCC,
+    "reno": RenoCC,
+    "newreno": NewRenoCC,
+}
+
+
+def make_cc(name: str, initial_cwnd: float = 2.0,
+            initial_ssthresh: float = 1e9) -> CongestionControl:
+    """Construct a congestion-control instance by name.
+
+    ``name`` is case-insensitive: ``"tahoe"``, ``"reno"``, or
+    ``"newreno"``.
+    """
+    try:
+        cls = _CC_BY_NAME[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown congestion control {name!r}; "
+            f"choose from {sorted(_CC_BY_NAME)}"
+        ) from None
+    return cls(initial_cwnd=initial_cwnd, initial_ssthresh=initial_ssthresh)

@@ -1,0 +1,223 @@
+"""The TCP receiver (sink) agent.
+
+Generates cumulative ACKs, buffers out-of-order segments, and — when
+out-of-order data arrives — emits immediate duplicate ACKs so the sender
+can fast-retransmit.  Delayed ACKs (one ACK per two in-order segments,
+with a flush timer) are supported as an option; the paper's simulations
+follow the ns-2 default of ACKing every segment, which is also the
+default here.
+
+The receiver records the arrival time of the last byte, which is the
+endpoint of the paper's flow-completion-time metric ("the time from when
+the first packet is sent until the last packet reaches the
+destination").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Set
+
+from repro.errors import ConfigurationError
+from repro.net.node import Host
+from repro.net.packet import Packet, PacketFlags, TCP_HEADER_BYTES
+
+__all__ = ["TcpReceiver"]
+
+
+class TcpReceiver:
+    """Receiver half of a TCP connection.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    host:
+        Local host; the receiver binds to ``port`` on it.
+    port:
+        Local port data segments arrive on.
+    expected_packets:
+        Total segments the flow will carry (``None`` if unknown/infinite);
+        used only to timestamp completion for FCT measurement.
+    delayed_ack:
+        Enable RFC 1122 delayed ACKs (ACK every second in-order segment
+        or after ``delack_timeout``).
+    delack_timeout:
+        Flush timer for a pending delayed ACK (default 100 ms).
+    on_complete:
+        Callback ``fn(receiver)`` when segment ``expected_packets - 1``
+        has been received in order.
+    sack:
+        Attach selective-acknowledgement blocks (up to 3 ranges of
+        buffered out-of-order data, most recent first) to every ACK via
+        ``packet.meta["sack"]``; consumed by
+        :class:`repro.tcp.sack.TcpSackSender`.
+    """
+
+    def __init__(
+        self,
+        sim,
+        host: Host,
+        port: int,
+        expected_packets: Optional[int] = None,
+        delayed_ack: bool = False,
+        delack_timeout: float = 0.1,
+        on_complete: Optional[Callable[["TcpReceiver"], None]] = None,
+        sack: bool = False,
+    ):
+        if delack_timeout <= 0:
+            raise ConfigurationError("delack_timeout must be positive")
+        self.sim = sim
+        self.host = host
+        self.port = port
+        self.expected_packets = expected_packets
+        self.delayed_ack = delayed_ack
+        self.delack_timeout = delack_timeout
+        self.on_complete = on_complete
+
+        self.sack = sack
+        self.rcv_nxt = 0  # next expected in-order segment
+        self._last_arrival_seq = -1
+        self._out_of_order: Set[int] = set()
+        # RFC 3168 echo state: set by a CE-marked data packet, cleared
+        # when the sender confirms its reduction with CWR.
+        self._ece_pending = False
+        self.ce_marks_seen = 0
+        self._unacked_segments = 0  # in-order segments since last ACK
+        self._delack_event = None
+
+        self.segments_received = 0
+        self.duplicate_segments = 0
+        self.acks_sent = 0
+        self.completed = False
+        self.complete_time: float = math.nan
+        self.first_arrival: float = math.nan
+
+        host.bind(port, self)
+
+    def close(self) -> None:
+        """Tear down: cancel the delayed-ACK timer and release the port."""
+        if self._delack_event is not None:
+            self._delack_event.cancel()
+            self._delack_event = None
+        self.host.unbind(self.port)
+
+    # ------------------------------------------------------------------
+    # Segment processing
+    # ------------------------------------------------------------------
+    def deliver(self, packet: Packet) -> None:
+        """Entry point for arriving data segments."""
+        if packet.is_ack or not packet.is_data:
+            return
+        self.segments_received += 1
+        if math.isnan(self.first_arrival):
+            self.first_arrival = self.sim.now
+        seq = packet.seq
+        self._last_arrival_seq = seq
+        if packet.flags & PacketFlags.CE:
+            self._ece_pending = True
+            self.ce_marks_seen += 1
+        if packet.flags & PacketFlags.CWR:
+            self._ece_pending = False
+        if seq < self.rcv_nxt or seq in self._out_of_order:
+            # Duplicate (spurious retransmission): re-ACK immediately so
+            # the sender's state converges.
+            self.duplicate_segments += 1
+            self._send_ack(packet)
+            return
+        if seq == self.rcv_nxt:
+            self.rcv_nxt += 1
+            # Drain any contiguous buffered segments.
+            while self.rcv_nxt in self._out_of_order:
+                self._out_of_order.discard(self.rcv_nxt)
+                self.rcv_nxt += 1
+            self._maybe_complete()
+            self._ack_in_order(packet)
+        else:
+            # Out of order: buffer and duplicate-ACK immediately.
+            self._out_of_order.add(seq)
+            self._send_ack(packet)
+
+    def _ack_in_order(self, packet: Packet) -> None:
+        if not self.delayed_ack:
+            self._send_ack(packet)
+            return
+        self._unacked_segments += 1
+        if self._unacked_segments >= 2:
+            self._flush_ack(packet)
+        elif self._delack_event is None:
+            self._delack_event = self.sim.schedule(
+                self.delack_timeout, self._flush_ack, packet
+            )
+
+    def _flush_ack(self, packet: Packet) -> None:
+        if self._delack_event is not None:
+            self._delack_event.cancel()
+            self._delack_event = None
+        self._unacked_segments = 0
+        self._send_ack(packet)
+
+    def _send_ack(self, data_packet: Packet) -> None:
+        meta = None
+        if self.sack:
+            blocks = self._sack_blocks()
+            if blocks:
+                meta = {"sack": blocks}
+        flags = PacketFlags.ACK
+        if self._ece_pending:
+            flags |= PacketFlags.ECE
+        ack = Packet(
+            src=self.host.address,
+            dst=data_packet.src,
+            payload=0,
+            header=TCP_HEADER_BYTES,
+            ack=self.rcv_nxt,
+            flags=flags,
+            flow_id=data_packet.flow_id,
+            sport=self.port,
+            dport=data_packet.sport,
+            meta=meta,
+        )
+        self.acks_sent += 1
+        self.host.inject(ack)
+
+    def _sack_blocks(self, max_blocks: int = 3):
+        """Contiguous ranges of buffered out-of-order data.
+
+        Returned as ``[(start, end_exclusive), ...]`` with the block
+        containing the most recent arrival first (RFC 2018's ordering),
+        capped at ``max_blocks``.
+        """
+        if not self._out_of_order:
+            return []
+        ordered = sorted(self._out_of_order)
+        blocks = []
+        start = prev = ordered[0]
+        for seq in ordered[1:]:
+            if seq == prev + 1:
+                prev = seq
+                continue
+            blocks.append((start, prev + 1))
+            start = prev = seq
+        blocks.append((start, prev + 1))
+        # Most-recent-first ordering.
+        recent = self._last_arrival_seq
+        blocks.sort(key=lambda blk: 0 if blk[0] <= recent < blk[1] else 1)
+        return blocks[:max_blocks]
+
+    def _maybe_complete(self) -> None:
+        if (
+            not self.completed
+            and self.expected_packets is not None
+            and self.rcv_nxt >= self.expected_packets
+        ):
+            self.completed = True
+            self.complete_time = self.sim.now
+            if self.on_complete is not None:
+                self.on_complete(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TcpReceiver(port={self.port}, rcv_nxt={self.rcv_nxt}, "
+            f"ooo={len(self._out_of_order)})"
+        )

@@ -1,0 +1,423 @@
+"""The TCP sender agent.
+
+Implements the sender side of a packet-counted TCP connection: window
+-limited transmission, cumulative-ACK processing, duplicate-ACK fast
+retransmit, fast recovery (delegated to the pluggable congestion-control
+object), retransmission timeouts with Karn-safe RTT sampling, and flow
+-completion bookkeeping.
+
+This is the ns-2 ``Agent/TCP`` equivalent.  One instance = one direction
+of one connection; the receiving side is
+:class:`repro.tcp.receiver.TcpReceiver`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Set
+
+from repro.errors import ConfigurationError
+from repro.net.node import Host
+from repro.net.packet import Packet, PacketFlags, TCP_HEADER_BYTES
+from repro.tcp.congestion import CongestionControl, RenoCC
+from repro.tcp.rto import RtoEstimator
+
+__all__ = ["TcpSender"]
+
+#: Duplicate-ACK threshold for fast retransmit (RFC 5681).
+DUPACK_THRESHOLD = 3
+
+
+class TcpSender:
+    """Sender half of a TCP connection.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    host:
+        Local :class:`~repro.net.node.Host`; the sender binds to
+        ``sport`` on it to receive ACKs.
+    dst_address, dport:
+        Remote address and port of the matching receiver.
+    sport:
+        Local port.
+    flow_id:
+        Identifier stamped on every packet (per-flow accounting).
+    cc:
+        A :class:`~repro.tcp.congestion.CongestionControl` instance;
+        defaults to a fresh Reno with initial window 2.
+    mss:
+        Payload bytes per segment (default 960, giving 1000-byte packets
+        with the 40-byte header — the paper's round number).
+    max_window:
+        Receiver/advertised window in packets; caps the effective window.
+        The short-flow analysis (Section 4) keys on this being 12–43 for
+        contemporary stacks.
+    total_packets:
+        Number of segments to transfer, or ``None`` for an unbounded
+        (long-lived) flow.
+    on_complete:
+        Callback ``fn(sender)`` invoked once when the last segment is
+        cumulatively acknowledged.
+    rto:
+        Optional pre-configured :class:`~repro.tcp.rto.RtoEstimator`.
+    """
+
+    def __init__(
+        self,
+        sim,
+        host: Host,
+        dst_address: int,
+        dport: int,
+        sport: int,
+        flow_id: int = 0,
+        cc: Optional[CongestionControl] = None,
+        mss: int = 960,
+        max_window: int = 10_000,
+        total_packets: Optional[int] = None,
+        on_complete: Optional[Callable[["TcpSender"], None]] = None,
+        rto: Optional[RtoEstimator] = None,
+        pacing: bool = False,
+        ecn: bool = False,
+    ):
+        if mss <= 0:
+            raise ConfigurationError("mss must be positive")
+        if max_window < 1:
+            raise ConfigurationError("max_window must be >= 1")
+        if total_packets is not None and total_packets < 1:
+            raise ConfigurationError("total_packets must be >= 1 (or None)")
+        self.sim = sim
+        self.host = host
+        self.dst_address = dst_address
+        self.dport = dport
+        self.sport = sport
+        self.flow_id = flow_id
+        self.cc = cc if cc is not None else RenoCC()
+        self.mss = mss
+        self.max_window = max_window
+        self.total_packets = total_packets
+        self.on_complete = on_complete
+        self.rto = rto if rto is not None else RtoEstimator()
+        self.pacing = pacing
+        self._pace_event = None
+        # RFC 3168 sender state: ECT is stamped on data when enabled;
+        # one window reduction per RTT of ECE feedback, confirmed to the
+        # receiver via CWR on the next new segment.
+        self.ecn = ecn
+        self._ecn_recover = 0  # reductions quiesce until this seq is acked
+        self._cwr_pending = False
+        self.ecn_reductions = 0
+
+        # Sequence state (in segments).
+        self.snd_una = 0  # oldest unacknowledged
+        self.snd_nxt = 0  # next segment to send
+        self.high_water = 0  # one past the highest segment ever sent
+        self.dup_acks = 0
+        self.in_recovery = False
+        self.recover = 0  # highest seq outstanding when recovery began
+
+        # Timing state.
+        self._send_times: Dict[int, float] = {}
+        self._retx_seqs: Set[int] = set()
+        self._rto_event = None
+        self.started = False
+        self.completed = False
+        self.start_time: float = math.nan
+        self.complete_time: float = math.nan
+
+        # Statistics.
+        self.segments_sent = 0
+        self.retransmits = 0
+        self.fast_retransmits = 0
+
+        host.bind(sport, self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin transmitting (sends the initial window immediately)."""
+        if self.started:
+            raise ConfigurationError("sender already started")
+        self.started = True
+        self.start_time = self.sim.now
+        self._try_send()
+
+    def close(self) -> None:
+        """Tear the agent down: cancel timers and release the port."""
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+        if self._pace_event is not None:
+            self._pace_event.cancel()
+            self._pace_event = None
+        self.host.unbind(self.sport)
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+    @property
+    def flight_size(self) -> int:
+        """Packets sent but not yet cumulatively acknowledged."""
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def effective_window(self) -> int:
+        """min(cwnd, advertised window), floored to whole packets."""
+        return min(int(self.cc.cwnd), self.max_window)
+
+    @property
+    def done_sending(self) -> bool:
+        """All application data has been handed to the network at least once."""
+        return self.total_packets is not None and self.snd_nxt >= self.total_packets
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def _try_send(self) -> None:
+        """Send as many new segments as the window (and pacing) permit."""
+        if self.completed:
+            return
+        if self.pacing and self._pacing_interval() > 0.0:
+            self._pace_pump()
+        else:
+            limit = self.total_packets
+            window = self.effective_window
+            while self.flight_size < window:
+                if limit is not None and self.snd_nxt >= limit:
+                    break
+                # After a timeout, snd_nxt is rolled back (go-back-N), so
+                # segments below high_water are retransmissions.
+                self._emit(self.snd_nxt, retransmission=self.snd_nxt < self.high_water)
+                self.snd_nxt += 1
+        if self.flight_size > 0 and self._rto_event is None:
+            self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # Pacing
+    # ------------------------------------------------------------------
+    def _pacing_interval(self) -> float:
+        """Seconds between paced transmissions: ``srtt / cwnd``.
+
+        Zero before the first RTT sample, which makes the first window
+        go out back-to-back (no estimate to pace against — the same
+        bootstrapping behaviour real paced stacks exhibit).
+        """
+        if self.rto.samples == 0:
+            return 0.0
+        return self.rto.srtt / max(self.cc.cwnd, 1.0)
+
+    def _window_allows_send(self) -> bool:
+        if self.flight_size >= self.effective_window:
+            return False
+        if self.total_packets is not None and self.snd_nxt >= self.total_packets:
+            return False
+        return True
+
+    def _pace_pump(self) -> None:
+        """Send at most one segment now; schedule the next by the pace."""
+        if self._pace_event is not None:
+            return  # the running pace timer owns transmission
+        if not self._window_allows_send():
+            return
+        self._emit(self.snd_nxt, retransmission=self.snd_nxt < self.high_water)
+        self.snd_nxt += 1
+        self._pace_event = self.sim.schedule(self._pacing_interval(), self._pace_fire)
+
+    def _pace_fire(self) -> None:
+        self._pace_event = None
+        if self.completed:
+            return
+        if self._window_allows_send():
+            self._pace_pump()
+
+    def _emit(self, seq: int, retransmission: bool) -> None:
+        flags = PacketFlags.NONE
+        if self.ecn:
+            flags |= PacketFlags.ECT
+            if self._cwr_pending:
+                flags |= PacketFlags.CWR
+                self._cwr_pending = False
+        packet = Packet(
+            src=self.host.address,
+            dst=self.dst_address,
+            payload=self.mss,
+            header=TCP_HEADER_BYTES,
+            seq=seq,
+            flags=flags,
+            flow_id=self.flow_id,
+            sport=self.sport,
+            dport=self.dport,
+        )
+        self.segments_sent += 1
+        if retransmission:
+            self.retransmits += 1
+            self._retx_seqs.add(seq)
+            self._send_times.pop(seq, None)  # Karn: never time a retransmit
+        else:
+            self._send_times[seq] = self.sim.now
+        if seq + 1 > self.high_water:
+            self.high_water = seq + 1
+        self.host.inject(packet)
+
+    def _retransmit_head(self) -> None:
+        """Retransmit the oldest unacknowledged segment."""
+        self._emit(self.snd_una, retransmission=True)
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+    def deliver(self, packet: Packet) -> None:
+        """Entry point for packets arriving on the bound port (ACKs)."""
+        if not packet.is_ack or self.completed:
+            return
+        if self.ecn and packet.flags & PacketFlags.ECE:
+            self._on_ecn_echo()
+        ackno = packet.ack
+        if ackno > self.snd_una:
+            self._handle_new_ack(ackno)
+        elif ackno == self.snd_una and self.flight_size > 0:
+            self._handle_dup_ack()
+
+    def _on_ecn_echo(self) -> None:
+        """ECE on an ACK: multiplicative decrease without a loss.
+
+        At most one reduction per window of data (RFC 3168 section
+        6.1.2): further ECEs are ignored until everything outstanding at
+        reduction time has been acknowledged.
+        """
+        if self.snd_una < self._ecn_recover or self.in_recovery:
+            return
+        self.cc.ssthresh = max(self.flight_size / 2.0, 2.0)
+        self.cc.cwnd = self.cc.ssthresh
+        self._ecn_recover = self.snd_nxt
+        self._cwr_pending = True
+        self.ecn_reductions += 1
+
+    def _handle_new_ack(self, ackno: int) -> None:
+        newly_acked = ackno - self.snd_una
+        self._sample_rtt(ackno)
+        self._forget_acked(ackno)
+        self.snd_una = ackno
+        if self.snd_nxt < self.snd_una:
+            # A cumulative ACK jumped past the go-back-N resend point
+            # (the receiver had those segments buffered all along).
+            self.snd_nxt = self.snd_una
+
+        if self.in_recovery:
+            if self.cc.recovery_until_recover and ackno < self.recover:
+                # NewReno partial ACK: the next hole is lost too.
+                self.cc.on_partial_ack(newly_acked)
+                self._retransmit_head()
+                self.dup_acks = 0
+                self._arm_rto()
+            else:
+                self.in_recovery = False
+                self.dup_acks = 0
+                self.cc.exit_recovery()
+        else:
+            self.dup_acks = 0
+            self.cc.on_ack(newly_acked)
+
+        if self.flight_size == 0:
+            self._cancel_rto()
+        else:
+            self._arm_rto()
+
+        if self.total_packets is not None and self.snd_una >= self.total_packets:
+            self._complete()
+            return
+        self._try_send()
+
+    def _handle_dup_ack(self) -> None:
+        if self.in_recovery:
+            self.cc.on_dup_ack_in_recovery()
+            self._try_send()
+            return
+        self.dup_acks += 1
+        if self.dup_acks < DUPACK_THRESHOLD:
+            return
+        # Third duplicate ACK: loss detected.
+        self.fast_retransmits += 1
+        if self.cc.has_fast_recovery:
+            self.in_recovery = True
+            self.recover = self.snd_nxt
+            self.cc.enter_recovery(self.flight_size)
+            self._retransmit_head()
+            self._arm_rto()
+            self._try_send()
+        else:
+            # Tahoe: collapse to slow start and go back to the hole.
+            self.cc.on_tahoe_loss(self.flight_size)
+            self.dup_acks = 0
+            self.snd_nxt = self.snd_una
+            self._try_send()
+            self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # RTT sampling (Karn's algorithm)
+    # ------------------------------------------------------------------
+    def _sample_rtt(self, ackno: int) -> None:
+        """Sample RTT from the newest acked, never-retransmitted segment."""
+        for seq in range(ackno - 1, self.snd_una - 1, -1):
+            sent_at = self._send_times.get(seq)
+            if sent_at is not None and seq not in self._retx_seqs:
+                rtt = self.sim.now - sent_at
+                if rtt > 0:
+                    self.rto.sample(rtt)
+                return
+
+    def _forget_acked(self, ackno: int) -> None:
+        for seq in range(self.snd_una, ackno):
+            self._send_times.pop(seq, None)
+            self._retx_seqs.discard(seq)
+
+    # ------------------------------------------------------------------
+    # Retransmission timer
+    # ------------------------------------------------------------------
+    def _arm_rto(self) -> None:
+        self._cancel_rto()
+        self._rto_event = self.sim.schedule(self.rto.rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.completed or self.flight_size == 0:
+            return
+        self.in_recovery = False
+        self.dup_acks = 0
+        self.cc.on_timeout(self.flight_size)
+        self.rto.on_timeout()
+        # Go-back-N: treat everything outstanding as lost and resume from
+        # the hole.  Cumulative ACKs jump over segments the receiver
+        # already buffered, so little is actually resent twice.
+        self.snd_nxt = self.snd_una
+        self._try_send()
+        self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _complete(self) -> None:
+        self.completed = True
+        self.complete_time = self.sim.now
+        self._cancel_rto()
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    @property
+    def duration(self) -> float:
+        """Sender-side flow duration (NaN until complete)."""
+        return self.complete_time - self.start_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TcpSender(flow={self.flow_id}, una={self.snd_una}, "
+            f"nxt={self.snd_nxt}, cwnd={self.cc.cwnd:.2f}, "
+            f"{'rec' if self.in_recovery else 'open'})"
+        )

@@ -1,0 +1,172 @@
+"""A Harpoon-like session-based traffic generator.
+
+The paper's physical-router experiments (Table 10) used Harpoon
+(Sommers & Barford, the paper's [17]), which emulates user sessions:
+sessions arrive over time, each performing a train of file transfers
+separated by think times, with file sizes drawn from a heavy-tailed
+distribution.  This module reproduces that structure on top of
+:class:`~repro.tcp.flow.TcpFlow`, giving the simulator the same
+"self-configuring" workload shape the testbed saw: flow arrivals that
+are bursty within sessions but Poisson across sessions, and a packet
+population dominated by the tail of the size distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.topology import DumbbellNetwork
+from repro.tcp.flow import FlowRecord, TcpFlow
+from repro.traffic.sizes import BoundedPareto, FlowSizeDistribution
+
+__all__ = ["SessionConfig", "HarpoonGenerator"]
+
+
+@dataclass
+class SessionConfig:
+    """Shape of one emulated user session.
+
+    Attributes
+    ----------
+    files_mean:
+        Mean number of transfers per session (geometric distribution).
+    think_mean:
+        Mean think time between transfers within a session, seconds
+        (exponential).
+    sizes:
+        File-size distribution in packets (default: bounded Pareto,
+        shape 1.2 — the heavy tail measurement studies report).
+    max_window:
+        Advertised-window cap for the transfers.
+    """
+
+    files_mean: float = 5.0
+    think_mean: float = 1.0
+    sizes: Optional[FlowSizeDistribution] = None
+    max_window: int = 43
+
+    def __post_init__(self):
+        if self.files_mean < 1:
+            raise ConfigurationError("files_mean must be >= 1")
+        if self.think_mean < 0:
+            raise ConfigurationError("think_mean must be >= 0")
+        if self.sizes is None:
+            self.sizes = BoundedPareto(shape=1.2, minimum=2, maximum=5_000)
+
+
+class HarpoonGenerator:
+    """Session-based TCP workload over a dumbbell.
+
+    Parameters
+    ----------
+    dumbbell:
+        Topology; sessions cycle over host pairs.
+    session_rate:
+        Session arrivals per second (Poisson).
+    config:
+        Per-session shape.
+    rng:
+        Seeded stream driving every random choice.
+    t_stop:
+        Stop creating sessions (in-flight sessions drain naturally).
+    on_complete:
+        Optional :class:`~repro.tcp.flow.FlowRecord` sink.
+    cc, mss:
+        Forwarded to flows.
+    """
+
+    def __init__(
+        self,
+        dumbbell: DumbbellNetwork,
+        session_rate: float,
+        config: SessionConfig,
+        rng: random.Random,
+        t_stop: Optional[float] = None,
+        on_complete: Optional[Callable[[FlowRecord], None]] = None,
+        cc: str = "reno",
+        mss: int = 960,
+    ):
+        if session_rate <= 0:
+            raise ConfigurationError("session_rate must be positive")
+        self.dumbbell = dumbbell
+        self.session_rate = session_rate
+        self.config = config
+        self.rng = rng
+        self.t_stop = t_stop
+        self.on_complete = on_complete
+        self.cc = cc
+        self.mss = mss
+
+        self.sessions_started = 0
+        self.transfers_started = 0
+        self.transfers_completed = 0
+        self._active_flows: set = set()
+        self._pairs = dumbbell.flow_pairs()
+        self._pair_cursor = 0
+        self._started = False
+
+    def start(self, delay: float = 0.0) -> None:
+        """Begin the session arrival process."""
+        if self._started:
+            raise ConfigurationError("generator already started")
+        self._started = True
+        gap = self.rng.expovariate(self.session_rate)
+        self.dumbbell.sim.schedule(delay + gap, self._session_arrival)
+
+    @property
+    def active_transfers(self) -> int:
+        return len(self._active_flows)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _session_arrival(self) -> None:
+        sim = self.dumbbell.sim
+        if self.t_stop is not None and sim.now > self.t_stop:
+            return
+        self.sessions_started += 1
+        src, dst = self._pairs[self._pair_cursor]
+        self._pair_cursor = (self._pair_cursor + 1) % len(self._pairs)
+        # Geometric number of files with the configured mean (>= 1).
+        p = 1.0 / self.config.files_mean
+        files = 1
+        while self.rng.random() > p:
+            files += 1
+        self._start_transfer(src, dst, remaining=files)
+        gap = self.rng.expovariate(self.session_rate)
+        sim.schedule(gap, self._session_arrival)
+
+    def _start_transfer(self, src, dst, remaining: int) -> None:
+        sim = self.dumbbell.sim
+        size = self.config.sizes.sample(self.rng)
+        self.transfers_started += 1
+        holder = {}
+
+        def finished(record: FlowRecord) -> None:
+            self.transfers_completed += 1
+            flow = holder["flow"]
+            self._active_flows.discard(flow)
+            flow.teardown()
+            if self.on_complete is not None:
+                self.on_complete(record)
+            if remaining > 1 and (self.t_stop is None or sim.now <= self.t_stop):
+                think = (self.rng.expovariate(1.0 / self.config.think_mean)
+                         if self.config.think_mean > 0 else 0.0)
+                sim.schedule(think, self._start_transfer, src, dst, remaining - 1)
+
+        flow = TcpFlow(
+            sim,
+            src=src,
+            dst=dst,
+            size_packets=size,
+            cc=self.cc,
+            start_time=sim.now,
+            mss=self.mss,
+            max_window=self.config.max_window,
+            on_complete=finished,
+        )
+        holder["flow"] = flow
+        self._active_flows.add(flow)

@@ -1,0 +1,200 @@
+"""Tests for the repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_size_args(self):
+        args = build_parser().parse_args(
+            ["size", "--capacity", "2.5Gbps", "--flows", "10000"])
+        assert args.capacity == "2.5Gbps"
+        assert args.flows == 10000
+        assert args.rtt == "250ms"
+
+    def test_figure_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "12"])
+
+
+class TestSizeCommand:
+    def test_headline_example(self, capsys):
+        code, out = run_cli(capsys, "size", "--capacity", "2.5Gbps",
+                            "--rtt", "250ms", "--flows", "10000")
+        assert code == 0
+        assert "rule-of-thumb" in out
+        assert "78125" in out       # RTT x C in packets
+        assert "781" in out         # sqrt(n) rule
+        assert "99.0% saved" in out
+
+    def test_short_flow_only(self, capsys):
+        code, out = run_cli(capsys, "size", "--capacity", "1Gbps",
+                            "--short-load", "0.8")
+        assert code == 0
+        assert "short-flow" in out
+
+    def test_no_traffic_is_error(self, capsys):
+        code, out = run_cli(capsys, "size", "--capacity", "1Gbps")
+        assert code == 2
+        assert "error" in out
+
+    def test_bad_capacity_is_error(self, capsys):
+        code, out = run_cli(capsys, "size", "--capacity", "fast",
+                            "--flows", "10")
+        assert code == 2
+
+
+class TestMemoryCommand:
+    def test_rule_of_thumb_plan(self, capsys):
+        code, out = run_cli(capsys, "memory", "--rate", "40Gbps",
+                            "--buffer", "1.25GB")
+        assert code == 0
+        assert "SRAM" in out
+        assert "TOO SLOW" in out        # DRAM at 40G
+        assert "not feasible" in out
+
+    def test_small_buffer_feasible(self, capsys):
+        code, out = run_cli(capsys, "memory", "--rate", "10Gbps",
+                            "--buffer", "10Mbit")
+        assert code == 0
+        assert "feasible" in out
+
+    def test_bad_buffer_is_error(self, capsys):
+        code, out = run_cli(capsys, "memory", "--rate", "10Gbps",
+                            "--buffer", "big")
+        assert code == 2
+
+
+class TestSimulateCommands:
+    def test_long_flows(self, capsys):
+        code, out = run_cli(capsys, "simulate", "long-flows",
+                            "--flows", "8", "--pipe", "100",
+                            "--rate", "10Mbps", "--warmup", "8",
+                            "--duration", "10")
+        assert code == 0
+        assert "utilization" in out
+        assert "loss rate" in out
+
+    def test_long_flows_absolute_buffer(self, capsys):
+        code, out = run_cli(capsys, "simulate", "long-flows",
+                            "--flows", "4", "--buffer-packets", "17",
+                            "--pipe", "100", "--rate", "10Mbps",
+                            "--warmup", "5", "--duration", "8")
+        assert code == 0
+        assert "buffer 17 pkts" in out
+
+    def test_short_flows(self, capsys):
+        code, out = run_cli(capsys, "simulate", "short-flows",
+                            "--load", "0.5", "--rate", "10Mbps",
+                            "--duration", "10")
+        assert code == 0
+        assert "AFCT" in out
+
+    def test_single_flow(self, capsys):
+        code, out = run_cli(capsys, "simulate", "single-flow",
+                            "--fraction", "1.0", "--pipe", "50",
+                            "--rate", "5Mbps", "--duration", "30")
+        assert code == 0
+        assert "correctly buffered" in out
+
+    def test_single_flow_underbuffered_diagnosis(self, capsys):
+        code, out = run_cli(capsys, "simulate", "single-flow",
+                            "--fraction", "0.25", "--pipe", "50",
+                            "--rate", "5Mbps", "--duration", "30")
+        assert code == 0
+        assert "underbuffered" in out
+
+
+class TestFigureTableDispatch:
+    """figure/table commands route to the right experiment module
+    (monkeypatched mains: no simulations run here)."""
+
+    @pytest.mark.parametrize("number,module_name", [
+        (3, "repro.experiments.single_flow"),
+        (6, "repro.experiments.window_distribution"),
+        (7, "repro.experiments.long_flow_sweep"),
+        (8, "repro.experiments.short_flow_sweep"),
+        (9, "repro.experiments.afct_comparison"),
+    ])
+    def test_figure_dispatch(self, monkeypatch, capsys, number, module_name):
+        import importlib
+        module = importlib.import_module(module_name)
+        monkeypatch.setattr(module, "main", lambda: print(f"ran {module_name}"))
+        code, out = run_cli(capsys, "figure", str(number))
+        assert code == 0
+        assert f"ran {module_name}" in out
+
+    @pytest.mark.parametrize("number,module_name", [
+        (10, "repro.experiments.utilization_table"),
+        (11, "repro.experiments.production_network"),
+    ])
+    def test_table_dispatch(self, monkeypatch, capsys, number, module_name):
+        import importlib
+        module = importlib.import_module(module_name)
+        monkeypatch.setattr(module, "main", lambda: print(f"ran {module_name}"))
+        code, out = run_cli(capsys, "table", str(number))
+        assert code == 0
+        assert f"ran {module_name}" in out
+
+    def test_ablations_dispatch(self, monkeypatch, capsys):
+        import repro.experiments.ablations as ablations
+        monkeypatch.setattr(ablations, "main", lambda: print("ran ablations"))
+        code, out = run_cli(capsys, "ablations")
+        assert code == 0
+        assert "ran ablations" in out
+
+
+class TestProfilesCommand:
+    def test_lists_profiles(self, capsys):
+        code, out = run_cli(capsys, "profiles")
+        assert code == 0
+        assert "OC48" in out
+        assert "sqrt(n)" in out
+
+
+class TestFeatureFlags:
+    def test_sack_and_pacing_flags(self, capsys):
+        code, out = run_cli(capsys, "simulate", "long-flows",
+                            "--flows", "8", "--pipe", "100",
+                            "--rate", "10Mbps", "--warmup", "5",
+                            "--duration", "8", "--sack", "--pacing")
+        assert code == 0
+        assert "(SACK)" in out and "(paced)" in out
+
+    def test_ecn_implies_red(self, capsys):
+        code, out = run_cli(capsys, "simulate", "long-flows",
+                            "--flows", "8", "--pipe", "100",
+                            "--rate", "10Mbps", "--warmup", "5",
+                            "--duration", "8", "--ecn")
+        assert code == 0
+        assert "(RED)" in out and "(ECN)" in out
+
+
+class TestFluidCommand:
+    def test_desynchronized(self, capsys):
+        code, out = run_cli(capsys, "fluid", "--flows", "16",
+                            "--duration", "40")
+        assert code == 0
+        assert "desynchronized" in out
+        assert "utilization" in out
+
+    def test_synchronized_mode(self, capsys):
+        code, out = run_cli(capsys, "fluid", "--flows", "16",
+                            "--synchronized", "--duration", "40")
+        assert code == 0
+        assert "synchronized" in out

@@ -1,0 +1,82 @@
+"""Tests for the router-memory feasibility model (Section 1.3)."""
+
+import pytest
+
+from repro.core import min_packet_interarrival, plan_buffer_memory
+from repro.core.memory import DRAM_2004, EMBEDDED_DRAM_2004, SRAM_2004, MemoryTechnology
+from repro.errors import ModelError
+
+
+class TestInterarrival:
+    def test_paper_example_40g(self):
+        """40-byte packets at 40 Gb/s arrive every 8 ns."""
+        assert min_packet_interarrival("40Gbps") == pytest.approx(8e-9)
+
+    def test_oc48(self):
+        assert min_packet_interarrival("2.5Gbps") == pytest.approx(128e-9)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            min_packet_interarrival("10Gbps", packet_bytes=0)
+
+
+class TestTechnologies:
+    def test_2004_constants_match_paper(self):
+        assert SRAM_2004.chip_bits == 36e6
+        assert DRAM_2004.chip_bits == 1e9
+        assert DRAM_2004.access_time == 50e-9
+        assert EMBEDDED_DRAM_2004.chip_bits == 256e6
+        assert EMBEDDED_DRAM_2004.on_chip
+
+    def test_dram_improvement_seven_percent(self):
+        assert DRAM_2004.access_time_in(1) == pytest.approx(50e-9 * 0.93)
+
+    def test_projection_validation(self):
+        with pytest.raises(ModelError):
+            DRAM_2004.access_time_in(-1)
+
+
+class TestPlans:
+    def test_paper_sram_count_at_40g(self):
+        """1.25 GB rule-of-thumb buffer needs ~280 SRAM chips ("over 300"
+        with overhead, per the paper)."""
+        plans = plan_buffer_memory("40Gbps", "1.25GB", [SRAM_2004])
+        assert 270 <= plans[0].chips <= 290
+        assert not plans[0].feasible
+
+    def test_paper_dram_count_at_40g(self):
+        """10 Gbit of buffer ~ 10 DRAM devices — but DRAM is too slow."""
+        plans = plan_buffer_memory("40Gbps", "10Gbit", [DRAM_2004])
+        assert plans[0].chips == 10
+        assert not plans[0].fast_enough
+        assert not plans[0].feasible
+
+    def test_small_buffer_fits_one_sram(self):
+        """The 10Gb/s + 50k flows headline: ~10 Mbit fits on-chip."""
+        plans = plan_buffer_memory("10Gbps", "10Mbit", [SRAM_2004])
+        assert plans[0].chips == 1
+        assert plans[0].feasible
+
+    def test_dram_never_fast_at_10g(self):
+        plans = plan_buffer_memory("10Gbps", "1Mbit", [DRAM_2004])
+        assert not plans[0].fast_enough
+
+    def test_default_technology_list(self):
+        plans = plan_buffer_memory("10Gbps", "10Mbit")
+        names = [p.technology.name for p in plans]
+        assert names == ["SRAM", "DRAM", "embedded DRAM"]
+
+    def test_custom_technology(self):
+        future = MemoryTechnology("HBM", chip_bits=8e9, access_time=2e-9)
+        plans = plan_buffer_memory("40Gbps", "1.25GB", [future])
+        assert plans[0].chips == 2
+        assert plans[0].fast_enough
+
+    def test_on_chip_feasibility_requires_single_die(self):
+        plans = plan_buffer_memory("2.5Gbps", "512Mbit", [EMBEDDED_DRAM_2004])
+        assert plans[0].chips == 2
+        assert not plans[0].feasible
+
+    def test_zero_buffer_rejected(self):
+        with pytest.raises(ModelError):
+            plan_buffer_memory("10Gbps", 0)

@@ -1,0 +1,54 @@
+"""Tests for utilization prediction and inversion."""
+
+import math
+
+import pytest
+
+from repro.core import buffer_for_utilization, predicted_utilization
+from repro.errors import ModelError
+
+
+class TestPrediction:
+    def test_monotone_in_buffer(self):
+        utils = [predicted_utilization(1000, b, 64) for b in (0, 30, 60, 120, 240)]
+        assert utils == sorted(utils)
+
+    def test_table10_anchor(self):
+        """1x RTTC/sqrt(n) at n=100 should predict >= 99.9% (paper: 99.9%)."""
+        assert predicted_utilization(1290, 129, 100) >= 0.999
+
+    def test_half_buffer_predicts_less(self):
+        assert predicted_utilization(1290, 64, 100) < predicted_utilization(1290, 129, 100)
+
+    def test_peak_quantile_knob(self):
+        optimistic = predicted_utilization(1000, 50, 100, peak_quantile=1.0)
+        pessimistic = predicted_utilization(1000, 50, 100, peak_quantile=3.0)
+        assert optimistic > pessimistic
+
+
+class TestInversion:
+    def test_roundtrip(self):
+        b = buffer_for_utilization(0.99, 1000, 64)
+        assert predicted_utilization(1000, b, 64) == pytest.approx(0.99, abs=1e-4)
+
+    def test_higher_target_needs_more_buffer(self):
+        assert (buffer_for_utilization(0.999, 1000, 64)
+                > buffer_for_utilization(0.98, 1000, 64))
+
+    def test_more_flows_need_less_buffer(self):
+        assert (buffer_for_utilization(0.99, 1000, 400)
+                < buffer_for_utilization(0.99, 1000, 25))
+
+    def test_sqrt_n_shape(self):
+        """Required buffer for a fixed target shrinks roughly like
+        1/sqrt(n): quadrupling the flows should cut it by about half
+        (the mean-placement term makes it a little more than half)."""
+        b_small = buffer_for_utilization(0.995, 1000, 100)
+        b_large = buffer_for_utilization(0.995, 1000, 400)
+        assert 1.6 <= b_small / b_large <= 3.2
+
+    def test_target_validated(self):
+        with pytest.raises(ModelError):
+            buffer_for_utilization(1.0, 1000, 64)
+        with pytest.raises(ModelError):
+            buffer_for_utilization(0.0, 1000, 64)

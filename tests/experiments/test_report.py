@@ -1,0 +1,54 @@
+"""Tests for the EXPERIMENTS.md report generator (plumbing only —
+full report generation is exercised by the release process, not CI)."""
+
+import pytest
+
+from repro.experiments import report
+
+
+class TestScales:
+    def test_all_scales_have_every_section(self):
+        required = {"single", "fig6", "sync_n", "fig7", "fig8", "fig9",
+                    "table10", "table11", "ablations"}
+        for name, cfg in report.SCALES.items():
+            assert required.issubset(cfg.keys()), name
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            report.generate_report("warp-speed")
+
+    def test_paper_scale_is_biggest(self):
+        quick = report.SCALES["quick"]["fig7"]["pipe_packets"]
+        paper = report.SCALES["paper"]["fig7"]["pipe_packets"]
+        assert paper > quick
+
+
+class TestMain:
+    def test_stdout_path(self, capsys, monkeypatch):
+        monkeypatch.setattr(report, "generate_report",
+                            lambda scale: f"# fake report ({scale})\n")
+        assert report.main(["--scale", "quick"]) == 0
+        assert "fake report (quick)" in capsys.readouterr().out
+
+    def test_output_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(report, "generate_report",
+                            lambda scale: "# fake\n")
+        target = tmp_path / "EXPERIMENTS.md"
+        assert report.main(["--output", str(target)]) == 0
+        assert target.read_text() == "# fake\n"
+
+    def test_bad_scale_exits(self):
+        with pytest.raises(SystemExit):
+            report.main(["--scale", "nope"])
+
+
+class TestSectionBuilders:
+    def test_single_flow_section(self):
+        lines = []
+        report._section_single_flow(
+            dict(pipe_packets=40.0, bottleneck_rate="5Mbps",
+                 warmup=10.0, duration=15.0), lines)
+        text = "\n".join(lines)
+        assert "Figures 2–5" in text
+        assert "Verdict" in text
+        assert text.count("|") > 10  # a rendered table

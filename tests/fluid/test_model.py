@@ -1,0 +1,122 @@
+"""Tests for the fluid AIMD model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, ModelError
+from repro.fluid import FluidAimdModel
+
+
+def run(n=1, C=1250.0, B=125.0, rtts=(0.1,), sync=False, duration=80,
+        warmup=30, **kwargs):
+    model = FluidAimdModel(n, C, B, list(rtts), synchronized=sync)
+    return model.run(duration=duration, warmup=warmup, **kwargs)
+
+
+class TestSingleFlowAnchors:
+    def test_zero_buffer_is_three_quarters(self):
+        """The classical 75% anchor, hit almost exactly by the fluid model."""
+        result = run(B=0.0, duration=120)
+        assert result.utilization == pytest.approx(0.75, abs=0.01)
+
+    def test_bdp_buffer_is_full(self):
+        result = run(B=125.0)
+        assert result.utilization > 0.99
+
+    def test_half_bdp_matches_closed_form(self):
+        """Cross-check against core.single_flow's closed form."""
+        from repro.core import SingleFlowModel
+        result = run(B=62.5, duration=150)
+        expected = SingleFlowModel(125.0, 62.5).utilization()
+        assert result.utilization == pytest.approx(expected, abs=0.015)
+
+    def test_monotone_in_buffer(self):
+        utils = [run(B=b, duration=100).utilization for b in (0, 30, 60, 125)]
+        assert utils == sorted(utils)
+
+    def test_loss_events_slow_down_with_buffer(self):
+        few = run(B=125.0, duration=100)
+        many = run(B=10.0, duration=100)
+        assert many.loss_events > few.loss_events
+
+
+class TestMultiFlow:
+    RTTS = [0.08 * (0.5 + i / 32) for i in range(32)]
+
+    def test_desync_sqrt_rule_near_full(self):
+        pipe = 5000.0 * 0.08  # = 400 packets
+        result = FluidAimdModel(32, 5000.0, pipe / math.sqrt(32), self.RTTS,
+                                synchronized=False).run(120, warmup=60)
+        assert result.utilization > 0.98
+
+    def test_sync_needs_more_than_sqrt_rule(self):
+        pipe = 5000.0 * 0.08
+        sync = FluidAimdModel(32, 5000.0, pipe / math.sqrt(32), self.RTTS,
+                              synchronized=True).run(120, warmup=60)
+        desync = FluidAimdModel(32, 5000.0, pipe / math.sqrt(32), self.RTTS,
+                                synchronized=False).run(120, warmup=60)
+        assert desync.utilization > sync.utilization + 0.02
+
+    def test_sync_mode_halves_everyone(self):
+        model = FluidAimdModel(4, 1000.0, 10.0, [0.1], synchronized=True)
+        model.windows = [20.0, 30.0, 40.0, 50.0]
+        model.queue = 10.0
+        model._loss_event(model._rates())
+        assert model.windows == [10.0, 15.0, 20.0, 25.0]
+
+    def test_desync_mode_halves_biggest(self):
+        model = FluidAimdModel(4, 1000.0, 10.0, [0.1], synchronized=False)
+        model.windows = [20.0, 30.0, 40.0, 50.0]
+        model.queue = 10.0
+        model._loss_event(model._rates())
+        assert model.windows == [20.0, 30.0, 40.0, 25.0]
+
+    def test_windows_floor_at_one(self):
+        model = FluidAimdModel(2, 1000.0, 5.0, [0.1], synchronized=True)
+        model.windows = [1.2, 1.5]
+        model._loss_event(model._rates())
+        assert all(w >= 1.0 for w in model.windows)
+
+
+class TestPlumbing:
+    def test_rtt_broadcast(self):
+        model = FluidAimdModel(5, 1000.0, 10.0, [0.1])
+        assert model.rtts == [0.1] * 5
+
+    def test_traces_recorded(self):
+        result = run(B=60.0, duration=50, trace_points=100)
+        assert 50 <= len(result.queue_series) <= 150
+        assert len(result.window_series) == len(result.queue_series)
+
+    def test_mean_queue_bounded_by_buffer(self):
+        result = run(B=60.0, duration=80)
+        assert 0.0 <= result.mean_queue <= 60.0
+
+    def test_initial_windows_override(self):
+        model = FluidAimdModel(2, 1000.0, 10.0, [0.1],
+                               initial_windows=[3.0, 4.0])
+        assert model.windows == [3.0, 4.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FluidAimdModel(0, 1000.0, 10.0, [0.1])
+        with pytest.raises(ConfigurationError):
+            FluidAimdModel(1, -5.0, 10.0, [0.1])
+        with pytest.raises(ConfigurationError):
+            FluidAimdModel(1, 1000.0, -1.0, [0.1])
+        with pytest.raises(ConfigurationError):
+            FluidAimdModel(2, 1000.0, 10.0, [0.1, 0.2, 0.3])
+        with pytest.raises(ConfigurationError):
+            FluidAimdModel(1, 1000.0, 10.0, [0.0])
+        with pytest.raises(ModelError):
+            FluidAimdModel(1, 1000.0, 10.0, [0.1]).run(duration=0)
+
+    @given(st.floats(10.0, 300.0), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_utilization_always_valid(self, buffer_packets, n):
+        model = FluidAimdModel(n, 1250.0, buffer_packets,
+                               [0.08 + 0.01 * i for i in range(n)])
+        result = model.run(duration=40, warmup=10)
+        assert 0.0 < result.utilization <= 1.0 + 1e-9

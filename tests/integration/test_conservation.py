@@ -1,0 +1,102 @@
+"""System-level invariants: packet conservation and TCP reliability.
+
+The property tests use hypothesis to throw randomized loss patterns and
+topology parameters at a full TCP transfer and assert the protocol-level
+invariant the whole study rests on: every byte eventually arrives,
+exactly once, in order.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.net import build_dumbbell
+from repro.sim import Simulator
+from repro.tcp import TcpFlow
+
+from tests.tcp.helpers import build_path
+
+
+class TestPacketConservation:
+    def test_queue_conservation(self):
+        """arrivals == departures + drops + still-queued on the bottleneck."""
+        sim = Simulator()
+        net = build_dumbbell(sim, n_pairs=4, bottleneck_rate="10Mbps",
+                             buffer_packets=20, rtts=["40ms"])
+        flows = [TcpFlow(sim, s, r, size_packets=None)
+                 for s, r in net.flow_pairs()]
+        sim.run(until=10.0)
+        queue = net.bottleneck_queue
+        assert queue.arrivals == queue.departures + queue.drops + len(queue)
+        assert queue.bytes_in == queue.bytes_out + queue.bytes_dropped + \
+            queue.byte_occupancy
+
+    def test_no_packet_duplication_on_clean_path(self):
+        """Without losses, receiver segment count == sender segment count."""
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        flow = TcpFlow(sim, a, b, size_packets=100)
+        sim.run(until=60.0)
+        assert flow.completed
+        assert flow.receiver.segments_received == flow.sender.segments_sent
+        assert flow.receiver.duplicate_segments == 0
+
+    def test_delivered_bytes_bounded_by_sent(self):
+        sim = Simulator()
+        net = build_dumbbell(sim, n_pairs=2, bottleneck_rate="10Mbps",
+                             buffer_packets=10, rtts=["40ms"])
+        flows = [TcpFlow(sim, s, r, size_packets=None)
+                 for s, r in net.flow_pairs()]
+        sim.run(until=10.0)
+        sent = sum(f.sender.segments_sent for f in flows)
+        received = sum(f.receiver.segments_received for f in flows)
+        assert received <= sent
+
+
+class TestReliabilityProperties:
+    @given(
+        drop_seqs=st.sets(st.integers(0, 79), max_size=25),
+        size=st.integers(30, 80),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_transfer_completes_under_any_single_loss_pattern(self, drop_seqs, size):
+        """Whatever subset of segments is lost once, TCP delivers all data."""
+        sim = Simulator()
+        a, b, _ = build_path(sim, drop_seqs={s for s in drop_seqs if s < size})
+        flow = TcpFlow(sim, a, b, size_packets=size)
+        sim.run(until=200.0)
+        assert flow.completed
+        assert flow.receiver.rcv_nxt == size
+
+    @given(
+        cc=st.sampled_from(["tahoe", "reno", "newreno"]),
+        buffer_packets=st.integers(3, 60),
+    )
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_transfer_completes_under_congestion_loss(self, cc, buffer_packets):
+        """Real congestion drops at any buffer size: the flow finishes."""
+        sim = Simulator()
+        a, b, queue = build_path(sim, buffer_packets=buffer_packets)
+        flow = TcpFlow(sim, a, b, size_packets=150, cc=cc)
+        sim.run(until=300.0)
+        assert flow.completed
+        assert flow.receiver.rcv_nxt == 150
+
+    @given(max_window=st.integers(2, 30))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_window_cap_respected_under_loss(self, max_window):
+        sim = Simulator()
+        a, b, _ = build_path(sim, drop_seqs={5, 11}, buffer_packets=500)
+        flow = TcpFlow(sim, a, b, size_packets=60, max_window=max_window)
+        peak = [0]
+
+        def watch():
+            peak[0] = max(peak[0], flow.sender.flight_size)
+            sim.schedule(0.002, watch)
+
+        sim.schedule(0.0, watch)
+        sim.run(until=200.0)
+        assert flow.completed
+        assert peak[0] <= max_window

@@ -1,0 +1,114 @@
+"""Tests for CSV/JSON export of measurement data."""
+
+import csv
+import json
+import math
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.export import (
+    result_to_dict,
+    results_to_json,
+    rows_to_csv,
+    timeseries_to_csv,
+)
+from repro.sim.trace import TimeSeries
+
+
+def make_series(name, points):
+    ts = TimeSeries(name)
+    for t, v in points:
+        ts.append(t, v)
+    return ts
+
+
+@dataclass
+class FakeResult:
+    n_flows: int
+    utilization: float
+    loss_rate: float
+
+
+class TestTimeseriesCsv:
+    def test_single_series(self, tmp_path):
+        path = tmp_path / "q.csv"
+        timeseries_to_csv(str(path), make_series("queue", [(0.0, 1.0), (1.0, 2.0)]))
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["time", "queue"]
+        assert rows[1] == ["0.0", "1.0"]
+
+    def test_merged_series_union_of_times(self, tmp_path):
+        path = tmp_path / "m.csv"
+        timeseries_to_csv(
+            str(path),
+            make_series("a", [(0.0, 1.0), (2.0, 3.0)]),
+            make_series("b", [(1.0, 5.0)]),
+        )
+        rows = list(csv.reader(path.open()))
+        assert len(rows) == 4  # header + t=0,1,2
+        assert rows[2] == ["1.0", "", "5.0"]
+
+    def test_labels_override(self, tmp_path):
+        path = tmp_path / "l.csv"
+        timeseries_to_csv(str(path), make_series("", [(0.0, 1.0)]),
+                          labels=["cwnd"])
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["time", "cwnd"]
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            timeseries_to_csv(str(tmp_path / "x.csv"))
+        with pytest.raises(ConfigurationError):
+            timeseries_to_csv(str(tmp_path / "x.csv"),
+                              make_series("a", []), labels=["x", "y"])
+
+
+class TestRowsCsv:
+    def test_dataclass_rows(self, tmp_path):
+        path = tmp_path / "r.csv"
+        rows_to_csv(str(path), [FakeResult(10, 0.99, 0.01),
+                                FakeResult(20, 0.98, 0.02)])
+        rows = list(csv.DictReader(path.open()))
+        assert rows[0]["n_flows"] == "10"
+        assert rows[1]["utilization"] == "0.98"
+
+    def test_mapping_rows_union_columns(self, tmp_path):
+        path = tmp_path / "u.csv"
+        rows_to_csv(str(path), [{"a": 1}, {"a": 2, "b": 3}])
+        rows = list(csv.DictReader(path.open()))
+        assert rows[0]["b"] == ""
+        assert rows[1]["b"] == "3"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            rows_to_csv(str(tmp_path / "e.csv"), [])
+
+
+class TestResultToDict:
+    def test_nan_becomes_none(self):
+        out = result_to_dict({"x": math.nan, "y": 1.0})
+        assert out == {"x": None, "y": 1.0}
+
+    def test_nested_dict_flattened(self):
+        out = result_to_dict({"a": {"b": 1, "c": 2}})
+        assert out == {"a.b": 1, "a.c": 2}
+
+    def test_dataclass(self):
+        out = result_to_dict(FakeResult(5, 0.9, 0.1))
+        assert out["n_flows"] == 5
+
+    def test_unconvertible_rejected(self):
+        with pytest.raises(ConfigurationError):
+            result_to_dict(42)
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "r.json"
+        results_to_json(str(path), {"run": FakeResult(5, 0.9, 0.1),
+                                    "list": [1, 2, math.nan]})
+        data = json.loads(path.read_text())
+        assert data["run"]["n_flows"] == 5
+        assert data["list"] == [1, 2, None]

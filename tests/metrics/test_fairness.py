@@ -1,0 +1,82 @@
+"""Tests for Jain's index and the flow-progress meter."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.metrics import FlowProgressMeter, jain_index
+from repro.sim import Simulator
+
+
+class TestJainIndex:
+    def test_equal_shares_is_one(self):
+        assert jain_index([5.0, 5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_hog_is_one_over_n(self):
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_scale_invariant(self):
+        assert jain_index([1, 2, 3]) == pytest.approx(jain_index([10, 20, 30]))
+
+    def test_empty_is_nan(self):
+        assert math.isnan(jain_index([]))
+
+    def test_all_zero_is_nan(self):
+        assert math.isnan(jain_index([0.0, 0.0]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            jain_index([1.0, -1.0])
+
+    @given(st.lists(st.floats(0.001, 100.0), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_property(self, values):
+        j = jain_index(values)
+        assert 1.0 / len(values) - 1e-12 <= j <= 1.0 + 1e-12
+
+
+class FakeSender:
+    def __init__(self):
+        self.snd_una = 0
+
+
+class TestFlowProgressMeter:
+    def test_windowed_progress(self):
+        sim = Simulator()
+        senders = [FakeSender(), FakeSender()]
+        meter = FlowProgressMeter(sim, senders, t_start=1.0, t_end=3.0)
+
+        def advance(amounts):
+            for sender, amount in zip(senders, amounts):
+                sender.snd_una += amount
+
+        sim.schedule(0.5, advance, [100, 100])   # before the window
+        sim.schedule(2.0, advance, [10, 30])     # inside
+        sim.schedule(4.0, advance, [99, 99])     # after
+        sim.run(until=5.0)
+        assert meter.progress() == [10, 30]
+        assert meter.fairness() == pytest.approx(jain_index([10, 30]))
+
+    def test_reading_before_close_rejected(self):
+        sim = Simulator()
+        meter = FlowProgressMeter(sim, [FakeSender()], t_start=1.0, t_end=2.0)
+        with pytest.raises(ConfigurationError):
+            meter.progress()
+
+    def test_bad_window(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            FlowProgressMeter(sim, [], t_start=2.0, t_end=1.0)
+
+
+class TestIntegrationWithExperiment:
+    def test_long_flow_result_reports_fairness(self):
+        from repro.experiments.common import run_long_flow_experiment
+        result = run_long_flow_experiment(
+            n_flows=8, buffer_packets=40, pipe_packets=100.0,
+            bottleneck_rate="10Mbps", warmup=10, duration=20, seed=4)
+        assert 1.0 / 8 <= result.jain_fairness <= 1.0
+        # TCP with spread RTTs is imperfectly but reasonably fair.
+        assert result.jain_fairness > 0.5

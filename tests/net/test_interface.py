@@ -1,0 +1,74 @@
+"""Tests for the Interface queue+link pump."""
+
+import pytest
+
+from repro.net import DropTailQueue, Interface, Packet
+from repro.net.link import Link
+from repro.sim import Simulator
+
+
+class Collector:
+    def __init__(self, sim):
+        self.sim = sim
+        self.arrivals = []
+
+    def receive(self, packet):
+        self.arrivals.append((self.sim.now, packet))
+
+
+def make_packet():
+    return Packet(src=1, dst=2, payload=960, header=40)
+
+
+def make_interface(sim, capacity=4, rate="8Mbps", delay="0ms"):
+    sink = Collector(sim)
+    queue = DropTailQueue(sim, capacity_packets=capacity)
+    link = Link(sim, rate=rate, delay=delay, dst=sink)
+    return Interface(sim, queue, link), sink
+
+
+class TestInterface:
+    def test_single_packet_flows_through(self):
+        sim = Simulator()
+        iface, sink = make_interface(sim)
+        assert iface.enqueue(make_packet())
+        sim.run()
+        assert len(sink.arrivals) == 1
+
+    def test_back_to_back_serialization(self):
+        """Packets leave exactly one serialization time apart."""
+        sim = Simulator()
+        iface, sink = make_interface(sim, capacity=10)
+        for _ in range(3):
+            iface.enqueue(make_packet())
+        sim.run()
+        times = [t for t, _ in sink.arrivals]
+        assert times == [pytest.approx(0.001), pytest.approx(0.002), pytest.approx(0.003)]
+
+    def test_overflow_drops_and_keeps_order(self):
+        sim = Simulator()
+        iface, sink = make_interface(sim, capacity=2)
+        packets = [make_packet() for _ in range(5)]
+        results = [iface.enqueue(pkt) for pkt in packets]
+        # First is pulled to the wire immediately, two buffered, rest dropped.
+        assert results == [True, True, True, False, False]
+        sim.run()
+        assert [pkt for _, pkt in sink.arrivals] == packets[:3]
+
+    def test_backlog_excludes_packet_on_wire(self):
+        sim = Simulator()
+        iface, _sink = make_interface(sim, capacity=10)
+        iface.enqueue(make_packet())
+        assert iface.backlog_packets == 0  # on the wire, not in queue
+        iface.enqueue(make_packet())
+        assert iface.backlog_packets == 1
+        assert iface.backlog_bytes == 1000
+
+    def test_pump_resumes_after_idle(self):
+        sim = Simulator()
+        iface, sink = make_interface(sim, capacity=10)
+        iface.enqueue(make_packet())
+        sim.run()
+        iface.enqueue(make_packet())  # arrives after the link went idle
+        sim.run()
+        assert len(sink.arrivals) == 2

@@ -1,0 +1,107 @@
+"""Tests for Link timing and accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import Packet
+from repro.net.link import Link
+from repro.sim import Simulator
+
+
+class Collector:
+    """Minimal node: records (time, packet) arrivals."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.arrivals = []
+
+    def receive(self, packet):
+        self.arrivals.append((self.sim.now, packet))
+
+
+def make_packet(size=1000):
+    return Packet(src=1, dst=2, payload=size - 40, header=40)
+
+
+class TestLink:
+    def test_serialization_time(self):
+        sim = Simulator()
+        link = Link(sim, rate="8Mbps", delay="0ms", dst=Collector(sim))
+        assert link.serialization_time(make_packet(1000)) == pytest.approx(0.001)
+
+    def test_delivery_time_is_tx_plus_propagation(self):
+        sim = Simulator()
+        sink = Collector(sim)
+        link = Link(sim, rate="8Mbps", delay="10ms", dst=sink)
+        link.transmit(make_packet(1000))
+        sim.run()
+        assert sink.arrivals[0][0] == pytest.approx(0.001 + 0.010)
+
+    def test_on_idle_fires_at_end_of_serialization(self):
+        sim = Simulator()
+        link = Link(sim, rate="8Mbps", delay="10ms", dst=Collector(sim))
+        idle_at = []
+        link.transmit(make_packet(1000), on_idle=lambda: idle_at.append(sim.now))
+        sim.run()
+        assert idle_at == [pytest.approx(0.001)]
+
+    def test_busy_while_serializing(self):
+        sim = Simulator()
+        link = Link(sim, rate="8Mbps", delay="0ms", dst=Collector(sim))
+        link.transmit(make_packet())
+        assert link.busy
+        sim.run()
+        assert not link.busy
+
+    def test_transmit_while_busy_rejected(self):
+        sim = Simulator()
+        link = Link(sim, rate="8Mbps", delay="0ms", dst=Collector(sim))
+        link.transmit(make_packet())
+        with pytest.raises(ConfigurationError):
+            link.transmit(make_packet())
+
+    def test_hop_count_increments(self):
+        sim = Simulator()
+        sink = Collector(sim)
+        link = Link(sim, rate="8Mbps", delay="0ms", dst=sink)
+        pkt = make_packet()
+        link.transmit(pkt)
+        sim.run()
+        assert pkt.hops == 1
+
+    def test_counters(self):
+        sim = Simulator()
+        sink = Collector(sim)
+        link = Link(sim, rate="8Mbps", delay="0ms", dst=sink)
+        link.transmit(make_packet(1000))
+        sim.run()
+        assert link.packets_delivered == 1
+        assert link.bytes_delivered == 1000
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        sink = Collector(sim)
+        link = Link(sim, rate="8Mbps", delay="5ms", dst=sink)
+        link.transmit(make_packet(1000))
+        sim.run()
+        assert link.busy_time == pytest.approx(0.001)
+
+    def test_utilization_fraction(self):
+        sim = Simulator()
+        sink = Collector(sim)
+        link = Link(sim, rate="8Mbps", delay="0ms", dst=sink)
+
+        def send():
+            if not link.busy:
+                link.transmit(make_packet(1000))
+
+        for i in range(5):
+            sim.schedule(i * 0.002, send)  # one 1ms packet every 2ms
+        sim.run(until=0.010)
+        assert link.utilization(0.0, 0.010) == pytest.approx(0.5)
+
+    def test_missing_destination_rejected(self):
+        sim = Simulator()
+        link = Link(sim, rate="8Mbps", delay="0ms")
+        with pytest.raises(ConfigurationError):
+            link.transmit(make_packet())

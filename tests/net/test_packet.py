@@ -1,0 +1,46 @@
+"""Tests for the Packet type."""
+
+from repro.net import Packet, PacketFlags
+from repro.net.packet import TCP_HEADER_BYTES
+
+
+class TestPacket:
+    def test_size_is_payload_plus_header(self):
+        pkt = Packet(src=1, dst=2, payload=960, header=40)
+        assert pkt.size == 1000
+
+    def test_pure_ack_size(self):
+        ack = Packet(src=2, dst=1, payload=0, flags=PacketFlags.ACK)
+        assert ack.size == TCP_HEADER_BYTES
+        assert ack.is_ack
+        assert not ack.is_data
+
+    def test_data_flags(self):
+        pkt = Packet(src=1, dst=2, payload=100)
+        assert pkt.is_data
+        assert not pkt.is_ack
+
+    def test_uids_unique(self):
+        a = Packet(src=1, dst=2)
+        b = Packet(src=1, dst=2)
+        assert a.uid != b.uid
+
+    def test_flag_combination(self):
+        pkt = Packet(src=1, dst=2, flags=PacketFlags.SYN | PacketFlags.ACK)
+        assert pkt.is_ack
+        assert pkt.flags & PacketFlags.SYN
+
+    def test_meta_lazy(self):
+        pkt = Packet(src=1, dst=2)
+        assert pkt.meta is None
+        pkt.meta = {"ts": 1.0}
+        assert pkt.meta["ts"] == 1.0
+
+    def test_hops_start_at_zero(self):
+        assert Packet(src=1, dst=2).hops == 0
+
+    def test_repr_mentions_kind(self):
+        pkt = Packet(src=1, dst=2, payload=960, seq=5)
+        assert "DATA" in repr(pkt)
+        ack = Packet(src=1, dst=2, flags=PacketFlags.ACK, ack=6)
+        assert "ACK" in repr(ack)

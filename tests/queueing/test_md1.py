@@ -1,0 +1,80 @@
+"""Tests for the exact and approximate M/D/1 distributions."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.queueing import (
+    md1_overflow_effective_bw,
+    md1_overflow_exact,
+    md1_queue_distribution,
+)
+
+
+class TestExactDistribution:
+    def test_pi0_is_one_minus_rho(self):
+        pi = md1_queue_distribution(0.6, 50)
+        assert pi[0] == pytest.approx(0.4)
+
+    def test_sums_to_one(self):
+        pi = md1_queue_distribution(0.5, 200)
+        assert sum(pi) == pytest.approx(1.0, abs=1e-9)
+
+    def test_nonnegative(self):
+        pi = md1_queue_distribution(0.9, 300)
+        assert all(p >= 0 for p in pi)
+
+    def test_mean_matches_pollaczek_khinchine(self):
+        """E[Q] = rho + rho^2 / (2 (1 - rho)) for M/D/1."""
+        rho = 0.7
+        pi = md1_queue_distribution(rho, 2000)
+        mean = sum(n * p for n, p in enumerate(pi))
+        expected = rho + rho ** 2 / (2 * (1 - rho))
+        assert mean == pytest.approx(expected, rel=1e-3)
+
+    def test_heavier_load_longer_queue(self):
+        light = md1_queue_distribution(0.3, 100)
+        heavy = md1_queue_distribution(0.9, 100)
+        mean_light = sum(n * p for n, p in enumerate(light))
+        mean_heavy = sum(n * p for n, p in enumerate(heavy))
+        assert mean_heavy > mean_light
+
+    def test_load_validated(self):
+        with pytest.raises(ModelError):
+            md1_queue_distribution(1.0, 10)
+        with pytest.raises(ModelError):
+            md1_queue_distribution(0.0, 10)
+
+    def test_max_length_validated(self):
+        with pytest.raises(ModelError):
+            md1_queue_distribution(0.5, -1)
+
+
+class TestOverflow:
+    def test_zero_buffer(self):
+        assert md1_overflow_exact(0.5, 0) == 1.0
+
+    def test_decreasing_in_buffer(self):
+        values = [md1_overflow_exact(0.8, b) for b in (1, 5, 20, 50)]
+        assert values == sorted(values, reverse=True)
+
+    def test_effective_bw_formula(self):
+        rho, b = 0.8, 25.0
+        assert md1_overflow_effective_bw(rho, b) == pytest.approx(
+            math.exp(-b * 2 * (1 - rho) / rho))
+
+    def test_effective_bw_within_order_of_exact(self):
+        """The exponential approximation tracks the exact tail's decay."""
+        rho = 0.8
+        for b in (10, 20, 40):
+            exact = md1_overflow_exact(rho, b)
+            approx = md1_overflow_effective_bw(rho, b)
+            if exact > 1e-12:
+                assert math.log(approx) == pytest.approx(math.log(exact), rel=0.5)
+
+    def test_effective_bw_validation(self):
+        with pytest.raises(ModelError):
+            md1_overflow_effective_bw(1.2, 10)
+        with pytest.raises(ModelError):
+            md1_overflow_effective_bw(0.5, -1)

@@ -1,0 +1,159 @@
+"""Tests for the effective-bandwidth short-flow queue model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.queueing import (
+    BurstMoments,
+    buffer_for_overflow_probability,
+    effective_bandwidth_overflow,
+    slow_start_burst_moments,
+    slow_start_bursts,
+)
+
+
+class TestBurstMoments:
+    def test_ratio(self):
+        m = BurstMoments(ex=4.0, ex2=32.0)
+        assert m.ratio == 0.125
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            BurstMoments(ex=0.0, ex2=1.0)
+        with pytest.raises(ModelError):
+            BurstMoments(ex=4.0, ex2=10.0)  # E[X^2] < E[X]^2
+
+
+class TestOverflowBound:
+    def test_paper_formula(self):
+        """P(Q >= b) = exp(-b * 2(1-rho)/rho * E[X]/E[X^2])."""
+        m = BurstMoments(ex=4.0, ex2=28.0)
+        rho, b = 0.8, 40.0
+        expected = math.exp(-b * 2 * (1 - rho) / rho * 4.0 / 28.0)
+        assert effective_bandwidth_overflow(b, rho, m) == pytest.approx(expected)
+
+    def test_zero_buffer_is_certainty(self):
+        m = BurstMoments(ex=2.0, ex2=4.0)
+        assert effective_bandwidth_overflow(0.0, 0.5, m) == 1.0
+
+    def test_decreasing_in_buffer(self):
+        m = BurstMoments(ex=4.0, ex2=28.0)
+        values = [effective_bandwidth_overflow(b, 0.8, m) for b in (0, 10, 50, 200)]
+        assert values == sorted(values, reverse=True)
+
+    def test_increasing_in_load(self):
+        m = BurstMoments(ex=4.0, ex2=28.0)
+        values = [effective_bandwidth_overflow(50, rho, m)
+                  for rho in (0.3, 0.5, 0.7, 0.9)]
+        assert values == sorted(values)
+
+    def test_burstier_traffic_needs_more_buffer(self):
+        smooth = BurstMoments(ex=1.0, ex2=1.0)
+        bursty = BurstMoments(ex=4.0, ex2=40.0)
+        assert (effective_bandwidth_overflow(30, 0.8, bursty)
+                > effective_bandwidth_overflow(30, 0.8, smooth))
+
+    def test_load_bounds_checked(self):
+        m = BurstMoments(ex=1.0, ex2=1.0)
+        with pytest.raises(ModelError):
+            effective_bandwidth_overflow(10, 0.0, m)
+        with pytest.raises(ModelError):
+            effective_bandwidth_overflow(10, 1.0, m)
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(ModelError):
+            effective_bandwidth_overflow(-1, 0.5, BurstMoments(1.0, 1.0))
+
+
+class TestInversion:
+    def test_roundtrip(self):
+        m = BurstMoments(ex=4.0, ex2=28.0)
+        b = buffer_for_overflow_probability(0.025, 0.8, m)
+        assert effective_bandwidth_overflow(b, 0.8, m) == pytest.approx(0.025)
+
+    def test_tighter_target_bigger_buffer(self):
+        m = BurstMoments(ex=4.0, ex2=28.0)
+        assert (buffer_for_overflow_probability(0.001, 0.8, m)
+                > buffer_for_overflow_probability(0.1, 0.8, m))
+
+    def test_target_validated(self):
+        m = BurstMoments(ex=1.0, ex2=1.0)
+        with pytest.raises(ModelError):
+            buffer_for_overflow_probability(0.0, 0.5, m)
+        with pytest.raises(ModelError):
+            buffer_for_overflow_probability(1.0, 0.5, m)
+
+    @given(st.floats(0.05, 0.95), st.floats(0.001, 0.5))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, load, target):
+        m = BurstMoments(ex=3.0, ex2=15.0)
+        b = buffer_for_overflow_probability(target, load, m)
+        assert effective_bandwidth_overflow(b, load, m) == pytest.approx(target, rel=1e-9)
+
+
+class TestSlowStartBursts:
+    def test_paper_progression(self):
+        """"first sends out two packets, then four, eight, sixteen"."""
+        assert slow_start_bursts(30) == [2, 4, 8, 16]
+
+    def test_truncated_last_burst(self):
+        assert slow_start_bursts(10) == [2, 4, 4]
+
+    def test_single_packet_flow(self):
+        assert slow_start_bursts(1) == [1]
+
+    def test_max_window_caps_bursts(self):
+        assert slow_start_bursts(40, max_window=8) == [2, 4, 8, 8, 8, 8, 2]
+
+    def test_total_equals_flow_size(self):
+        for size in (1, 2, 7, 14, 100, 977):
+            assert sum(slow_start_bursts(size)) == size
+
+    @given(st.integers(1, 5000), st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_conservation_property(self, size, max_window):
+        bursts = slow_start_bursts(size, max_window=max_window)
+        assert sum(bursts) == size
+        assert all(1 <= b <= max_window for b in bursts)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            slow_start_bursts(0)
+        with pytest.raises(ModelError):
+            slow_start_bursts(5, initial_burst=0)
+
+
+class TestBurstMomentsFromFlows:
+    def test_single_size(self):
+        m = slow_start_burst_moments({14: 1.0})
+        # Bursts 2, 4, 8 equally weighted.
+        assert m.ex == pytest.approx((2 + 4 + 8) / 3)
+        assert m.ex2 == pytest.approx((4 + 16 + 64) / 3)
+
+    def test_sequence_input(self):
+        m = slow_start_burst_moments([14, 14])
+        assert m.ex == pytest.approx((2 + 4 + 8) / 3)
+
+    def test_mix_weighting(self):
+        # size 2 -> burst [2]; size 6 -> bursts [2, 4].
+        m = slow_start_burst_moments({2: 0.5, 6: 0.5})
+        # Pooled bursts with weights: 2 (0.5), 2 (0.5), 4 (0.5).
+        assert m.ex == pytest.approx((2 * 0.5 + 2 * 0.5 + 4 * 0.5) / 1.5)
+
+    def test_max_window_reduces_second_moment(self):
+        uncapped = slow_start_burst_moments({100: 1.0})
+        capped = slow_start_burst_moments({100: 1.0}, max_window=8)
+        assert capped.ex2 < uncapped.ex2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            slow_start_burst_moments([])
+        with pytest.raises(ModelError):
+            slow_start_burst_moments({5: 0.0})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ModelError):
+            slow_start_burst_moments({5: -0.5})

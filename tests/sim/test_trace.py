@@ -1,0 +1,163 @@
+"""Tests for time-series tracing and time-weighted statistics."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Probe, Simulator, TimeSeries, TimeWeightedStat
+
+
+class TestTimeSeries:
+    def make(self):
+        ts = TimeSeries("t")
+        for time, value in [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0), (3.0, 7.0)]:
+            ts.append(time, value)
+        return ts
+
+    def test_len_and_iter(self):
+        ts = self.make()
+        assert len(ts) == 4
+        assert list(ts) == [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0), (3.0, 7.0)]
+
+    def test_time_must_not_go_backwards(self):
+        ts = TimeSeries()
+        ts.append(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            ts.append(0.5, 0.0)
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries()
+        ts.append(1.0, 0.0)
+        ts.append(1.0, 1.0)
+        assert len(ts) == 2
+
+    def test_mean(self):
+        assert self.make().mean() == 4.0
+
+    def test_variance_and_std(self):
+        ts = self.make()
+        assert ts.variance() == pytest.approx(5.0)
+        assert ts.std() == pytest.approx(math.sqrt(5.0))
+
+    def test_min_max(self):
+        ts = self.make()
+        assert ts.minimum() == 1.0
+        assert ts.maximum() == 7.0
+
+    def test_empty_stats_are_nan(self):
+        ts = TimeSeries()
+        assert math.isnan(ts.mean())
+        assert math.isnan(ts.minimum())
+
+    def test_percentile(self):
+        ts = self.make()
+        assert ts.percentile(0.0) == 1.0
+        assert ts.percentile(1.0) == 7.0
+        assert ts.percentile(0.5) == 4.0
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            self.make().percentile(1.5)
+
+    def test_slice(self):
+        ts = self.make()
+        sub = ts.slice(1.0, 2.0)
+        assert list(sub) == [(1.0, 3.0), (2.0, 5.0)]
+
+    def test_value_at_step_hold(self):
+        ts = self.make()
+        assert ts.value_at(1.5) == 3.0
+        assert ts.value_at(-1.0, default=-9.0) == -9.0
+
+    def test_time_average_piecewise_constant(self):
+        ts = TimeSeries()
+        ts.append(0.0, 10.0)
+        ts.append(1.0, 0.0)   # 10 for 1s
+        ts.append(3.0, 5.0)   # 0 for 2s; last sample zero weight
+        assert ts.time_average() == pytest.approx(10.0 / 3.0)
+
+    def test_time_average_needs_two_samples(self):
+        ts = TimeSeries()
+        ts.append(0.0, 1.0)
+        assert math.isnan(ts.time_average())
+
+    def test_histogram(self):
+        ts = TimeSeries()
+        for i, v in enumerate([1.0, 1.0, 2.0, 9.0]):
+            ts.append(float(i), v)
+        edges, counts = ts.histogram(nbins=4)
+        assert len(edges) == 5
+        assert sum(counts) == 4
+
+    def test_histogram_constant_series(self):
+        ts = TimeSeries()
+        ts.append(0.0, 5.0)
+        ts.append(1.0, 5.0)
+        edges, counts = ts.histogram()
+        assert counts == [2]
+
+
+class TestTimeWeightedStat:
+    def test_simple_average(self):
+        stat = TimeWeightedStat()
+        stat.update(0.0, 10.0)
+        stat.update(1.0, 0.0)
+        stat.finalize(3.0)
+        assert stat.mean == pytest.approx(10.0 / 3.0)
+
+    def test_span(self):
+        stat = TimeWeightedStat()
+        stat.update(1.0, 5.0)
+        stat.finalize(4.0)
+        assert stat.span == 3.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(TimeWeightedStat().mean)
+
+    def test_backwards_time_rejected(self):
+        stat = TimeWeightedStat()
+        stat.update(2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            stat.update(1.0, 1.0)
+
+    def test_reset(self):
+        stat = TimeWeightedStat()
+        stat.update(0.0, 100.0)
+        stat.update(10.0, 1.0)
+        stat.reset(10.0)
+        stat.finalize(11.0)
+        assert stat.mean == pytest.approx(1.0)
+
+
+class TestProbe:
+    def test_samples_at_period(self):
+        sim = Simulator()
+        value = {"v": 0.0}
+        probe = Probe(sim, lambda: value["v"], period=1.0)
+        probe.start()
+        sim.schedule(2.5, lambda: value.update(v=7.0))
+        sim.run(until=4.0)
+        # Samples at t = 0, 1, 2, 3, 4.
+        assert probe.series.times == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert probe.series.values == [0.0, 0.0, 0.0, 7.0, 7.0]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        probe = Probe(sim, lambda: 1.0, period=1.0)
+        probe.start(delay=2.0)
+        sim.run(until=4.0)
+        assert probe.series.times == [2.0, 3.0, 4.0]
+
+    def test_stop(self):
+        sim = Simulator()
+        probe = Probe(sim, lambda: 1.0, period=1.0)
+        probe.start()
+        sim.schedule(2.5, probe.stop)
+        sim.run(until=10.0)
+        assert probe.series.times == [0.0, 1.0, 2.0]
+
+    def test_bad_period(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            Probe(sim, lambda: 0.0, period=0.0)

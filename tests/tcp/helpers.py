@@ -1,0 +1,50 @@
+"""Shared TCP test fixtures: a two-host path with scriptable loss."""
+
+from typing import Iterable, Set
+
+from repro.net import DropTailQueue, Network
+from repro.sim import Simulator
+
+
+class ScriptedDropQueue(DropTailQueue):
+    """Drop-tail queue that additionally drops chosen data segments once.
+
+    ``drop_seqs`` is a set of TCP sequence numbers; the first data packet
+    carrying each listed seq is dropped, later copies pass (modelling a
+    single loss per listed segment).
+    """
+
+    def __init__(self, sim, capacity_packets: int, drop_seqs: Iterable[int]):
+        super().__init__(sim, capacity_packets=capacity_packets)
+        self.pending_drops: Set[int] = set(drop_seqs)
+        self.scripted_drops = 0
+
+    def _admit(self, packet) -> bool:
+        if packet.is_data and packet.seq in self.pending_drops:
+            self.pending_drops.discard(packet.seq)
+            self.scripted_drops += 1
+            return False
+        return super()._admit(packet)
+
+
+def build_path(sim: Simulator, drop_seqs=(), buffer_packets: int = 1000,
+               rate="10Mbps", delay="10ms"):
+    """a -- r -- b with a scriptable queue on the bottleneck r->b hop.
+
+    The access hop (a -> r) runs 10x faster than the bottleneck so a
+    queue can actually build at r (equal-rate hops never queue).
+
+    Returns ``(a, b, queue)``.
+    """
+    from repro.units import parse_bandwidth
+
+    net = Network(sim)
+    a = net.add_host("a")
+    r = net.add_router("r")
+    b = net.add_host("b")
+    queue = ScriptedDropQueue(sim, capacity_packets=buffer_packets,
+                              drop_seqs=drop_seqs)
+    net.connect(a, r, rate=parse_bandwidth(rate) * 10.0, delay=delay)
+    net.connect(r, b, rate=rate, delay=delay, queue_ab=queue)
+    net.compute_routes()
+    return a, b, queue

@@ -1,0 +1,75 @@
+"""Tests for RTT estimation and RTO computation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tcp import RtoEstimator
+
+
+class TestRtoEstimator:
+    def test_initial_rto_before_samples(self):
+        est = RtoEstimator(initial_rto=1.0)
+        assert est.rto == 1.0
+
+    def test_first_sample_seeds_srtt(self):
+        est = RtoEstimator()
+        est.sample(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+        assert est.rto == pytest.approx(max(0.1 + 4 * 0.05, 0.2))
+
+    def test_smoothing_converges(self):
+        est = RtoEstimator()
+        for _ in range(200):
+            est.sample(0.1)
+        assert est.srtt == pytest.approx(0.1, rel=1e-3)
+        assert est.rttvar == pytest.approx(0.0, abs=1e-3)
+
+    def test_min_rto_clamp(self):
+        est = RtoEstimator(min_rto=0.2)
+        for _ in range(100):
+            est.sample(0.01)
+        assert est.rto == 0.2
+
+    def test_max_rto_clamp(self):
+        est = RtoEstimator(max_rto=5.0)
+        est.sample(10.0)
+        assert est.rto == 5.0
+
+    def test_backoff_doubles(self):
+        est = RtoEstimator()
+        est.sample(0.1)
+        base = est.rto
+        est.on_timeout()
+        assert est.rto == pytest.approx(min(base * 2, est.max_rto))
+        est.on_timeout()
+        assert est.rto == pytest.approx(min(base * 4, est.max_rto))
+
+    def test_backoff_capped(self):
+        est = RtoEstimator()
+        for _ in range(20):
+            est.on_timeout()
+        assert est.backoff == 64
+
+    def test_sample_clears_backoff(self):
+        est = RtoEstimator()
+        est.sample(0.1)
+        est.on_timeout()
+        est.sample(0.1)
+        assert est.backoff == 1
+
+    def test_variance_reacts_to_jitter(self):
+        est = RtoEstimator()
+        est.sample(0.1)
+        for rtt in (0.05, 0.15, 0.05, 0.15):
+            est.sample(rtt)
+        assert est.rttvar > 0.01
+
+    def test_nonpositive_sample_rejected(self):
+        est = RtoEstimator()
+        with pytest.raises(ConfigurationError):
+            est.sample(0.0)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RtoEstimator(min_rto=2.0, max_rto=1.0)

@@ -1,0 +1,141 @@
+"""Tests for SACK: receiver blocks and the scoreboard sender."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim import Simulator
+from repro.tcp import TcpFlow
+from repro.tcp.sack import TcpSackSender
+
+from tests.tcp.helpers import build_path
+
+
+def run_sack_flow(sim, a, b, size, drop_path=True, **kwargs):
+    flow = TcpFlow(sim, a, b, size_packets=size, sack=True, **kwargs)
+    sim.run(until=200.0)
+    return flow
+
+
+class TestReceiverBlocks:
+    def test_no_blocks_when_in_order(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        flow = run_sack_flow(sim, a, b, size=50)
+        assert flow.completed
+        assert flow.receiver._sack_blocks() == []
+
+    def test_blocks_describe_buffered_ranges(self):
+        from repro.net import Network
+        from repro.tcp.receiver import TcpReceiver
+
+        sim = Simulator()
+        net = Network(sim)
+        host = net.add_host("h")
+        receiver = TcpReceiver(sim, host, port=1, sack=True)
+        receiver._out_of_order = {5, 6, 7, 10, 12, 13}
+        receiver._last_arrival_seq = 12
+        blocks = receiver._sack_blocks()
+        assert (12, 14) == blocks[0]  # most recent arrival first
+        assert set(blocks) == {(5, 8), (10, 11), (12, 14)}
+
+    def test_blocks_capped_at_three(self):
+        from repro.net import Network
+        from repro.tcp.receiver import TcpReceiver
+
+        sim = Simulator()
+        net = Network(sim)
+        host = net.add_host("h")
+        receiver = TcpReceiver(sim, host, port=1, sack=True)
+        receiver._out_of_order = {2, 4, 6, 8, 10}
+        receiver._last_arrival_seq = 10
+        assert len(receiver._sack_blocks()) == 3
+
+
+class TestSackSender:
+    def test_clean_transfer(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        flow = run_sack_flow(sim, a, b, size=150)
+        assert flow.completed
+        assert isinstance(flow.sender, TcpSackSender)
+        assert flow.sender.retransmits == 0
+
+    def test_single_loss_recovers_fast(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim, drop_seqs={30})
+        flow = run_sack_flow(sim, a, b, size=200)
+        assert flow.completed
+        assert flow.cc.timeouts == 0
+
+    def test_multi_loss_in_one_window_without_timeout(self):
+        """The SACK payoff: several scattered losses in one window are
+        repaired within one recovery, no RTO (Reno would stall)."""
+        sim = Simulator()
+        a, b, _ = build_path(sim, drop_seqs={40, 44, 48, 52})
+        flow = run_sack_flow(sim, a, b, size=200)
+        assert flow.completed
+        assert flow.cc.timeouts == 0
+        assert flow.sender.sack_retransmits >= 4
+
+    def test_reno_needs_timeouts_for_same_pattern(self):
+        """Contrast case establishing the SACK test above is meaningful."""
+        sim = Simulator()
+        a, b, _ = build_path(sim, drop_seqs={40, 44, 48, 52})
+        flow = TcpFlow(sim, a, b, size_packets=200, cc="reno")
+        sim.run(until=200.0)
+        assert flow.completed
+        assert flow.cc.timeouts >= 1
+
+    def test_no_spurious_retransmits_of_sacked_data(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim, drop_seqs={40, 44})
+        flow = run_sack_flow(sim, a, b, size=150)
+        assert flow.completed
+        # Only the genuinely lost segments are retransmitted.
+        assert flow.sender.retransmits <= 4
+
+    def test_scoreboard_cleared_below_cumack(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim, drop_seqs={20, 25})
+        flow = run_sack_flow(sim, a, b, size=100)
+        assert flow.completed
+        assert not flow.sender._sacked
+
+    def test_burst_loss_still_completes(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim, drop_seqs=set(range(50, 75)))
+        flow = run_sack_flow(sim, a, b, size=150)
+        assert flow.completed
+        assert flow.receiver.rcv_nxt == 150
+
+    def test_congestion_losses_with_tiny_buffer(self):
+        sim = Simulator()
+        a, b, queue = build_path(sim, buffer_packets=5)
+        flow = run_sack_flow(sim, a, b, size=300)
+        assert flow.completed
+        assert queue.drops > 0
+
+    @given(drop_seqs=st.sets(st.integers(0, 99), max_size=30))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_reliability_property(self, drop_seqs):
+        sim = Simulator()
+        a, b, _ = build_path(sim, drop_seqs=drop_seqs)
+        flow = TcpFlow(sim, a, b, size_packets=100, sack=True)
+        sim.run(until=300.0)
+        assert flow.completed
+        assert flow.receiver.rcv_nxt == 100
+
+    def test_sack_beats_reno_on_lossy_path(self):
+        """Same loss pattern: SACK finishes no later than Reno."""
+        pattern = {30, 33, 36, 60, 63, 66}
+
+        def completion(sack):
+            sim = Simulator()
+            a, b, _ = build_path(sim, drop_seqs=set(pattern))
+            flow = TcpFlow(sim, a, b, size_packets=150, sack=sack)
+            sim.run(until=300.0)
+            assert flow.completed
+            return flow.record.completion_time
+
+        assert completion(True) <= completion(False)

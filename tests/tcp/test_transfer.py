@@ -1,0 +1,234 @@
+"""End-to-end TCP transfer tests over a scriptable lossy path."""
+
+import math
+
+import pytest
+
+from repro.sim import Simulator
+from repro.tcp import TcpFlow
+
+from tests.tcp.helpers import build_path
+
+
+def run_flow(sim, a, b, size, cc="reno", **kwargs):
+    records = []
+    flow = TcpFlow(sim, a, b, size_packets=size, cc=cc,
+                   on_complete=records.append, **kwargs)
+    sim.run(until=120.0)
+    return flow, records
+
+
+class TestLosslessTransfer:
+    def test_completes_and_all_data_received(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        flow, records = run_flow(sim, a, b, size=200)
+        assert flow.completed
+        assert flow.receiver.rcv_nxt == 200
+        assert len(records) == 1
+        assert records[0].retransmits == 0
+
+    def test_record_fields(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        flow, records = run_flow(sim, a, b, size=50)
+        record = records[0]
+        assert record.size_packets == 50
+        assert record.end_time > record.start_time
+        assert record.completion_time == pytest.approx(
+            record.end_time - record.start_time)
+        assert record.timeouts == 0
+
+    def test_short_flow_duration_matches_slow_start(self):
+        """14 packets = bursts 2,4,8 -> ~3 RTTs (RTT = 40ms here)."""
+        sim = Simulator()
+        a, b, _ = build_path(sim, delay="10ms")  # RTT = 4 x 10ms
+        flow, records = run_flow(sim, a, b, size=14)
+        fct = records[0].completion_time
+        assert 2.5 * 0.04 <= fct <= 4.5 * 0.04
+
+    def test_sender_side_duration(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        flow, _ = run_flow(sim, a, b, size=10)
+        assert flow.sender.duration > 0
+
+    def test_one_packet_flow(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        flow, records = run_flow(sim, a, b, size=1)
+        assert flow.completed
+        assert len(records) == 1
+
+    def test_window_limits_flight(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        max_seen = [0]
+        flow = TcpFlow(sim, a, b, size_packets=500, max_window=8)
+
+        def watch():
+            max_seen[0] = max(max_seen[0], flow.sender.flight_size)
+            sim.schedule(0.001, watch)
+
+        sim.schedule(0.0, watch)
+        sim.run(until=60.0)
+        assert flow.completed
+        assert max_seen[0] <= 8
+
+    def test_start_time_honored(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        flow = TcpFlow(sim, a, b, size_packets=5, start_time=3.0)
+        sim.run(until=60.0)
+        assert flow.sender.start_time == 3.0
+
+
+class TestSingleLossRecovery:
+    def test_fast_retransmit_without_timeout(self):
+        """One mid-window loss with a large window: dup ACKs repair it."""
+        sim = Simulator()
+        a, b, queue = build_path(sim, drop_seqs={30})
+        flow, records = run_flow(sim, a, b, size=200)
+        assert flow.completed
+        assert queue.scripted_drops == 1
+        assert flow.sender.fast_retransmits >= 1
+        assert flow.cc.timeouts == 0
+        assert records[0].retransmits >= 1
+
+    def test_loss_of_first_packet_recovers_by_timeout(self):
+        """Losing seq 0 leaves at most 1 dup ACK: only RTO can recover."""
+        sim = Simulator()
+        a, b, queue = build_path(sim, drop_seqs={0})
+        flow, records = run_flow(sim, a, b, size=20)
+        assert flow.completed
+        assert flow.cc.timeouts >= 1
+        assert flow.receiver.rcv_nxt == 20
+
+    def test_loss_of_last_packet(self):
+        sim = Simulator()
+        a, b, queue = build_path(sim, drop_seqs={19})
+        flow, records = run_flow(sim, a, b, size=20)
+        assert flow.completed
+        assert queue.scripted_drops == 1
+
+    def test_receiver_data_complete_despite_loss(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim, drop_seqs={5, 6, 7})
+        flow, _ = run_flow(sim, a, b, size=50)
+        assert flow.completed
+        assert flow.receiver.rcv_nxt == 50
+
+    def test_cwnd_halved_after_fast_retransmit(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim, drop_seqs={40})
+        flow = TcpFlow(sim, a, b, size_packets=None)  # long-lived
+        # Sample ssthresh after the loss settles.
+        sim.run(until=5.0)
+        assert flow.cc.ssthresh < 1e9  # was touched by the loss event
+        assert flow.cc.fast_recoveries + flow.cc.timeouts >= 1
+
+
+class TestBurstLossRecovery:
+    def test_many_consecutive_losses_go_back_n(self):
+        """A burst of drops forces a timeout; go-back-N must finish."""
+        sim = Simulator()
+        a, b, queue = build_path(sim, drop_seqs=set(range(50, 80)))
+        flow, records = run_flow(sim, a, b, size=200)
+        assert flow.completed
+        assert queue.scripted_drops == 30
+        assert flow.receiver.rcv_nxt == 200
+
+    def test_scattered_losses(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim, drop_seqs={10, 25, 26, 60, 99})
+        flow, _ = run_flow(sim, a, b, size=100)
+        assert flow.completed
+
+    def test_tiny_buffer_congestion_losses(self):
+        """Real congestion drops (buffer 5 packets): flow still completes."""
+        sim = Simulator()
+        a, b, queue = build_path(sim, buffer_packets=5)
+        flow, records = run_flow(sim, a, b, size=300)
+        assert flow.completed
+        assert queue.drops > 0
+
+
+class TestCongestionControlFlavors:
+    @pytest.mark.parametrize("flavor", ["tahoe", "reno", "newreno"])
+    def test_all_flavors_complete_with_losses(self, flavor):
+        sim = Simulator()
+        a, b, _ = build_path(sim, drop_seqs={20, 21, 45})
+        flow, records = run_flow(sim, a, b, size=150, cc=flavor)
+        assert flow.completed
+        assert flow.receiver.rcv_nxt == 150
+
+    def test_newreno_handles_multi_loss_without_extra_timeouts(self):
+        """NewReno retransmits per partial ACK inside one recovery."""
+        sim = Simulator()
+        a, b, _ = build_path(sim, drop_seqs={40, 42, 44})
+        flow, _ = run_flow(sim, a, b, size=200, cc="newreno")
+        assert flow.completed
+
+
+class TestDelayedAck:
+    def test_fewer_acks_than_segments(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        flow, _ = run_flow(sim, a, b, size=100, delayed_ack=True)
+        assert flow.completed
+        assert flow.receiver.acks_sent < flow.receiver.segments_received
+
+    def test_immediate_ack_default(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        flow, _ = run_flow(sim, a, b, size=100)
+        assert flow.receiver.acks_sent == flow.receiver.segments_received
+
+    def test_delack_timer_flushes_odd_segment(self):
+        """A 1-segment flow must still get ACKed (via the delack timer)."""
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        flow, records = run_flow(sim, a, b, size=1, delayed_ack=True)
+        assert flow.completed
+
+
+class TestTeardown:
+    def test_ports_released(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        flow, _ = run_flow(sim, a, b, size=10)
+        sport = flow.sender.sport
+        dport = flow.receiver.port
+        flow.teardown()
+        # Rebinding the same ports must now succeed.
+        a.bind(sport, object())
+        b.bind(dport, object())
+
+    def test_teardown_before_start_cancels(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        flow = TcpFlow(sim, a, b, size_packets=10, start_time=5.0)
+        flow.teardown()
+        sim.run(until=20.0)
+        assert not flow.sender.started
+
+    def test_duplicate_segments_counted(self):
+        """Spurious retransmissions show up as receiver duplicates."""
+        sim = Simulator()
+        a, b, _ = build_path(sim, drop_seqs=set(range(30, 60)))
+        flow, _ = run_flow(sim, a, b, size=100)
+        assert flow.completed
+        # Go-back-N resends some segments the receiver already buffered.
+        assert flow.receiver.duplicate_segments > 0
+
+
+class TestLongLivedFlow:
+    def test_reaches_steady_state_and_fills_pipe(self):
+        sim = Simulator()
+        a, b, queue = build_path(sim, buffer_packets=100, rate="10Mbps",
+                                 delay="10ms")
+        flow = TcpFlow(sim, a, b, size_packets=None)
+        sim.run(until=30.0)
+        assert not flow.completed  # unbounded flows never complete
+        assert flow.sender.snd_una > 1000  # moved serious data
+        assert flow.cc.ssthresh < 1e9  # experienced at least one loss

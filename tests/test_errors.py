@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ModelError,
+    QueueError,
+    ReproError,
+    RoutingError,
+    SchedulingError,
+    SimulationError,
+    UnitError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigurationError, UnitError, SimulationError,
+                    SchedulingError, RoutingError, QueueError, ModelError):
+            assert issubclass(exc, ReproError)
+
+    def test_configuration_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_model_is_value_error(self):
+        assert issubclass(ModelError, ValueError)
+
+    def test_simulation_is_runtime_error(self):
+        assert issubclass(SimulationError, RuntimeError)
+
+    def test_unit_error_is_configuration_error(self):
+        assert issubclass(UnitError, ConfigurationError)
+
+    def test_scheduling_error_is_simulation_error(self):
+        assert issubclass(SchedulingError, SimulationError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise RoutingError("no route")

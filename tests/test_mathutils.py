@@ -1,0 +1,103 @@
+"""Tests for repro.mathutils: Gaussian helpers and bisection."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.mathutils import (
+    bisect_increasing,
+    normal_cdf,
+    normal_partial_expectation,
+    normal_pdf,
+)
+
+
+class TestNormalPdf:
+    def test_peak_at_mean(self):
+        assert normal_pdf(0.0) == pytest.approx(1.0 / math.sqrt(2 * math.pi))
+
+    def test_symmetry(self):
+        assert normal_pdf(1.3) == pytest.approx(normal_pdf(-1.3))
+
+    def test_scaling(self):
+        assert normal_pdf(0.0, 0.0, 2.0) == pytest.approx(normal_pdf(0.0) / 2.0)
+
+    def test_bad_std(self):
+        with pytest.raises(ModelError):
+            normal_pdf(0.0, 0.0, 0.0)
+
+
+class TestNormalCdf:
+    def test_median(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+
+    def test_one_sigma(self):
+        assert normal_cdf(1.0) == pytest.approx(0.8413, abs=1e-4)
+
+    def test_shifted(self):
+        assert normal_cdf(5.0, mean=5.0, std=3.0) == pytest.approx(0.5)
+
+    def test_monotone(self):
+        values = [normal_cdf(x) for x in (-3, -1, 0, 1, 3)]
+        assert values == sorted(values)
+
+    @given(st.floats(-6, 6))
+    def test_bounded(self, x):
+        assert 0.0 <= normal_cdf(x) <= 1.0
+
+    @given(st.floats(-5, 5))
+    def test_complement_symmetry(self, x):
+        assert normal_cdf(x) + normal_cdf(-x) == pytest.approx(1.0, abs=1e-12)
+
+
+class TestPartialExpectation:
+    def test_far_below_is_zero(self):
+        # E[(a - X)+] ~ 0 when a is far below the mean.
+        assert normal_partial_expectation(-10.0, 0.0, 1.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_far_above_is_gap(self):
+        # E[(a - X)+] ~ a - mean when a is far above the mean.
+        assert normal_partial_expectation(10.0, 0.0, 1.0) == pytest.approx(10.0, abs=1e-9)
+
+    def test_at_mean(self):
+        # E[(mean - X)+] = std / sqrt(2 pi).
+        assert normal_partial_expectation(0.0, 0.0, 1.0) == pytest.approx(
+            1.0 / math.sqrt(2 * math.pi))
+
+    def test_matches_numeric_integral(self):
+        a, mean, std = 1.5, 2.0, 0.7
+        steps = 20000
+        lo, hi = mean - 8 * std, a
+        total = 0.0
+        dx = (hi - lo) / steps
+        for i in range(steps):
+            x = lo + (i + 0.5) * dx
+            total += (a - x) * normal_pdf(x, mean, std) * dx
+        assert normal_partial_expectation(a, mean, std) == pytest.approx(total, rel=1e-3)
+
+    @given(st.floats(-3, 3), st.floats(-3, 3), st.floats(0.1, 5))
+    def test_nonnegative(self, a, mean, std):
+        assert normal_partial_expectation(a, mean, std) >= 0.0
+
+
+class TestBisect:
+    def test_linear(self):
+        assert bisect_increasing(lambda x: 2 * x, 3.0, 0.0, 10.0) == pytest.approx(1.5, abs=1e-6)
+
+    def test_nonlinear(self):
+        assert bisect_increasing(lambda x: x ** 2, 2.0, 0.0, 10.0) == pytest.approx(
+            math.sqrt(2.0), abs=1e-6)
+
+    def test_target_below_range(self):
+        with pytest.raises(ModelError):
+            bisect_increasing(lambda x: x, -1.0, 0.0, 10.0)
+
+    def test_target_above_range(self):
+        with pytest.raises(ModelError):
+            bisect_increasing(lambda x: x, 20.0, 0.0, 10.0)
+
+    def test_step_function(self):
+        fn = lambda x: 0.0 if x < 5.0 else 1.0
+        assert bisect_increasing(fn, 1.0, 0.0, 10.0) == pytest.approx(5.0, abs=1e-6)

@@ -1,0 +1,85 @@
+"""Tests for the Harpoon-like session generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import FctCollector
+from repro.net import build_dumbbell
+from repro.sim import RngStreams, Simulator
+from repro.traffic import FixedSize, HarpoonGenerator, SessionConfig
+
+
+def make_dumbbell(sim):
+    return build_dumbbell(sim, n_pairs=4, bottleneck_rate="10Mbps",
+                          buffer_packets=200, rtts=["40ms"])
+
+
+class TestSessionConfig:
+    def test_defaults_heavy_tailed(self):
+        config = SessionConfig()
+        assert config.sizes is not None
+        assert config.files_mean == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SessionConfig(files_mean=0.5)
+        with pytest.raises(ConfigurationError):
+            SessionConfig(think_mean=-1.0)
+
+
+class TestHarpoonGenerator:
+    def test_sessions_produce_transfers(self):
+        sim = Simulator()
+        net = make_dumbbell(sim)
+        config = SessionConfig(files_mean=3.0, think_mean=0.1,
+                               sizes=FixedSize(6))
+        gen = HarpoonGenerator(net, session_rate=2.0, config=config,
+                               rng=RngStreams(1).stream("h"), t_stop=10.0)
+        gen.start()
+        sim.run(until=30.0)
+        assert gen.sessions_started > 5
+        assert gen.transfers_started > gen.sessions_started  # trains of files
+        assert gen.transfers_completed == gen.transfers_started
+        assert gen.active_transfers == 0
+
+    def test_mean_files_per_session(self):
+        sim = Simulator()
+        net = make_dumbbell(sim)
+        config = SessionConfig(files_mean=4.0, think_mean=0.01,
+                               sizes=FixedSize(3))
+        gen = HarpoonGenerator(net, session_rate=5.0, config=config,
+                               rng=RngStreams(2).stream("h"), t_stop=60.0)
+        gen.start()
+        sim.run(until=120.0)
+        per_session = gen.transfers_started / gen.sessions_started
+        assert per_session == pytest.approx(4.0, rel=0.2)
+
+    def test_records_collected(self):
+        sim = Simulator()
+        net = make_dumbbell(sim)
+        collector = FctCollector()
+        config = SessionConfig(files_mean=2.0, think_mean=0.05,
+                               sizes=FixedSize(5))
+        gen = HarpoonGenerator(net, session_rate=3.0, config=config,
+                               rng=RngStreams(3).stream("h"), t_stop=8.0,
+                               on_complete=collector)
+        gen.start()
+        sim.run(until=30.0)
+        assert len(collector) == gen.transfers_completed
+        assert collector.afct > 0
+
+    def test_invalid_session_rate(self):
+        sim = Simulator()
+        net = make_dumbbell(sim)
+        with pytest.raises(ConfigurationError):
+            HarpoonGenerator(net, session_rate=0.0, config=SessionConfig(),
+                             rng=RngStreams(4).stream("h"))
+
+    def test_start_twice_rejected(self):
+        sim = Simulator()
+        net = make_dumbbell(sim)
+        gen = HarpoonGenerator(net, session_rate=1.0, config=SessionConfig(),
+                               rng=RngStreams(5).stream("h"))
+        gen.start()
+        with pytest.raises(ConfigurationError):
+            gen.start()
