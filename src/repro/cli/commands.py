@@ -10,7 +10,11 @@ import argparse
 import math
 
 from repro.core import plan_buffer_memory, predicted_utilization, recommend_buffer
-from repro.errors import ReproError
+from repro.errors import (
+    InvariantViolation,
+    ReproError,
+    SimulationStalledError,
+)
 from repro.units import format_bandwidth, format_size, parse_bandwidth, parse_time
 
 __all__ = [
@@ -23,12 +27,48 @@ __all__ = [
     "cmd_figure",
     "cmd_table",
     "cmd_ablations",
+    "cmd_sweep",
 ]
 
 
 def _fail(message: str) -> int:
     print(f"error: {message}")
     return 2
+
+
+def _abort(exc: Exception) -> int:
+    """One-line diagnostic + exit code 3 for watchdog/invariant aborts,
+    distinguishable from argument errors (2) in scripts and CI."""
+    kind = "stalled" if isinstance(exc, SimulationStalledError) else "invariant"
+    print(f"aborted ({kind}): {exc}")
+    return 3
+
+
+def _parse_faults(args: argparse.Namespace):
+    """Build a FaultSchedule from ``--flap`` / ``--loss-burst`` flags.
+
+    Returns ``None`` when no fault flag was given, so fault-free runs
+    skip the machinery entirely.  Raises ``ReproError`` on bad specs.
+    """
+    from repro.errors import FaultError
+    from repro.faults import FaultSchedule, LinkFlap, LossBurst
+
+    schedule = FaultSchedule()
+    if getattr(args, "flap", None):
+        parts = args.flap.split(",")
+        if len(parts) != 2:
+            raise FaultError(
+                f"--flap wants AT,DURATION (e.g. 30,2), got {args.flap!r}")
+        schedule.add(LinkFlap(at=float(parts[0]), duration=float(parts[1])))
+    if getattr(args, "loss_burst", None):
+        parts = args.loss_burst.split(",")
+        if len(parts) != 3:
+            raise FaultError(
+                f"--loss-burst wants AT,DURATION,PROBABILITY "
+                f"(e.g. 30,5,0.02), got {args.loss_burst!r}")
+        schedule.add(LossBurst(at=float(parts[0]), duration=float(parts[1]),
+                               probability=float(parts[2])))
+    return schedule if len(schedule) else None
 
 
 def cmd_size(args: argparse.Namespace) -> int:
@@ -85,6 +125,7 @@ def cmd_simulate_long(args: argparse.Namespace) -> int:
     ecn = getattr(args, "ecn", False)
     red = args.red or ecn
     try:
+        faults = _parse_faults(args)
         result = run_long_flow_experiment(
             n_flows=args.flows,
             buffer_packets=buffer_packets,
@@ -98,7 +139,13 @@ def cmd_simulate_long(args: argparse.Namespace) -> int:
             pacing=args.pacing,
             sack=getattr(args, "sack", False),
             ecn=ecn,
+            faults=faults,
+            max_events=getattr(args, "max_events", None),
+            max_wall_seconds=getattr(args, "timeout", None),
+            utilization_probe_period=1.0 if faults is not None else None,
         )
+    except (SimulationStalledError, InvariantViolation) as exc:
+        return _abort(exc)
     except ReproError as exc:
         return _fail(str(exc))
     model = predicted_utilization(args.pipe, buffer_packets, args.flows)
@@ -117,6 +164,10 @@ def cmd_simulate_long(args: argparse.Namespace) -> int:
     print(f"  mean queue:  {result.mean_queue:6.1f} pkts")
     print(f"  timeouts:    {result.timeouts}, fast retransmits: "
           f"{result.fast_retransmits}")
+    if result.fault_log:
+        print("  faults:")
+        for at, message in result.fault_log:
+            print(f"    t={at:8.3f}s  {message}")
     return 0
 
 
@@ -134,7 +185,11 @@ def cmd_simulate_short(args: argparse.Namespace) -> int:
             rtt=args.rtt,
             duration=args.duration,
             seed=args.seed,
+            max_events=getattr(args, "max_events", None),
+            max_wall_seconds=getattr(args, "timeout", None),
         )
+    except (SimulationStalledError, InvariantViolation) as exc:
+        return _abort(exc)
     except ReproError as exc:
         return _fail(str(exc))
     buffer_label = (f"{args.buffer_packets} pkts" if args.buffer_packets
@@ -236,4 +291,70 @@ def cmd_profiles(args: argparse.Namespace) -> int:
 
     for profile in PROFILES.values():
         print(profile.describe())
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: checkpointed long-flow grid under the supervisor.
+
+    Runs every (flows, buffer-factor) cell through
+    :class:`~repro.runner.supervisor.SweepSupervisor`: per-trial
+    watchdog budgets, retry-with-reseed on transient failures, and —
+    with ``--checkpoint`` — resume of a killed sweep from the last
+    completed cell.
+    """
+    from repro.experiments.common import run_long_flow_experiment
+    from repro.runner import SweepSupervisor
+
+    try:
+        flows_list = [int(x) for x in args.flows.split(",")]
+        factor_list = [float(x) for x in args.buffer_factors.split(",")]
+    except ValueError:
+        return _fail("--flows and --buffer-factors want comma-separated numbers")
+
+    grid = []
+    for n in flows_list:
+        for factor in factor_list:
+            buffer_packets = max(2, round(args.pipe * factor / math.sqrt(n)))
+            grid.append(dict(
+                n_flows=n, buffer_packets=buffer_packets,
+                pipe_packets=args.pipe, bottleneck_rate=args.rate,
+                warmup=args.warmup, duration=args.duration, seed=args.seed,
+            ))
+
+    try:
+        supervisor = SweepSupervisor(
+            run_long_flow_experiment,
+            checkpoint_path=args.checkpoint,
+            resume=not args.fresh,
+            max_retries=args.retries,
+            max_events=args.max_events,
+            max_wall_seconds=args.timeout,
+        )
+    except ReproError as exc:
+        return _fail(str(exc))
+    if supervisor.completed_cells:
+        print(f"resuming: {supervisor.completed_cells} cell(s) already "
+              f"in {args.checkpoint}")
+
+    print(f"{'flows':>6} {'buffer':>7} {'util%':>7} {'loss%':>7} "
+          f"{'attempts':>8}  source")
+    failures = 0
+    for params in grid:
+        outcome = supervisor.run_cell(**params)
+        label = f"{params['n_flows']:>6} {params['buffer_packets']:>7}"
+        if not outcome.ok:
+            failures += 1
+            print(f"{label} {'-':>7} {'-':>7} {outcome.attempts:>8}  "
+                  f"FAILED: {outcome.error}")
+            continue
+        result = outcome.result
+        util = result["utilization"] if isinstance(result, dict) else result.utilization
+        loss = result["loss_rate"] if isinstance(result, dict) else result.loss_rate
+        source = "checkpoint" if outcome.from_checkpoint else "computed"
+        print(f"{label} {util * 100:>7.2f} {loss * 100:>7.3f} "
+              f"{outcome.attempts:>8}  {source}")
+    if failures:
+        print(f"{failures} cell(s) failed after retries")
+        return 3
     return 0

@@ -11,6 +11,14 @@ from repro.cli import commands
 __all__ = ["build_parser", "main"]
 
 
+def _add_watchdog_args(parser: argparse.ArgumentParser) -> None:
+    """Watchdog budgets shared by the simulation-running subcommands."""
+    parser.add_argument("--max-events", type=int, default=None,
+                        help="abort after this many simulation events")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="abort after this many wall-clock seconds")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the full argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -66,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="SACK senders/receivers (RFC 2018/6675)")
     p_long.add_argument("--ecn", action="store_true",
                         help="ECN marking instead of dropping (implies --red)")
+    p_long.add_argument("--flap", default=None, metavar="AT,DURATION",
+                        help='take the bottleneck down mid-run, e.g. "30,2"')
+    p_long.add_argument("--loss-burst", default=None, metavar="AT,DUR,PROB",
+                        help='random loss burst on the bottleneck queue, '
+                             'e.g. "30,5,0.02"')
+    _add_watchdog_args(p_long)
     p_long.set_defaults(func=commands.cmd_simulate_long)
 
     p_short = sim_sub.add_parser("short-flows",
@@ -78,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_short.add_argument("--rtt", default="80ms")
     p_short.add_argument("--duration", type=float, default=40.0)
     p_short.add_argument("--seed", type=int, default=1)
+    _add_watchdog_args(p_short)
     p_short.set_defaults(func=commands.cmd_simulate_short)
 
     p_single = sim_sub.add_parser("single-flow",
@@ -115,6 +130,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof = sub.add_parser("profiles",
                             help="list canonical link profiles and their buffers")
     p_prof.set_defaults(func=commands.cmd_profiles)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="checkpointed long-flow grid (watchdog + retry + resume)")
+    p_sweep.add_argument("--flows", default="16,64",
+                         help='comma-separated flow counts (default "16,64")')
+    p_sweep.add_argument("--buffer-factors", default="0.5,1.0",
+                         help='comma-separated buffer factors in units of '
+                              'RTTxC/sqrt(n) (default "0.5,1.0")')
+    p_sweep.add_argument("--pipe", type=float, default=400.0)
+    p_sweep.add_argument("--rate", default="40Mbps")
+    p_sweep.add_argument("--warmup", type=float, default=20.0)
+    p_sweep.add_argument("--duration", type=float, default=40.0)
+    p_sweep.add_argument("--seed", type=int, default=1)
+    p_sweep.add_argument("--checkpoint", default=None, metavar="FILE",
+                         help="JSON checkpoint; rerunning with the same file "
+                              "skips completed cells")
+    p_sweep.add_argument("--fresh", action="store_true",
+                         help="ignore an existing checkpoint instead of resuming")
+    p_sweep.add_argument("--retries", type=int, default=2,
+                         help="retries (with reseed) per transiently-failing "
+                              "cell (default 2)")
+    _add_watchdog_args(p_sweep)
+    p_sweep.set_defaults(func=commands.cmd_sweep)
 
     return parser
 

@@ -15,8 +15,11 @@ __all__ = [
     "UnitError",
     "SimulationError",
     "SchedulingError",
+    "SimulationStalledError",
+    "InvariantViolation",
     "RoutingError",
     "QueueError",
+    "FaultError",
     "ModelError",
 ]
 
@@ -38,15 +41,31 @@ class SimulationError(ReproError, RuntimeError):
 
 
 class SchedulingError(SimulationError):
-    """An event was scheduled at a time earlier than the current clock."""
+    """An event was scheduled at a time earlier than the current clock,
+    or with a non-finite delay/timestamp."""
+
+
+class SimulationStalledError(SimulationError):
+    """A watchdog budget (event count or wall clock) was exhausted before
+    the simulation reached its horizon — the run is presumed hung."""
+
+
+class InvariantViolation(SimulationError):
+    """A structural invariant (packet conservation, non-negative queue
+    occupancy, monotone virtual clock) failed: the simulation state is
+    silently corrupt and its results must not be trusted."""
 
 
 class RoutingError(SimulationError):
     """A packet reached a node with no route toward its destination."""
 
 
-class QueueError(SimulationError):
+class QueueError(InvariantViolation):
     """A queue invariant was violated (e.g. negative occupancy)."""
+
+
+class FaultError(ConfigurationError):
+    """A fault-injection schedule was invalid (unknown target, bad times)."""
 
 
 class ModelError(ReproError, ValueError):

@@ -24,11 +24,13 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.faults import FaultSchedule, targets_for_dumbbell
 from repro.metrics import (
     FctCollector,
     FlowProgressMeter,
     QueueMonitor,
     UtilizationMonitor,
+    WindowedUtilizationProbe,
     WindowTracker,
 )
 from repro.metrics.windows import GaussianFit
@@ -36,6 +38,7 @@ from repro.net import REDQueue, build_dumbbell
 from repro.net.packet import TCP_HEADER_BYTES
 from repro.net.queues import DropTailQueue
 from repro.net.topology import DumbbellNetwork
+from repro.runner.invariants import InvariantMonitor, verify_network
 from repro.sim import RngStreams, Simulator
 from repro.traffic import LongLivedWorkload, ShortFlowWorkload
 from repro.traffic.sizes import FlowSizeDistribution
@@ -83,11 +86,29 @@ class LongFlowResult:
     peak_to_trough: float = math.nan
     window_histogram: Optional[Tuple[List[float], List[int]]] = None
     events_processed: int = 0
+    fault_log: Optional[List[Tuple[float, str]]] = None
+    window_utilizations: Optional[List[Tuple[float, float]]] = None
 
     @property
     def buffer_in_sqrt_units(self) -> float:
         """Buffer expressed in units of ``pipe / sqrt(n)``."""
         return self.buffer_packets / (self.pipe_packets / math.sqrt(self.n_flows))
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LongFlowResult":
+        """Rehydrate a result round-tripped through a JSON checkpoint."""
+        data = dict(payload)
+        fit = data.get("gaussian_fit")
+        if isinstance(fit, dict):
+            data["gaussian_fit"] = GaussianFit(**fit)
+        for name in ("fault_log", "window_utilizations"):
+            value = data.get(name)
+            if value is not None:
+                data[name] = [tuple(item) for item in value]
+        hist = data.get("window_histogram")
+        if hist is not None:
+            data["window_histogram"] = (list(hist[0]), list(hist[1]))
+        return cls(**data)
 
 
 @dataclass
@@ -103,6 +124,16 @@ class ShortFlowResult:
     p99_fct: float
     flows_with_loss: int
     events_processed: int = 0
+    fault_log: Optional[List[Tuple[float, str]]] = None
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShortFlowResult":
+        """Rehydrate a result round-tripped through a JSON checkpoint."""
+        data = dict(payload)
+        log = data.get("fault_log")
+        if log is not None:
+            data["fault_log"] = [tuple(item) for item in log]
+        return cls(**data)
 
 
 def _make_jitter(rng: random.Random, mean: float) -> Callable[[], float]:
@@ -130,6 +161,12 @@ def run_long_flow_experiment(
     pacing: bool = False,
     sack: bool = False,
     ecn: bool = False,
+    faults: Optional[FaultSchedule] = None,
+    max_events: Optional[int] = None,
+    max_wall_seconds: Optional[float] = None,
+    check_invariants: bool = True,
+    invariant_period: float = 1.0,
+    utilization_probe_period: Optional[float] = None,
 ) -> LongFlowResult:
     """Run ``n_flows`` long-lived TCP flows through a bottleneck.
 
@@ -158,6 +195,23 @@ def run_long_flow_experiment(
     start_spread:
         Interval over which flow starts are staggered (default:
         ``warmup / 2``).
+    faults:
+        Optional :class:`~repro.faults.FaultSchedule` installed against
+        the dumbbell before the run; its firing log is returned in
+        ``result.fault_log``.
+    max_events, max_wall_seconds:
+        Watchdog budgets forwarded to :meth:`Simulator.run`; the run
+        dies with :class:`~repro.errors.SimulationStalledError` instead
+        of hanging a sweep.
+    check_invariants:
+        Install the always-on periodic invariant audit (packet
+        conservation, queue occupancy) plus a final end-of-run
+        verification.  On by default; costs O(nodes) once per
+        ``invariant_period`` of virtual time.
+    utilization_probe_period:
+        When set, record per-window bottleneck busy fractions in
+        ``result.window_utilizations`` — the trajectory fault
+        experiments use to show utilization recovering after an outage.
 
     Returns
     -------
@@ -237,7 +291,20 @@ def run_long_flow_experiment(
                                 t_start=warmup)
     progress = FlowProgressMeter(sim, workload.senders, t_start=warmup,
                                  t_end=t_end)
-    sim.run(until=t_end)
+    probe = None
+    if utilization_probe_period is not None:
+        probe = WindowedUtilizationProbe(sim, net.bottleneck_link,
+                                         period=utilization_probe_period,
+                                         t_end=t_end)
+    if faults is not None:
+        faults.install(sim, targets_for_dumbbell(net),
+                       rng=streams.stream("faults"))
+    if check_invariants:
+        InvariantMonitor(sim, net, period=invariant_period, t_stop=t_end)
+    sim.run(until=t_end, max_events=max_events,
+            max_wall_seconds=max_wall_seconds)
+    if check_invariants:
+        verify_network(net)
 
     timeouts = sum(flow.cc.timeouts for flow in workload.flows)
     fast_rtx = sum(flow.sender.fast_retransmits for flow in workload.flows)
@@ -257,6 +324,8 @@ def run_long_flow_experiment(
         peak_to_trough=tracker.peak_to_trough() if tracker else math.nan,
         window_histogram=tracker.histogram() if tracker else None,
         events_processed=sim.events_processed,
+        fault_log=list(faults.log) if faults is not None else None,
+        window_utilizations=list(probe.windows) if probe is not None else None,
     )
 
 
@@ -273,6 +342,11 @@ def run_short_flow_experiment(
     max_window: int = 43,
     access_multiplier: float = 10.0,
     cc: str = "reno",
+    faults: Optional[FaultSchedule] = None,
+    max_events: Optional[int] = None,
+    max_wall_seconds: Optional[float] = None,
+    check_invariants: bool = True,
+    invariant_period: float = 1.0,
 ) -> ShortFlowResult:
     """Poisson short-flow arrivals at a target load.
 
@@ -326,8 +400,17 @@ def run_short_flow_experiment(
     queue_mon = QueueMonitor(sim, net.bottleneck_queue, t_start=warmup, t_end=t_end,
                              sample_period=max(duration / 2000.0, 0.005))
     workload.start()
+    t_drain = t_end + duration * 0.25
+    if faults is not None:
+        faults.install(sim, targets_for_dumbbell(net),
+                       rng=streams.stream("faults"))
+    if check_invariants:
+        InvariantMonitor(sim, net, period=invariant_period, t_stop=t_drain)
     # Drain period so flows that started near t_end can complete.
-    sim.run(until=t_end + duration * 0.25)
+    sim.run(until=t_drain, max_events=max_events,
+            max_wall_seconds=max_wall_seconds)
+    if check_invariants:
+        verify_network(net)
 
     return ShortFlowResult(
         load=load,
@@ -339,4 +422,5 @@ def run_short_flow_experiment(
         p99_fct=collector.percentile(0.99),
         flows_with_loss=collector.flows_with_loss,
         events_processed=sim.events_processed,
+        fault_log=list(faults.log) if faults is not None else None,
     )

@@ -21,7 +21,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.ascii_plot import line_plot
-from repro.experiments.common import run_long_flow_experiment
+from repro.experiments.common import LongFlowResult, run_long_flow_experiment
+from repro.runner import SweepSupervisor
 
 __all__ = ["MinBufferPoint", "SweepResult", "min_buffer_sweep", "main"]
 
@@ -84,6 +85,10 @@ def min_buffer_sweep(
     warmup: float = 20.0,
     duration: float = 40.0,
     seed: int = 3,
+    checkpoint_path: Optional[str] = None,
+    max_retries: int = 2,
+    max_events: Optional[int] = None,
+    max_wall_seconds: Optional[float] = None,
     **kwargs,
 ) -> SweepResult:
     """Measure min-buffer-vs-n for the given utilization targets.
@@ -96,11 +101,25 @@ def min_buffer_sweep(
         Utilization targets (the paper's three curves).
     factors:
         Buffer grid in units of ``pipe / sqrt(n)``; must be increasing.
+    checkpoint_path:
+        Optional JSON checkpoint; a sweep killed mid-grid resumes from
+        the last completed cell on the next call with the same path.
+    max_retries, max_events, max_wall_seconds:
+        Hardening knobs forwarded to the
+        :class:`~repro.runner.SweepSupervisor` driving the grid.
     pipe_packets, warmup, duration, seed, kwargs:
         Forwarded to :func:`run_long_flow_experiment`.
     """
     if list(factors) != sorted(factors):
         raise ConfigurationError("factors must be increasing")
+    supervisor = SweepSupervisor(
+        run_long_flow_experiment,
+        checkpoint_path=checkpoint_path,
+        max_retries=max_retries,
+        max_events=max_events,
+        max_wall_seconds=max_wall_seconds,
+        deserialize=LongFlowResult.from_dict,
+    )
     points: List[MinBufferPoint] = []
     curves: Dict[int, List[Tuple[float, float]]] = {}
     for n in n_values:
@@ -108,7 +127,7 @@ def min_buffer_sweep(
         curve: List[Tuple[float, float]] = []
         for factor in factors:
             buffer_packets = max(2, int(round(factor * unit)))
-            result = run_long_flow_experiment(
+            outcome = supervisor.run_cell(
                 n_flows=n,
                 buffer_packets=buffer_packets,
                 pipe_packets=pipe_packets,
@@ -117,7 +136,11 @@ def min_buffer_sweep(
                 seed=seed,
                 **kwargs,
             )
-            curve.append((buffer_packets, result.utilization))
+            # A cell that stalled through all retries becomes a NaN
+            # sample: it can never satisfy a utilization target, and the
+            # rest of the sweep still completes.
+            utilization = outcome.result.utilization if outcome.ok else math.nan
+            curve.append((buffer_packets, utilization))
         # Enforce monotonicity for interpolation robustness (tiny
         # non-monotonic wiggles are measurement noise).
         best = 0.0

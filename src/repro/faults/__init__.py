@@ -1,0 +1,46 @@
+"""Fault injection: link flaps, loss/corruption bursts, router restarts.
+
+The paper's buffer-sizing rules are steady-state results; this package
+perturbs the steady state so experiments can measure how utilization and
+flow-completion times behave *through* faults and recovery — the regime
+follow-up work (Spang et al., "Updating the Theory of Buffer Sizing")
+shows is where buffers actually earn their keep.
+
+Two layers:
+
+:mod:`repro.faults.injectors`
+    Probabilistic per-packet loss and corruption, attachable to any
+    :class:`~repro.net.queues.Queue` via ``add_injector``.
+:mod:`repro.faults.schedule`
+    :class:`FaultSchedule` — a declarative timeline of fault events
+    (:class:`LinkFlap`, :class:`LossBurst`, :class:`CorruptionBurst`,
+    :class:`RouterRestart`) resolved against named targets and installed
+    onto a simulator.
+"""
+
+from repro.faults.injectors import RandomCorruption, RandomLoss
+from repro.faults.schedule import (
+    CorruptionBurst,
+    FaultEvent,
+    FaultSchedule,
+    LinkDown,
+    LinkFlap,
+    LinkUp,
+    LossBurst,
+    RouterRestart,
+    targets_for_dumbbell,
+)
+
+__all__ = [
+    "RandomLoss",
+    "RandomCorruption",
+    "FaultEvent",
+    "FaultSchedule",
+    "LinkDown",
+    "LinkUp",
+    "LinkFlap",
+    "LossBurst",
+    "CorruptionBurst",
+    "RouterRestart",
+    "targets_for_dumbbell",
+]

@@ -1,0 +1,77 @@
+"""Probabilistic per-packet fault injectors.
+
+An injector is a callable ``fn(packet) -> "drop" | "corrupt" | None``
+attached to a :class:`~repro.net.queues.Queue` with ``add_injector``.
+The queue consults injectors before its admission decision, so an
+injected drop is accounted exactly like a physical one (it shows up in
+``drops``/``injected_drops`` and in the conservation identity).
+
+Both injectors require an explicit ``random.Random`` stream — the same
+reproducibility discipline as :class:`~repro.sim.random.RngStreams`
+everywhere else: fault draws never perturb traffic draws.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+
+__all__ = ["RandomLoss", "RandomCorruption"]
+
+
+class _Bernoulli:
+    """Shared machinery: fire with fixed probability per packet."""
+
+    #: Action string returned to the queue when the injector fires.
+    action: str = ""
+
+    def __init__(self, rng, probability: float, data_only: bool = False):
+        if rng is None:
+            raise ConfigurationError(
+                f"{type(self).__name__} requires an explicit rng stream")
+        if not 0.0 < probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in (0, 1], got {probability}")
+        self.rng = rng
+        self.probability = probability
+        self.data_only = data_only
+        self.examined = 0
+        self.injected = 0
+
+    def __call__(self, packet: Packet) -> Optional[str]:
+        if self.data_only and not packet.is_data:
+            return None
+        self.examined += 1
+        if self.rng.random() < self.probability:
+            self.injected += 1
+            return self.action
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{type(self).__name__}(p={self.probability}, "
+                f"injected={self.injected}/{self.examined})")
+
+
+class RandomLoss(_Bernoulli):
+    """Drop each examined packet with probability ``probability``.
+
+    Models a lossy hop (dirty fiber, a flaky optic): the packet never
+    occupies the buffer.  Set ``data_only=True`` to spare pure ACKs,
+    isolating the forward data path.
+    """
+
+    action = "drop"
+
+
+class RandomCorruption(_Bernoulli):
+    """Corrupt each examined packet with probability ``probability``.
+
+    The packet still takes buffer space and wire time but the
+    destination host's checksum discards it — silent corruption turned
+    into an ordinary TCP loss, which is exactly how real networks
+    surface bit errors to transports.
+    """
+
+    action = "corrupt"

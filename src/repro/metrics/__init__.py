@@ -19,11 +19,12 @@ from repro.metrics.export import results_to_json, rows_to_csv, timeseries_to_csv
 from repro.metrics.fairness import FlowProgressMeter, jain_index
 from repro.metrics.fct import FctCollector
 from repro.metrics.queues import QueueMonitor
-from repro.metrics.utilization import UtilizationMonitor
+from repro.metrics.utilization import UtilizationMonitor, WindowedUtilizationProbe
 from repro.metrics.windows import GaussianFit, WindowTracker
 
 __all__ = [
     "UtilizationMonitor",
+    "WindowedUtilizationProbe",
     "QueueMonitor",
     "FctCollector",
     "WindowTracker",

@@ -9,12 +9,12 @@ window edges, so the measurement itself costs two scheduled events.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.net.link import Link
 
-__all__ = ["UtilizationMonitor"]
+__all__ = ["UtilizationMonitor", "WindowedUtilizationProbe"]
 
 
 class UtilizationMonitor:
@@ -105,3 +105,55 @@ class UtilizationMonitor:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "closed" if self._closed else "open"
         return f"UtilizationMonitor([{self.t_start}, {self.t_end}], {status})"
+
+
+class WindowedUtilizationProbe:
+    """Per-window busy fractions: the *trajectory* of utilization.
+
+    Where :class:`UtilizationMonitor` gives one number for the whole
+    measurement window, this probe samples the link's cumulative busy
+    time every ``period`` seconds and records the busy fraction of each
+    window.  That is what fault experiments need: the aggregate hides a
+    two-second outage, the trajectory shows the dip and — the question
+    that matters — whether utilization climbs back to its pre-fault
+    level once the link returns.
+
+    Attributes
+    ----------
+    windows:
+        ``(window_end_time, busy_fraction)`` per completed window.
+    """
+
+    def __init__(self, sim, link: Link, period: float = 1.0,
+                 t_start: float = 0.0, t_end: Optional[float] = None):
+        if period <= 0:
+            raise ConfigurationError(f"probe period must be positive, got {period}")
+        if t_start < sim.now:
+            raise ConfigurationError("probe window starts in the past")
+        if t_end is not None and t_end <= t_start:
+            raise ConfigurationError("t_end must exceed t_start")
+        self.sim = sim
+        self.link = link
+        self.period = period
+        self.t_end = t_end
+        self.windows: List[Tuple[float, float]] = []
+        self._last_busy: float = math.nan
+        sim.call_at(t_start, self._open)
+
+    def _open(self) -> None:
+        self._last_busy = self.link.busy_time
+        self.sim.schedule(self.period, self._tick)
+
+    def _tick(self) -> None:
+        busy = self.link.busy_time
+        self.windows.append((self.sim.now, (busy - self._last_busy) / self.period))
+        self._last_busy = busy
+        if self.t_end is None or self.sim.now + self.period <= self.t_end + 1e-12:
+            self.sim.schedule(self.period, self._tick)
+
+    def utilization_at(self, time: float) -> float:
+        """Busy fraction of the window containing ``time`` (nan if none)."""
+        for end, util in self.windows:
+            if end - self.period <= time <= end:
+                return util
+        return math.nan

@@ -40,21 +40,31 @@ class Interface:
         self.queue = queue
         self.link = link
         self.name = name or link.name
+        # Resume dequeuing when a downed link recovers; while it is
+        # down, packets accumulate in (and overflow) the queue exactly
+        # as they would in a real router whose port lost carrier.
+        link.on_up = self._on_link_up
 
     def enqueue(self, packet: Packet) -> bool:
         """Offer a packet for output; returns False if the queue dropped it."""
         accepted = self.queue.enqueue(packet)
-        if accepted and not self.link.busy:
+        if accepted and not self.link.busy and self.link.is_up:
             self._pump()
         return accepted
 
     def _pump(self) -> None:
+        if not self.link.is_up:
+            return
         packet = self.queue.dequeue()
         if packet is not None:
             self.link.transmit(packet, on_idle=self._on_link_idle)
 
     def _on_link_idle(self) -> None:
         if len(self.queue):
+            self._pump()
+
+    def _on_link_up(self) -> None:
+        if len(self.queue) and not self.link.busy:
             self._pump()
 
     @property

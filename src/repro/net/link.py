@@ -11,11 +11,19 @@ non-empty.
 
 Busy time is accumulated here, so link utilization is measured where it
 physically occurs rather than inferred from packet counts.
+
+Fault model
+-----------
+:meth:`Link.down` models a physical outage: the packet being serialized
+and every packet propagating on the wire are lost (counted in
+``packets_dropped``), and the transmitter refuses further work until
+:meth:`Link.up`.  The interface that owns the link registers an
+``on_up`` callback so dequeuing resumes as soon as the link recovers.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.net.packet import Packet
@@ -50,15 +58,42 @@ class Link:
         self.dst = dst
         self.name = name
         self.busy = False
+        self.is_up = True
         self.packets_delivered = 0
         self.bytes_delivered = 0
+        #: Packets/bytes lost to link faults (down() while in flight, or
+        #: transmit attempted on a downed link).
+        self.packets_dropped = 0
+        self.bytes_dropped = 0
+        self.down_count = 0
         self.busy_time = 0.0
+        self.down_time = 0.0
         self._busy_since: Optional[float] = None
+        self._down_since: Optional[float] = None
         self._on_idle: Optional[Callable[[], None]] = None
+        #: Set by the owning Interface: invoked when the link recovers.
+        self.on_up: Optional[Callable[[], None]] = None
+        # In-flight tracking so faults can kill the wire's contents: the
+        # packet being serialized (at most one) and packets propagating.
+        self._serializing: Optional[Tuple[Packet, "Event"]] = None
+        self._propagating: Dict[int, Tuple[Packet, "Event"]] = {}
 
     def serialization_time(self, packet: Packet) -> float:
         """Seconds needed to clock ``packet`` onto the wire."""
         return packet.size * 8.0 / self.rate
+
+    @property
+    def in_flight(self) -> int:
+        """Packets currently on this link (serializing + propagating)."""
+        return (1 if self._serializing is not None else 0) + len(self._propagating)
+
+    @property
+    def in_flight_bytes(self) -> int:
+        """Bytes currently on this link."""
+        total = sum(pkt.size for pkt, _ in self._propagating.values())
+        if self._serializing is not None:
+            total += self._serializing[0].size
+        return total
 
     def transmit(self, packet: Packet, on_idle: Optional[Callable[[], None]] = None) -> None:
         """Begin transmitting ``packet``.
@@ -66,34 +101,92 @@ class Link:
         ``on_idle`` is invoked when serialization finishes (the
         transmitter is free again); delivery to ``dst`` happens one
         propagation delay later.  Calling transmit while busy is a
-        programming error.
+        programming error.  Transmitting on a downed link loses the
+        packet silently (counted) — the transmitter is dead, so there is
+        no completion callback until :meth:`up` restarts the interface.
         """
         if self.busy:
             raise ConfigurationError(f"link {self.name!r} is busy")
         if self.dst is None:
             raise ConfigurationError(f"link {self.name!r} has no destination node")
+        if not self.is_up:
+            self._count_fault_drop(packet)
+            return
         self.busy = True
         self._busy_since = self.sim.now
         self._on_idle = on_idle
         tx = self.serialization_time(packet)
-        self.sim.schedule(tx, self._end_serialization, packet)
+        event = self.sim.schedule(tx, self._end_serialization, packet)
+        self._serializing = (packet, event)
 
     def _end_serialization(self, packet: Packet) -> None:
+        self._serializing = None
         self.busy = False
         if self._busy_since is not None:
             self.busy_time += self.sim.now - self._busy_since
             self._busy_since = None
-        self.sim.schedule(self.delay, self._deliver, packet)
+        event = self.sim.schedule(self.delay, self._deliver, packet)
+        self._propagating[packet.uid] = (packet, event)
         on_idle = self._on_idle
         self._on_idle = None
         if on_idle is not None:
             on_idle()
 
     def _deliver(self, packet: Packet) -> None:
+        self._propagating.pop(packet.uid, None)
         self.packets_delivered += 1
         self.bytes_delivered += packet.size
         packet.hops += 1
         self.dst.receive(packet)
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def down(self) -> None:
+        """Take the link down, losing everything currently on it.
+
+        Idempotent.  The serializing packet (if any) and all propagating
+        packets are dropped and counted in :attr:`packets_dropped`; the
+        owning interface stops dequeuing until :meth:`up`.
+        """
+        if not self.is_up:
+            return
+        self.is_up = False
+        self.down_count += 1
+        self._down_since = self.sim.now
+        if self._serializing is not None:
+            packet, event = self._serializing
+            event.cancel()
+            self._serializing = None
+            self.busy = False
+            if self._busy_since is not None:
+                self.busy_time += self.sim.now - self._busy_since
+                self._busy_since = None
+            self._on_idle = None
+            self._count_fault_drop(packet)
+        for packet, event in self._propagating.values():
+            event.cancel()
+            self._count_fault_drop(packet)
+        self._propagating.clear()
+
+    def up(self) -> None:
+        """Bring the link back; the owning interface resumes dequeuing.
+
+        Idempotent.  Invokes :attr:`on_up` (registered by the interface)
+        so queued packets start flowing again immediately.
+        """
+        if self.is_up:
+            return
+        self.is_up = True
+        if self._down_since is not None:
+            self.down_time += self.sim.now - self._down_since
+            self._down_since = None
+        if self.on_up is not None:
+            self.on_up()
+
+    def _count_fault_drop(self, packet: Packet) -> None:
+        self.packets_dropped += 1
+        self.bytes_dropped += packet.size
 
     # ------------------------------------------------------------------
     # Measurement
@@ -115,4 +208,6 @@ class Link:
         return min(busy / span, 1.0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Link({self.name!r}, rate={self.rate:.3g}b/s, delay={self.delay:.4g}s)"
+        state = "up" if self.is_up else "DOWN"
+        return (f"Link({self.name!r}, rate={self.rate:.3g}b/s, "
+                f"delay={self.delay:.4g}s, {state})")

@@ -105,6 +105,8 @@ class Host(Node):
         self._agents: Dict[int, "AgentLike"] = {}
         self.packets_received = 0
         self.packets_sent = 0
+        #: Arrivals discarded by the transport checksum (fault injection).
+        self.packets_corrupted = 0
 
     def bind(self, port: int, agent: "AgentLike") -> None:
         """Attach ``agent`` to ``port``; arriving packets with that dport
@@ -122,7 +124,9 @@ class Host(Node):
         packet.created_at = self.sim.now
         self.packets_sent += 1
         if packet.dst == self.address:
-            # Loopback: deliver without touching any link.
+            # Loopback: deliver without touching any link.  Counted as
+            # received so network-wide conservation stays exact.
+            self.packets_received += 1
             self._dispatch(packet)
             return True
         return self.forward(packet)
@@ -134,6 +138,12 @@ class Host(Node):
                 f"host {self.name!r} (addr {self.address}) received packet "
                 f"for address {packet.dst}"
             )
+        if packet.meta is not None and packet.meta.get("corrupted"):
+            # Transport checksum failure: the bits arrived but the
+            # payload is garbage, so the packet dies here (TCP recovers
+            # it by retransmission, exactly as with a queue drop).
+            self.packets_corrupted += 1
+            return
         self.packets_received += 1
         if self.proc_jitter is not None:
             delay = self.proc_jitter()

@@ -18,12 +18,14 @@ import math
 from collections import deque
 from typing import Callable, Deque, List, Optional
 
-from repro.errors import ConfigurationError, QueueError
+from repro.errors import ConfigurationError, InvariantViolation, QueueError
 from repro.net.packet import Packet, PacketFlags
 
 __all__ = ["Queue", "DropTailQueue", "REDQueue"]
 
 DropHook = Callable[[Packet], None]
+#: Fault injector: returns "drop", "corrupt", or None for each arrival.
+Injector = Callable[[Packet], Optional[str]]
 
 
 class Queue:
@@ -84,6 +86,18 @@ class Queue:
         self.peak_packets = 0
         self.peak_bytes = 0
         self._drop_hooks: List[DropHook] = []
+        # Fault injection (see repro.faults.injectors).
+        self._injectors: List[Injector] = []
+        self.injected_drops = 0
+        self.injected_corruptions = 0
+        self.flushed = 0
+        # Packets/bytes resident when stats were last reset, so the
+        # conservation identity stays exact across reset_stats().
+        self._resident_at_reset = 0
+        self._resident_bytes_at_reset = 0
+        # Lifetime drop count surviving reset_stats(), for network-wide
+        # conservation checks (repro.runner.invariants).
+        self._drops_before_reset = 0
 
     # ------------------------------------------------------------------
     # Public interface
@@ -104,6 +118,20 @@ class Queue:
         """
         self.arrivals += 1
         self.bytes_in += packet.size
+        for injector in self._injectors:
+            action = injector(packet)
+            if action == "drop":
+                self.injected_drops += 1
+                self._drop(packet)
+                return False
+            if action == "corrupt":
+                # The payload is damaged but the packet still occupies
+                # buffer and wire; the destination host's checksum
+                # discards it (see Host.receive).
+                self.injected_corruptions += 1
+                if packet.meta is None:
+                    packet.meta = {}
+                packet.meta["corrupted"] = True
         if self._admit(packet):
             self._record_occupancy()
             self._items.append(packet)
@@ -138,6 +166,41 @@ class Queue:
         """Register a callback invoked with each dropped packet."""
         self._drop_hooks.append(hook)
 
+    def add_injector(self, injector: Injector) -> None:
+        """Attach a fault injector consulted on every arrival.
+
+        The injector returns ``"drop"`` (lose the packet before
+        admission; counted in both ``drops`` and ``injected_drops``),
+        ``"corrupt"`` (admit but mark the payload damaged), or ``None``
+        (leave the packet alone).
+        """
+        self._injectors.append(injector)
+
+    def remove_injector(self, injector: Injector) -> None:
+        """Detach a fault injector (idempotent)."""
+        if injector in self._injectors:
+            self._injectors.remove(injector)
+
+    def flush(self) -> int:
+        """Drop every queued packet (a router restart losing its buffer).
+
+        Returns the number of packets flushed; they are counted in
+        ``drops`` (and ``flushed``) so conservation accounting holds.
+        """
+        n = len(self._items)
+        if n == 0:
+            return 0
+        self._record_occupancy()
+        while self._items:
+            packet = self._items.popleft()
+            self._bytes -= packet.size
+            self._drop(packet)
+        if self._bytes != 0:
+            raise QueueError(
+                f"queue flush left {self._bytes} bytes of phantom occupancy")
+        self.flushed += n
+        return n
+
     @property
     def drop_fraction(self) -> float:
         """Drops divided by arrivals (NaN before any arrival)."""
@@ -159,10 +222,47 @@ class Queue:
         area = self._occ_area_bytes + self._bytes * (self.sim.now - self._occ_time)
         return area / span
 
+    def check_invariants(self) -> None:
+        """Raise :class:`InvariantViolation` unless the books balance.
+
+        Every packet that arrived since the last :meth:`reset_stats`
+        (plus whatever was resident at that reset) must be accounted for:
+        departed, dropped, or still queued.  Occupancy must be
+        non-negative in both units.
+        """
+        if self._bytes < 0:
+            raise QueueError(f"negative byte occupancy ({self._bytes})")
+        resident = len(self._items)
+        expected = self.departures + self.drops + resident
+        if self.arrivals + self._resident_at_reset != expected:
+            raise InvariantViolation(
+                f"queue conservation broken: arrivals={self.arrivals} "
+                f"(+{self._resident_at_reset} resident at reset) != "
+                f"departures={self.departures} + drops={self.drops} "
+                f"+ queued={resident}"
+            )
+        expected_bytes = self.bytes_out + self.bytes_dropped + self._bytes
+        if self.bytes_in + self._resident_bytes_at_reset != expected_bytes:
+            raise InvariantViolation(
+                f"queue byte conservation broken: in={self.bytes_in} "
+                f"(+{self._resident_bytes_at_reset} resident at reset) != "
+                f"out={self.bytes_out} + dropped={self.bytes_dropped} "
+                f"+ queued={self._bytes}"
+            )
+
+    @property
+    def total_drops(self) -> int:
+        """Lifetime drops, unaffected by :meth:`reset_stats`."""
+        return self.drops + self._drops_before_reset
+
     def reset_stats(self) -> None:
         """Zero counters and restart occupancy averaging (post-warm-up)."""
+        self._drops_before_reset += self.drops
         self.arrivals = self.departures = self.drops = 0
         self.bytes_in = self.bytes_out = self.bytes_dropped = 0
+        self.injected_drops = self.injected_corruptions = self.flushed = 0
+        self._resident_at_reset = len(self._items)
+        self._resident_bytes_at_reset = self._bytes
         self.peak_packets = len(self._items)
         self.peak_bytes = self._bytes
         self._occ_start = self.sim.now

@@ -1,0 +1,36 @@
+"""Hardened experiment running: invariants, watchdogs, checkpointed sweeps.
+
+A single hung or silently-wrong simulation can poison an entire
+Table-10-style sweep.  This package closes both holes:
+
+:mod:`repro.runner.invariants`
+    Structural checks (packet conservation, non-negative occupancy)
+    run over a whole :class:`~repro.net.topology.Network`, turning
+    silent state corruption into a loud
+    :class:`~repro.errors.InvariantViolation`.  The experiment runners
+    in :mod:`repro.experiments.common` install these always-on.
+:mod:`repro.runner.supervisor`
+    :class:`SweepSupervisor` — wraps any experiment callable with
+    per-trial event/wall-clock budgets, retry-with-reseed on transient
+    failure, and JSON checkpointing so a killed sweep resumes from the
+    last completed cell.
+"""
+
+from repro.runner.invariants import (
+    InvariantMonitor,
+    check_link,
+    check_network_conservation,
+    check_queue,
+    verify_network,
+)
+from repro.runner.supervisor import SweepSupervisor, TrialOutcome
+
+__all__ = [
+    "check_queue",
+    "check_link",
+    "check_network_conservation",
+    "verify_network",
+    "InvariantMonitor",
+    "SweepSupervisor",
+    "TrialOutcome",
+]

@@ -1,0 +1,256 @@
+"""Checkpointed, watchdogged, retrying sweep execution.
+
+:class:`SweepSupervisor` wraps an experiment callable (typically
+:func:`~repro.experiments.common.run_long_flow_experiment` or
+:func:`~repro.experiments.common.run_short_flow_experiment`) and runs a
+grid of parameter cells with three protections:
+
+* **Budgets** — ``max_events`` / ``max_wall_seconds`` are forwarded to
+  the trial function (when it accepts them), so a hung cell dies with
+  :class:`~repro.errors.SimulationStalledError` instead of wedging the
+  sweep.
+* **Retry with reseed** — transient failures (stalls, invariant
+  violations) are retried up to ``max_retries`` times with a derived
+  seed, so one pathological seed does not kill a 64-cell table.
+* **Checkpointing** — each completed cell is appended to a JSON file
+  (written atomically); a restarted sweep with the same checkpoint path
+  skips finished cells and recomputes nothing.
+
+Cells are keyed by their full parameter dict, so a checkpoint is
+automatically invalidated for cells whose parameters change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    ReproError,
+    SimulationStalledError,
+)
+
+__all__ = ["SweepSupervisor", "TrialOutcome"]
+
+#: Stride between derived retry seeds; large and odd so reseeded trials
+#: never collide with neighbouring cells' base seeds.
+RESEED_STRIDE = 104729
+
+#: Exceptions treated as transient: worth retrying under a fresh seed.
+TRANSIENT_ERRORS = (SimulationStalledError, InvariantViolation)
+
+
+@dataclass
+class TrialOutcome:
+    """What happened to one sweep cell."""
+
+    key: str
+    params: Dict[str, Any]
+    result: Any = None
+    attempts: int = 0
+    from_checkpoint: bool = False
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _default_serialize(result: Any) -> Any:
+    """Dataclasses become dicts; everything else must already be JSON-able."""
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return dataclasses.asdict(result)
+    return result
+
+
+def cell_key(params: Dict[str, Any]) -> str:
+    """Stable identity of a cell: its sorted, JSON-encoded parameters."""
+    return json.dumps(params, sort_keys=True, default=repr)
+
+
+class SweepSupervisor:
+    """Run a grid of experiment cells with budgets, retries, checkpoints.
+
+    Parameters
+    ----------
+    fn:
+        The trial callable; invoked as ``fn(**params)``.
+    checkpoint_path:
+        JSON checkpoint file, or ``None`` to disable persistence.
+    resume:
+        Load previously-completed cells from the checkpoint (default
+        True).  With ``resume=False`` an existing checkpoint is
+        overwritten as cells complete.
+    max_retries:
+        Retries after the first attempt of a transiently-failing cell.
+    max_events, max_wall_seconds:
+        Per-trial watchdog budgets, injected into ``params`` whenever
+        ``fn`` accepts parameters of those names.
+    serialize:
+        Converts a result to a JSON-serializable object (default:
+        ``dataclasses.asdict`` for dataclasses, identity otherwise).
+    deserialize:
+        Rehydrates a checkpointed result dict (default: identity, i.e.
+        resumed cells yield plain dicts).
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        checkpoint_path: Optional[str] = None,
+        resume: bool = True,
+        max_retries: int = 2,
+        max_events: Optional[int] = None,
+        max_wall_seconds: Optional[float] = None,
+        serialize: Callable[[Any], Any] = _default_serialize,
+        deserialize: Optional[Callable[[Any], Any]] = None,
+    ):
+        if max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
+        self.fn = fn
+        self.checkpoint_path = checkpoint_path
+        self.max_retries = max_retries
+        self.max_events = max_events
+        self.max_wall_seconds = max_wall_seconds
+        self.serialize = serialize
+        self.deserialize = deserialize
+        self._accepted = self._accepted_params(fn)
+        self._cells: Dict[str, Dict[str, Any]] = {}
+        if checkpoint_path and resume:
+            self._cells = self._load_checkpoint(checkpoint_path)
+
+    # ------------------------------------------------------------------
+    # Checkpoint I/O
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _load_checkpoint(path: str) -> Dict[str, Dict[str, Any]]:
+        if not os.path.exists(path):
+            return {}
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                f"unreadable checkpoint {path!r}: {exc}") from exc
+        if payload.get("version") != 1:
+            raise ConfigurationError(
+                f"checkpoint {path!r} has unsupported version "
+                f"{payload.get('version')!r}")
+        return dict(payload.get("cells", {}))
+
+    def _write_checkpoint(self) -> None:
+        if not self.checkpoint_path:
+            return
+        payload = {"version": 1, "cells": self._cells}
+        directory = os.path.dirname(os.path.abspath(self.checkpoint_path))
+        # Atomic replace: a sweep killed mid-write never corrupts the
+        # checkpoint it would later resume from.
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                # default=repr: non-JSON params (e.g. a FaultSchedule)
+                # degrade to their repr instead of breaking the write;
+                # cell identity already uses the same convention.
+                json.dump(payload, fh, default=repr)
+            os.replace(tmp_path, self.checkpoint_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    @property
+    def completed_cells(self) -> int:
+        """Cells already present in the (loaded or accumulated) checkpoint."""
+        return len(self._cells)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _accepted_params(fn: Callable) -> Optional[set]:
+        """Parameter names ``fn`` accepts, or None if it takes **kwargs."""
+        try:
+            sig = inspect.signature(fn)
+        except (TypeError, ValueError):  # builtins, C callables
+            return None
+        for param in sig.parameters.values():
+            if param.kind is inspect.Parameter.VAR_KEYWORD:
+                return None
+        return set(sig.parameters)
+
+    def _budgeted(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        call = dict(params)
+        for name, value in (("max_events", self.max_events),
+                            ("max_wall_seconds", self.max_wall_seconds)):
+            if value is not None and name not in call:
+                if self._accepted is None or name in self._accepted:
+                    call[name] = value
+        return call
+
+    def run_cell(self, **params: Any) -> TrialOutcome:
+        """Run (or resume) one cell; checkpoint it on success."""
+        key = cell_key(params)
+        cached = self._cells.get(key)
+        if cached is not None:
+            result = cached["result"]
+            if self.deserialize is not None:
+                result = self.deserialize(result)
+            return TrialOutcome(key=key, params=params, result=result,
+                                attempts=cached.get("attempts", 1),
+                                from_checkpoint=True)
+        outcome = TrialOutcome(key=key, params=params)
+        started = time.monotonic()
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            call = self._budgeted(params)
+            if attempt and "seed" in call and isinstance(call["seed"], int):
+                # Reseed: a transient failure is usually a pathological
+                # draw; a derived seed gives an independent replicate.
+                call["seed"] = params["seed"] + attempt * RESEED_STRIDE
+            outcome.attempts = attempt + 1
+            try:
+                outcome.result = self.fn(**call)
+                break
+            except TRANSIENT_ERRORS as exc:
+                last_error = exc
+            except ReproError:
+                raise  # configuration mistakes never heal with a reseed
+        else:
+            outcome.error = f"{type(last_error).__name__}: {last_error}"
+        outcome.elapsed_seconds = time.monotonic() - started
+        if outcome.ok:
+            self._cells[key] = {
+                "params": params,
+                "result": self.serialize(outcome.result),
+                "attempts": outcome.attempts,
+                "elapsed_seconds": outcome.elapsed_seconds,
+            }
+            self._write_checkpoint()
+        return outcome
+
+    def run(self, grid: Iterable[Dict[str, Any]],
+            on_cell: Optional[Callable[[TrialOutcome], None]] = None,
+            ) -> List[TrialOutcome]:
+        """Run every cell in ``grid``; failed cells are reported, not fatal.
+
+        ``on_cell`` is invoked with each :class:`TrialOutcome` as it
+        completes (progress reporting).
+        """
+        outcomes = []
+        for params in grid:
+            outcome = self.run_cell(**params)
+            if on_cell is not None:
+                on_cell(outcome)
+            outcomes.append(outcome)
+        return outcomes

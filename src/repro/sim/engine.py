@@ -22,9 +22,16 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
+import time as _wallclock
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro.errors import SchedulingError, SimulationError
+from repro.errors import (
+    InvariantViolation,
+    SchedulingError,
+    SimulationError,
+    SimulationStalledError,
+)
 
 __all__ = ["Event", "Simulator"]
 
@@ -101,19 +108,32 @@ class Simulator:
     def schedule(self, delay: float, callback: Callable, *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
 
-        Returns the :class:`Event` handle.  ``delay`` must be
+        Returns the :class:`Event` handle.  ``delay`` must be finite and
         non-negative; zero-delay events run after all events already
         scheduled for the current instant (FIFO tie-break).
         """
         if delay < 0:
-            raise SchedulingError(f"negative delay {delay!r}")
+            raise SchedulingError(
+                f"cannot schedule {delay!r}s into the past "
+                f"(clock at t={self._now:.9f}); delays must be >= 0"
+            )
+        if not math.isfinite(delay):
+            # NaN compares false against everything, so without this
+            # guard a NaN timestamp would silently corrupt heap order.
+            raise SchedulingError(f"delay must be finite, got {delay!r}")
         time = self._now + delay
         event = Event(time, callback, args)
         heapq.heappush(self._heap, (time, next(self._seq), event))
         return event
 
     def call_at(self, time: float, callback: Callable, *args: Any) -> Event:
-        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``.
+
+        ``time`` must be finite and must not lie strictly before the
+        current clock; both violations raise :class:`SchedulingError`.
+        """
+        if not math.isfinite(time):
+            raise SchedulingError(f"event time must be finite, got {time!r}")
         if time < self._now:
             raise SchedulingError(
                 f"cannot schedule at t={time:.9f}, clock already at t={self._now:.9f}"
@@ -125,7 +145,12 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, until: Optional[float] = None) -> None:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        max_wall_seconds: Optional[float] = None,
+    ) -> None:
         """Dispatch events in order until exhaustion, ``until``, or :meth:`stop`.
 
         Parameters
@@ -134,11 +159,25 @@ class Simulator:
             Optional horizon (absolute virtual time).  Events at exactly
             ``until`` are executed; later events remain queued and the
             clock is advanced to ``until``.
+        max_events:
+            Watchdog budget: abort with :class:`SimulationStalledError`
+            after this many events dispatched *by this call*.  Guards
+            against zero-delay event storms that never advance the clock.
+        max_wall_seconds:
+            Watchdog budget on real elapsed time for this call (checked
+            every 4096 events, so overshoot is bounded by one batch).
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
+        if max_events is not None and max_events < 1:
+            raise SimulationError(f"max_events must be >= 1, got {max_events}")
+        if max_wall_seconds is not None and max_wall_seconds <= 0:
+            raise SimulationError(
+                f"max_wall_seconds must be positive, got {max_wall_seconds}")
         self._running = True
         self._stopped = False
+        dispatched = 0
+        wall_start = _wallclock.monotonic() if max_wall_seconds is not None else 0.0
         try:
             heap = self._heap
             pop = heapq.heappop
@@ -150,12 +189,29 @@ class Simulator:
                 callback = event.callback
                 if callback is None:
                     continue
+                if time < self._now:
+                    raise InvariantViolation(
+                        f"virtual clock moved backwards: popped event at "
+                        f"t={time:.9f} with clock at t={self._now:.9f}"
+                    )
                 self._now = time
                 event.callback = None  # mark as consumed
                 args = event.args
                 event.args = ()
                 self.events_processed += 1
+                dispatched += 1
                 callback(*args)
+                if max_events is not None and dispatched >= max_events:
+                    raise SimulationStalledError(
+                        f"watchdog: event budget of {max_events} exhausted at "
+                        f"t={self._now:.6f} ({len(heap)} events still queued)"
+                    )
+                if (max_wall_seconds is not None and dispatched % 4096 == 0
+                        and _wallclock.monotonic() - wall_start > max_wall_seconds):
+                    raise SimulationStalledError(
+                        f"watchdog: wall-clock budget of {max_wall_seconds:.1f}s "
+                        f"exhausted at t={self._now:.6f} after {dispatched} events"
+                    )
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:

@@ -34,15 +34,25 @@ class RtoEstimator:
     initial_rto:
         RTO used before the first sample (RFC 6298 says 1 s; we default
         to 1 s as well — only the very first drop of a flow sees it).
+    max_backoff:
+        Cap on the exponential-backoff multiplier (default 64, the BSD
+        limit).  Together with ``max_rto`` this bounds the retransmit
+        interval during a long blackout: probes settle at
+        ``min(base * max_backoff, max_rto)`` seconds apart, so outages
+        longer than the RTO cap produce a slow trickle of probes rather
+        than a retransmission storm.
     """
 
     def __init__(self, min_rto: float = 0.2, max_rto: float = 60.0,
-                 initial_rto: float = 1.0):
+                 initial_rto: float = 1.0, max_backoff: int = 64):
         if not 0 < min_rto <= max_rto:
             raise ConfigurationError("need 0 < min_rto <= max_rto")
+        if max_backoff < 1:
+            raise ConfigurationError(f"max_backoff must be >= 1, got {max_backoff}")
         self.min_rto = min_rto
         self.max_rto = max_rto
         self.initial_rto = initial_rto
+        self.max_backoff = max_backoff
         self.srtt: float = 0.0
         self.rttvar: float = 0.0
         self.backoff = 1
@@ -73,7 +83,7 @@ class RtoEstimator:
 
     def on_timeout(self) -> None:
         """Apply exponential backoff after a retransmission timeout."""
-        self.backoff = min(self.backoff * 2, 64)
+        self.backoff = min(self.backoff * 2, self.max_backoff)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"RtoEstimator(srtt={self.srtt:.4f}, rttvar={self.rttvar:.4f}, "

@@ -185,6 +185,85 @@ class TestFeatureFlags:
         assert "(RED)" in out and "(ECN)" in out
 
 
+class TestFaultFlags:
+    def test_flap_runs_and_prints_fault_log(self, capsys):
+        code, out = run_cli(capsys, "simulate", "long-flows",
+                            "--flows", "4", "--buffer-packets", "20",
+                            "--pipe", "50", "--rate", "10Mbps",
+                            "--warmup", "3", "--duration", "8",
+                            "--flap", "6,1")
+        assert code == 0
+        assert "faults:" in out
+        assert "down" in out and "up" in out
+
+    def test_loss_burst_runs(self, capsys):
+        code, out = run_cli(capsys, "simulate", "long-flows",
+                            "--flows", "4", "--buffer-packets", "20",
+                            "--pipe", "50", "--rate", "10Mbps",
+                            "--warmup", "3", "--duration", "8",
+                            "--loss-burst", "4,2,0.05")
+        assert code == 0
+        assert "drop burst" in out
+
+    def test_malformed_flap_is_error(self, capsys):
+        code, out = run_cli(capsys, "simulate", "long-flows",
+                            "--flows", "4", "--pipe", "50",
+                            "--rate", "10Mbps", "--flap", "6")
+        assert code == 2
+        assert "error" in out
+
+
+class TestWatchdogFlags:
+    def test_event_budget_abort_is_exit_3(self, capsys):
+        code, out = run_cli(capsys, "simulate", "long-flows",
+                            "--flows", "4", "--pipe", "50",
+                            "--rate", "10Mbps", "--warmup", "3",
+                            "--duration", "8", "--max-events", "500")
+        assert code == 3
+        assert out.startswith("aborted (stalled):")
+        assert out.count("\n") == 1  # one-line diagnostic
+
+    def test_generous_budget_does_not_interfere(self, capsys):
+        code, out = run_cli(capsys, "simulate", "short-flows",
+                            "--load", "0.3", "--rate", "10Mbps",
+                            "--duration", "5", "--max-events", "10000000",
+                            "--timeout", "120")
+        assert code == 0
+        assert "AFCT" in out
+
+
+class TestSweepCommand:
+    ARGS = ["sweep", "--flows", "3", "--buffer-factors", "1.0",
+            "--pipe", "40", "--rate", "10Mbps",
+            "--warmup", "2", "--duration", "4"]
+
+    def test_sweep_runs_and_reports(self, capsys):
+        code, out = run_cli(capsys, *self.ARGS)
+        assert code == 0
+        assert "computed" in out
+
+    def test_sweep_resumes_from_checkpoint(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "sweep.json")
+        code, out = run_cli(capsys, *self.ARGS, "--checkpoint", ckpt)
+        assert code == 0
+        assert "computed" in out
+        code, out = run_cli(capsys, *self.ARGS, "--checkpoint", ckpt)
+        assert code == 0
+        assert "resuming: 1 cell(s)" in out
+        assert "checkpoint" in out
+        assert "computed" not in out
+
+    def test_sweep_failure_is_exit_3(self, capsys):
+        code, out = run_cli(capsys, *self.ARGS, "--max-events", "100",
+                            "--retries", "0")
+        assert code == 3
+        assert "FAILED" in out
+
+    def test_bad_grid_spec_is_error(self, capsys):
+        code, out = run_cli(capsys, "sweep", "--flows", "a,b")
+        assert code == 2
+
+
 class TestFluidCommand:
     def test_desynchronized(self, capsys):
         code, out = run_cli(capsys, "fluid", "--flows", "16",

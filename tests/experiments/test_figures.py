@@ -87,6 +87,18 @@ class TestSweepPlumbing:
         with pytest.raises(ConfigurationError):
             min_buffer_sweep(n_values=(4,), factors=(2.0, 1.0))
 
+    def test_sweep_resumes_from_checkpoint(self, tmp_path):
+        ckpt = str(tmp_path / "fig7.json")
+        params = dict(n_values=(9,), targets=(0.9,), factors=(0.5, 1.5),
+                      pipe_packets=100.0, bottleneck_rate="10Mbps",
+                      warmup=5, duration=8, seed=1)
+        first = min_buffer_sweep(checkpoint_path=ckpt, **params)
+        # Same grid again: every cell replays from the checkpoint, and
+        # the rehydrated results reproduce the curve exactly.
+        second = min_buffer_sweep(checkpoint_path=ckpt, **params)
+        assert second.curves == first.curves
+        assert second.points[0].buffer_packets == first.points[0].buffer_packets
+
 
 class TestShortFlowSweepPlumbing:
     def test_sweep_returns_point_per_bandwidth(self):

@@ -1,0 +1,76 @@
+"""Acceptance: dumbbell runs with mid-run faults complete, conserve
+packets, and recover their utilization after the outage ends."""
+
+import statistics
+
+import pytest
+
+from repro.experiments.common import run_long_flow_experiment
+from repro.faults import FaultSchedule, LinkFlap, LossBurst, RouterRestart
+
+
+def flap_run(**overrides):
+    params = dict(
+        n_flows=6, buffer_packets=25, pipe_packets=50,
+        bottleneck_rate="10Mbps", warmup=4.0, duration=18.0, seed=7,
+        faults=FaultSchedule([LinkFlap(at=10.0, duration=2.0)]),
+        utilization_probe_period=1.0,
+    )
+    params.update(overrides)
+    return run_long_flow_experiment(**params)
+
+
+class TestLinkFlap:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Invariants are on by default: the run itself verifies packet
+        # conservation every virtual second and once more at the end.
+        return flap_run()
+
+    def test_fault_log_records_both_transitions(self, result):
+        assert [t for t, _ in result.fault_log] == [10.0, 12.0]
+        assert "down" in result.fault_log[0][1]
+        assert "up" in result.fault_log[1][1]
+
+    def test_utilization_dips_during_outage(self, result):
+        during = [u for t, u in result.window_utilizations if 10.5 < t <= 12.0]
+        assert min(during) < 0.1
+
+    def test_utilization_recovers_within_five_percent(self, result):
+        pre = [u for t, u in result.window_utilizations if 7.0 <= t <= 10.0]
+        post = [u for t, u in result.window_utilizations if 18.0 <= t <= 22.0]
+        assert statistics.mean(post) >= statistics.mean(pre) - 0.05
+
+    def test_timeouts_occurred_but_run_completed(self, result):
+        # The outage forces RTOs; the run still finishes with sane stats.
+        assert result.timeouts > 0
+        assert 0.0 < result.utilization < 1.0
+
+
+class TestOtherFaults:
+    def test_loss_burst_completes_and_conserves(self):
+        result = flap_run(
+            faults=FaultSchedule([LossBurst(at=8.0, duration=3.0,
+                                            probability=0.05)]),
+        )
+        assert len(result.fault_log) == 2
+        assert result.utilization > 0.5
+
+    def test_router_restart_completes_and_conserves(self):
+        result = flap_run(
+            faults=FaultSchedule([RouterRestart(at=10.0, target="left",
+                                                downtime=1.0)]),
+            duration=16.0,
+        )
+        assert "restarting" in result.fault_log[0][1]
+        assert result.utilization > 0.3
+
+    def test_blackout_longer_than_rto_cap_recovers(self):
+        # A 12 s outage exceeds many backed-off RTOs; flows must sit in
+        # exponential backoff and still come back once the link does.
+        result = flap_run(
+            faults=FaultSchedule([LinkFlap(at=8.0, duration=12.0)]),
+            warmup=4.0, duration=36.0, seed=11,
+        )
+        post = [u for t, u in result.window_utilizations if t > 32.0]
+        assert statistics.mean(post) > 0.5

@@ -1,0 +1,93 @@
+"""Probabilistic loss/corruption injectors attached to queues."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import RandomCorruption, RandomLoss
+from repro.net import DropTailQueue
+from repro.net.packet import Packet, PacketFlags
+from repro.sim import Simulator
+
+
+def data_pkt():
+    return Packet(src=1, dst=2, payload=960)
+
+
+def ack_pkt():
+    return Packet(src=2, dst=1, payload=0, flags=PacketFlags.ACK)
+
+
+class TestConstruction:
+    def test_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            RandomLoss(None, 0.5)
+
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.5])
+    def test_rejects_bad_probability(self, p):
+        with pytest.raises(ConfigurationError):
+            RandomLoss(random.Random(1), p)
+
+
+class TestRandomLoss:
+    def test_certain_loss_drops_everything(self):
+        sim = Simulator()
+        queue = DropTailQueue(sim, capacity_packets=100)
+        queue.add_injector(RandomLoss(random.Random(1), 1.0))
+        accepted = [queue.enqueue(data_pkt()) for _ in range(10)]
+        assert accepted == [False] * 10
+        assert queue.injected_drops == 10
+        assert queue.drops == 10
+        assert len(queue) == 0
+
+    def test_data_only_spares_acks(self):
+        sim = Simulator()
+        queue = DropTailQueue(sim, capacity_packets=100)
+        queue.add_injector(RandomLoss(random.Random(1), 1.0, data_only=True))
+        assert not queue.enqueue(data_pkt())
+        assert queue.enqueue(ack_pkt())
+
+    def test_probability_roughly_respected(self):
+        sim = Simulator()
+        queue = DropTailQueue(sim, capacity_packets=10_000)
+        injector = RandomLoss(random.Random(42), 0.3)
+        queue.add_injector(injector)
+        for _ in range(2000):
+            queue.enqueue(data_pkt())
+        rate = queue.injected_drops / 2000
+        assert 0.25 < rate < 0.35
+        assert injector.examined == 2000
+        assert injector.injected == queue.injected_drops
+
+    def test_remove_injector_stops_losses(self):
+        sim = Simulator()
+        queue = DropTailQueue(sim, capacity_packets=100)
+        injector = RandomLoss(random.Random(1), 1.0)
+        queue.add_injector(injector)
+        queue.remove_injector(injector)
+        queue.remove_injector(injector)  # idempotent
+        assert queue.enqueue(data_pkt())
+        assert queue.injected_drops == 0
+
+
+class TestRandomCorruption:
+    def test_corrupted_packets_still_occupy_queue(self):
+        sim = Simulator()
+        queue = DropTailQueue(sim, capacity_packets=100)
+        queue.add_injector(RandomCorruption(random.Random(1), 1.0))
+        assert queue.enqueue(data_pkt())
+        assert len(queue) == 1
+        assert queue.injected_corruptions == 1
+        packet = queue.dequeue()
+        assert packet.meta["corrupted"] is True
+
+    def test_conservation_holds_with_corruption(self):
+        sim = Simulator()
+        queue = DropTailQueue(sim, capacity_packets=100)
+        queue.add_injector(RandomCorruption(random.Random(3), 0.5))
+        for _ in range(50):
+            queue.enqueue(data_pkt())
+        while queue.dequeue() is not None:
+            pass
+        queue.check_invariants()

@@ -1,0 +1,139 @@
+"""Link outage semantics: in-flight loss, refusal while down, resume on up."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import DropTailQueue
+from repro.net.interface import Interface
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim import Simulator
+
+
+class Sink:
+    """Minimal receive() endpoint counting deliveries."""
+
+    def __init__(self):
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+def make_link(sim, rate="1Mbps", delay="10ms"):
+    sink = Sink()
+    link = Link(sim, rate=rate, delay=delay, dst=sink, name="test")
+    return link, sink
+
+
+def pkt(size=1000):
+    return Packet(src=1, dst=2, payload=size - 40)
+
+
+class TestDown:
+    def test_down_drops_serializing_packet(self):
+        sim = Simulator()
+        link, sink = make_link(sim)
+        link.transmit(pkt())
+        assert link.in_flight == 1
+        sim.schedule(0.001, link.down)  # mid-serialization (tx = 8ms)
+        sim.run()
+        assert sink.received == []
+        assert link.packets_dropped == 1
+        assert link.in_flight == 0
+        assert not link.busy
+
+    def test_down_drops_propagating_packets(self):
+        sim = Simulator()
+        link, sink = make_link(sim, rate="100Mbps", delay="50ms")
+        link.transmit(pkt())
+        # Serialization is 80us; kill the link while the packet is on
+        # the wire but before the 50ms delivery.
+        sim.schedule(0.010, link.down)
+        sim.run()
+        assert sink.received == []
+        assert link.packets_dropped == 1
+
+    def test_transmit_while_down_is_counted_loss(self):
+        sim = Simulator()
+        link, sink = make_link(sim)
+        link.down()
+        link.transmit(pkt())
+        sim.run()
+        assert sink.received == []
+        assert link.packets_dropped == 1
+        assert not link.busy  # dead transmitter never went busy
+
+    def test_down_is_idempotent(self):
+        sim = Simulator()
+        link, _ = make_link(sim)
+        link.down()
+        link.down()
+        assert link.down_count == 1
+
+    def test_up_is_idempotent_and_accounts_downtime(self):
+        sim = Simulator()
+        link, _ = make_link(sim)
+        sim.schedule(1.0, link.down)
+        sim.schedule(3.0, link.up)
+        sim.schedule(3.0, link.up)
+        sim.run()
+        assert link.is_up
+        assert link.down_time == pytest.approx(2.0)
+
+    def test_delivery_unaffected_when_up(self):
+        sim = Simulator()
+        link, sink = make_link(sim)
+        link.transmit(pkt())
+        sim.run()
+        assert len(sink.received) == 1
+        assert link.packets_delivered == 1
+        assert link.packets_dropped == 0
+
+
+class TestInterfaceResume:
+    def test_queue_holds_packets_and_drains_on_up(self):
+        sim = Simulator()
+        sink = Sink()
+        link = Link(sim, rate="1Mbps", delay="1ms", dst=sink, name="t")
+        queue = DropTailQueue(sim, capacity_packets=10)
+        iface = Interface(sim, queue=queue, link=link, name="t")
+        link.down()
+        for _ in range(3):
+            assert iface.enqueue(pkt())
+        sim.run()
+        # Down: nothing moved, everything waits in the buffer.
+        assert len(queue) == 3
+        assert sink.received == []
+        link.up()
+        sim.run()
+        assert len(queue) == 0
+        assert len(sink.received) == 3
+
+    def test_overflow_during_outage_drops_at_queue(self):
+        sim = Simulator()
+        sink = Sink()
+        link = Link(sim, rate="1Mbps", delay="1ms", dst=sink, name="t")
+        queue = DropTailQueue(sim, capacity_packets=2)
+        iface = Interface(sim, queue=queue, link=link, name="t")
+        link.down()
+        results = [iface.enqueue(pkt()) for _ in range(5)]
+        assert results == [True, True, False, False, False]
+        assert queue.drops == 3
+
+    def test_flap_mid_stream_loses_only_wire_contents(self):
+        sim = Simulator()
+        sink = Sink()
+        link = Link(sim, rate="1Mbps", delay="1ms", dst=sink, name="t")
+        queue = DropTailQueue(sim, capacity_packets=100)
+        iface = Interface(sim, queue=queue, link=link, name="t")
+        for _ in range(10):
+            iface.enqueue(pkt())
+        # One packet serializes at a time (8ms each); flap at 20ms kills
+        # exactly the wire contents, the rest drain after recovery.
+        sim.schedule(0.020, link.down)
+        sim.schedule(0.050, link.up)
+        sim.run()
+        assert len(sink.received) + link.packets_dropped == 10
+        assert link.packets_dropped >= 1
+        assert len(queue) == 0

@@ -1,0 +1,223 @@
+"""SweepSupervisor: budgets, retry-with-reseed, checkpoint resume."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    SimulationStalledError,
+)
+from repro.runner import SweepSupervisor
+from repro.runner.supervisor import RESEED_STRIDE, cell_key
+from repro.sim import Simulator
+
+
+class TestBasics:
+    def test_runs_and_returns_result(self):
+        supervisor = SweepSupervisor(lambda x, y: x + y)
+        outcome = supervisor.run_cell(x=2, y=3)
+        assert outcome.ok
+        assert outcome.result == 5
+        assert outcome.attempts == 1
+        assert not outcome.from_checkpoint
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSupervisor(lambda: None, max_retries=-1)
+
+    def test_grid_run_collects_all_cells(self):
+        supervisor = SweepSupervisor(lambda x: x * 10)
+        outcomes = supervisor.run(grid=[{"x": 1}, {"x": 2}, {"x": 3}])
+        assert [o.result for o in outcomes] == [10, 20, 30]
+
+    def test_cell_key_is_order_insensitive(self):
+        assert cell_key({"a": 1, "b": 2}) == cell_key({"b": 2, "a": 1})
+
+
+class TestBudgetForwarding:
+    def test_budgets_injected_when_accepted(self):
+        seen = {}
+
+        def fn(seed, max_events=None, max_wall_seconds=None):
+            seen.update(max_events=max_events,
+                        max_wall_seconds=max_wall_seconds)
+            return "ok"
+
+        supervisor = SweepSupervisor(fn, max_events=1000, max_wall_seconds=5.0)
+        supervisor.run_cell(seed=1)
+        assert seen == {"max_events": 1000, "max_wall_seconds": 5.0}
+
+    def test_budgets_omitted_when_not_accepted(self):
+        def fn(seed):
+            return seed
+
+        supervisor = SweepSupervisor(fn, max_events=1000)
+        assert supervisor.run_cell(seed=7).result == 7
+
+    def test_explicit_param_wins_over_supervisor_default(self):
+        def fn(seed, max_events=None):
+            return max_events
+
+        supervisor = SweepSupervisor(fn, max_events=1000)
+        assert supervisor.run_cell(seed=1, max_events=50).result == 50
+
+    def test_stalled_simulation_is_killed_and_reported(self):
+        def hang(seed):
+            sim = Simulator()
+
+            def spin():
+                sim.schedule(0.0, spin)  # zero-delay storm, never ends
+
+            sim.schedule(0.0, spin)
+            sim.run(max_events=5000)
+
+        supervisor = SweepSupervisor(hang, max_retries=1)
+        outcome = supervisor.run_cell(seed=1)
+        assert not outcome.ok
+        assert "SimulationStalledError" in outcome.error
+        assert outcome.attempts == 2
+
+
+class TestRetryWithReseed:
+    def test_transient_failure_retried_with_derived_seed(self):
+        seeds = []
+
+        def flaky(seed):
+            seeds.append(seed)
+            if len(seeds) < 3:
+                raise SimulationStalledError("synthetic stall")
+            return seed
+
+        supervisor = SweepSupervisor(flaky, max_retries=3)
+        outcome = supervisor.run_cell(seed=100)
+        assert outcome.ok
+        assert outcome.attempts == 3
+        assert seeds == [100, 100 + RESEED_STRIDE, 100 + 2 * RESEED_STRIDE]
+
+    def test_invariant_violation_is_transient(self):
+        calls = []
+
+        def flaky(seed):
+            calls.append(seed)
+            if len(calls) == 1:
+                raise InvariantViolation("synthetic")
+            return "ok"
+
+        outcome = SweepSupervisor(flaky, max_retries=1).run_cell(seed=5)
+        assert outcome.ok and outcome.attempts == 2
+
+    def test_configuration_error_is_fatal_not_retried(self):
+        calls = []
+
+        def broken(seed):
+            calls.append(seed)
+            raise ConfigurationError("bad parameters")
+
+        supervisor = SweepSupervisor(broken, max_retries=3)
+        with pytest.raises(ConfigurationError):
+            supervisor.run_cell(seed=1)
+        assert len(calls) == 1
+
+    def test_exhausted_retries_reported_not_raised(self):
+        def always_stalls(seed):
+            raise SimulationStalledError("never converges")
+
+        outcome = SweepSupervisor(always_stalls, max_retries=2).run_cell(seed=1)
+        assert not outcome.ok
+        assert outcome.attempts == 3
+        assert "never converges" in outcome.error
+
+
+class TestCheckpointing:
+    def test_completed_cells_not_recomputed(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            return {"value": x * 2}
+
+        first = SweepSupervisor(fn, checkpoint_path=path)
+        first.run(grid=[{"x": 1}, {"x": 2}])
+        assert calls == [1, 2]
+
+        # Fresh supervisor, same checkpoint: nothing recomputed.
+        second = SweepSupervisor(fn, checkpoint_path=path)
+        assert second.completed_cells == 2
+        outcomes = second.run(grid=[{"x": 1}, {"x": 2}, {"x": 3}])
+        assert calls == [1, 2, 3]
+        assert [o.from_checkpoint for o in outcomes] == [True, True, False]
+        assert outcomes[0].result == {"value": 2}
+
+    def test_killed_sweep_resumes_from_last_completed_cell(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        calls = []
+
+        def dies_on_three(x):
+            calls.append(x)
+            if x == 3 and len(calls) <= 3:
+                raise KeyboardInterrupt  # the sweep process gets killed
+            return x
+
+        grid = [{"x": 1}, {"x": 2}, {"x": 3}]
+        supervisor = SweepSupervisor(dies_on_three, checkpoint_path=path)
+        with pytest.raises(KeyboardInterrupt):
+            supervisor.run(grid)
+        assert calls == [1, 2, 3]
+
+        resumed = SweepSupervisor(dies_on_three, checkpoint_path=path)
+        outcomes = resumed.run(grid)
+        assert calls == [1, 2, 3, 3]  # only the killed cell re-ran
+        assert all(o.ok for o in outcomes)
+
+    def test_failed_cells_never_checkpointed(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+
+        def always_stalls(x):
+            raise SimulationStalledError("stall")
+
+        SweepSupervisor(always_stalls, checkpoint_path=path,
+                        max_retries=0).run_cell(x=1)
+        follow_up = SweepSupervisor(always_stalls, checkpoint_path=path)
+        assert follow_up.completed_cells == 0
+
+    def test_fresh_ignores_existing_checkpoint(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        SweepSupervisor(lambda x: x, checkpoint_path=path).run_cell(x=1)
+        fresh = SweepSupervisor(lambda x: x, checkpoint_path=path,
+                                resume=False)
+        assert fresh.completed_cells == 0
+
+    def test_corrupt_checkpoint_is_a_clear_error(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            SweepSupervisor(lambda x: x, checkpoint_path=str(path))
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"version": 99, "cells": {}}))
+        with pytest.raises(ConfigurationError, match="version"):
+            SweepSupervisor(lambda x: x, checkpoint_path=str(path))
+
+    def test_dataclass_results_serialized(self, tmp_path):
+        from repro.experiments.common import ShortFlowResult
+
+        path = str(tmp_path / "sweep.json")
+
+        def fn(seed):
+            return ShortFlowResult(load=0.5, buffer_packets=10, afct=0.1,
+                                   n_completed=5, drop_rate=0.0,
+                                   utilization=0.9, p99_fct=0.2,
+                                   flows_with_loss=0)
+
+        SweepSupervisor(fn, checkpoint_path=path).run_cell(seed=1)
+        resumed = SweepSupervisor(
+            fn, checkpoint_path=path,
+            deserialize=ShortFlowResult.from_dict)
+        outcome = resumed.run_cell(seed=1)
+        assert outcome.from_checkpoint
+        assert isinstance(outcome.result, ShortFlowResult)
+        assert outcome.result.utilization == 0.9

@@ -1,0 +1,119 @@
+"""Engine watchdog budgets and the hardened scheduling guards."""
+
+import math
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError, SimulationStalledError
+from repro.sim import Simulator
+
+
+class TestSchedulingGuards:
+    """Regression: scheduling strictly before ``now`` (or with a
+    non-finite timestamp) must fail loudly, not corrupt the heap."""
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError, match="past"):
+            sim.schedule(-0.001, lambda: None)
+
+    def test_nan_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError, match="finite"):
+            sim.schedule(math.nan, lambda: None)
+
+    def test_infinite_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError, match="finite"):
+            sim.schedule(math.inf, lambda: None)
+
+    def test_call_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.now == 1.0
+        with pytest.raises(SchedulingError, match="already at"):
+            sim.call_at(0.5, lambda: None)
+
+    def test_call_at_nan_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError, match="finite"):
+            sim.call_at(math.nan, lambda: None)
+
+    def test_past_schedule_from_inside_callback_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def misbehave():
+            try:
+                sim.call_at(sim.now - 1.0, lambda: None)
+            except SchedulingError as exc:
+                errors.append(exc)
+
+        sim.schedule(2.0, misbehave)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_zero_delay_and_call_at_now_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(0.0, fired.append, "a"))
+        sim.schedule(1.0, lambda: sim.call_at(sim.now, fired.append, "b"))
+        sim.run()
+        assert sorted(fired) == ["a", "b"]
+
+
+class TestEventBudget:
+    def test_zero_delay_storm_is_killed(self):
+        sim = Simulator()
+
+        def spin():
+            sim.schedule(0.0, spin)
+
+        sim.schedule(0.0, spin)
+        with pytest.raises(SimulationStalledError, match="event budget"):
+            sim.run(max_events=10_000)
+        assert sim.events_processed == 10_000
+
+    def test_budget_is_per_run_call(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        sim.run(until=4.5, max_events=6)
+        # 5 events dispatched — under budget; the next call gets a
+        # fresh budget rather than inheriting the spent one.
+        sim.run(max_events=6)
+        assert sim.events_processed == 10
+
+    def test_budget_exhaustion_reports_queue_depth(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        with pytest.raises(SimulationStalledError, match="still queued"):
+            sim.run(max_events=2)
+
+    def test_invalid_budgets_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.run(max_events=0)
+        with pytest.raises(SimulationError):
+            sim.run(max_wall_seconds=0.0)
+
+    def test_completed_run_unaffected_by_generous_budget(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.run(max_events=1_000_000, max_wall_seconds=60.0)
+        assert fired == [1]
+
+
+class TestWallClockBudget:
+    def test_wall_budget_kills_long_spin(self):
+        sim = Simulator()
+
+        def spin():
+            sim.schedule(0.0, spin)
+
+        sim.schedule(0.0, spin)
+        with pytest.raises(SimulationStalledError, match="wall-clock"):
+            sim.run(max_wall_seconds=0.05)
