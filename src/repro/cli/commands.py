@@ -28,6 +28,7 @@ __all__ = [
     "cmd_table",
     "cmd_ablations",
     "cmd_sweep",
+    "cmd_bench",
 ]
 
 
@@ -294,6 +295,23 @@ def cmd_profiles(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_sweep_row(outcome) -> bool:
+    """One table row per cell outcome; returns True when the cell failed."""
+    params = outcome.params
+    label = f"{params['n_flows']:>6} {params['buffer_packets']:>7}"
+    if not outcome.ok:
+        print(f"{label} {'-':>7} {'-':>7} {outcome.attempts:>8}  "
+              f"FAILED: {outcome.error}")
+        return True
+    result = outcome.result
+    util = result["utilization"] if isinstance(result, dict) else result.utilization
+    loss = result["loss_rate"] if isinstance(result, dict) else result.loss_rate
+    source = "checkpoint" if outcome.from_checkpoint else "computed"
+    print(f"{label} {util * 100:>7.2f} {loss * 100:>7.3f} "
+          f"{outcome.attempts:>8}  {source}")
+    return False
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """``repro sweep``: checkpointed long-flow grid under the supervisor.
 
@@ -301,8 +319,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     :class:`~repro.runner.supervisor.SweepSupervisor`: per-trial
     watchdog budgets, retry-with-reseed on transient failures, and —
     with ``--checkpoint`` — resume of a killed sweep from the last
-    completed cell.
+    completed cell.  ``--jobs N`` fans the grid out over N worker
+    processes; cell results are bit-identical to the serial run.
     """
+    import os
+
     from repro.experiments.common import run_long_flow_experiment
     from repro.runner import SweepSupervisor
 
@@ -311,6 +332,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         factor_list = [float(x) for x in args.buffer_factors.split(",")]
     except ValueError:
         return _fail("--flows and --buffer-factors want comma-separated numbers")
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    if jobs < 1:
+        return _fail(f"--jobs must be >= 0, got {args.jobs}")
 
     grid = []
     for n in flows_list:
@@ -336,25 +360,65 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if supervisor.completed_cells:
         print(f"resuming: {supervisor.completed_cells} cell(s) already "
               f"in {args.checkpoint}")
+    if jobs > 1:
+        print(f"running {len(grid)} cell(s) on {jobs} worker process(es)")
 
     print(f"{'flows':>6} {'buffer':>7} {'util%':>7} {'loss%':>7} "
           f"{'attempts':>8}  source")
     failures = 0
-    for params in grid:
-        outcome = supervisor.run_cell(**params)
-        label = f"{params['n_flows']:>6} {params['buffer_packets']:>7}"
-        if not outcome.ok:
-            failures += 1
-            print(f"{label} {'-':>7} {'-':>7} {outcome.attempts:>8}  "
-                  f"FAILED: {outcome.error}")
-            continue
-        result = outcome.result
-        util = result["utilization"] if isinstance(result, dict) else result.utilization
-        loss = result["loss_rate"] if isinstance(result, dict) else result.loss_rate
-        source = "checkpoint" if outcome.from_checkpoint else "computed"
-        print(f"{label} {util * 100:>7.2f} {loss * 100:>7.3f} "
-              f"{outcome.attempts:>8}  {source}")
+    if jobs > 1:
+        # Rows print in grid order once all outcomes are in; the
+        # checkpoint is still written incrementally as cells finish.
+        try:
+            outcomes = supervisor.run_parallel(grid, jobs=jobs)
+        except ReproError as exc:
+            return _fail(str(exc))
+        failures = sum(_print_sweep_row(outcome) for outcome in outcomes)
+    else:
+        for params in grid:
+            failures += _print_sweep_row(supervisor.run_cell(**params))
     if failures:
         print(f"{failures} cell(s) failed after retries")
         return 3
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: serial-vs-parallel sweep timing + JSON artifact.
+
+    Runs the standard sweep grid once per ``--jobs`` level, checks that
+    every parallel level reproduced the serial results bit-for-bit, and
+    appends the timings to the ``--output`` perf-trajectory artifact.
+    """
+    from repro.runner.bench import build_sweep_grid, run_sweep_benchmark
+
+    try:
+        jobs = [int(x) for x in args.jobs.split(",")]
+        flows_list = [int(x) for x in args.flows.split(",")]
+        factor_list = [float(x) for x in args.buffer_factors.split(",")]
+    except ValueError:
+        return _fail("--jobs, --flows and --buffer-factors want "
+                     "comma-separated numbers")
+    try:
+        grid = build_sweep_grid(
+            flows=flows_list, buffer_factors=factor_list,
+            pipe_packets=args.pipe, bottleneck_rate=args.rate,
+            warmup=args.warmup, duration=args.duration, seed=args.seed,
+        )
+        record = run_sweep_benchmark(
+            grid=grid, jobs=jobs,
+            max_events=args.max_events, max_wall_seconds=args.timeout,
+            output_path=args.output,
+        )
+    except ReproError as exc:
+        return _fail(str(exc))
+    print(f"sweep benchmark: {record['cells']} cell(s), "
+          f"{record['cpu_count']} core(s)")
+    print(f"{'jobs':>5} {'seconds':>9} {'speedup':>8} {'failed':>7}")
+    for timing in record["timings"]:
+        print(f"{timing['jobs']:>5} {timing['seconds']:>9.2f} "
+              f"{timing['speedup']:>8.2f} {timing['failed_cells']:>7}")
+    verdict = "identical" if record["identical_results"] else "DIVERGED"
+    print(f"parallel results vs serial: {verdict}")
+    print(f"artifact: {args.output}")
+    return 0 if record["identical_results"] else 3

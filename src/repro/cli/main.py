@@ -151,8 +151,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--retries", type=int, default=2,
                          help="retries (with reseed) per transiently-failing "
                               "cell (default 2)")
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes; results are bit-identical "
+                              "to --jobs 1 (default 1, 0 = all cores)")
     _add_watchdog_args(p_sweep)
     p_sweep.set_defaults(func=commands.cmd_sweep)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the standard sweep serial vs parallel and "
+                      "record a BENCH_sweep.json perf-trajectory artifact")
+    p_bench.add_argument("--jobs", default="1,2,4",
+                         help='comma-separated worker counts (default "1,2,4"; '
+                              'the serial baseline is added if missing)')
+    p_bench.add_argument("--flows", default="4,8,16,32",
+                         help='comma-separated flow counts (default "4,8,16,32")')
+    p_bench.add_argument("--buffer-factors", default="0.5,1.0",
+                         help='buffer factors in units of RTTxC/sqrt(n) '
+                              '(default "0.5,1.0")')
+    p_bench.add_argument("--pipe", type=float, default=50.0)
+    p_bench.add_argument("--rate", default="10Mbps")
+    p_bench.add_argument("--warmup", type=float, default=2.0)
+    p_bench.add_argument("--duration", type=float, default=6.0)
+    p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument("--output", default="BENCH_sweep.json", metavar="FILE",
+                         help="artifact path; runs accumulate a trajectory "
+                              "(default BENCH_sweep.json)")
+    _add_watchdog_args(p_bench)
+    p_bench.set_defaults(func=commands.cmd_bench)
 
     return parser
 

@@ -89,6 +89,7 @@ def min_buffer_sweep(
     max_retries: int = 2,
     max_events: Optional[int] = None,
     max_wall_seconds: Optional[float] = None,
+    jobs: int = 1,
     **kwargs,
 ) -> SweepResult:
     """Measure min-buffer-vs-n for the given utilization targets.
@@ -107,6 +108,11 @@ def min_buffer_sweep(
     max_retries, max_events, max_wall_seconds:
         Hardening knobs forwarded to the
         :class:`~repro.runner.SweepSupervisor` driving the grid.
+    jobs:
+        Worker processes for the grid (default 1 = in-process serial).
+        Every cell seeds its own RNG streams, so results are
+        bit-identical whatever the worker count, and the checkpoint
+        format is shared with serial runs.
     pipe_packets, warmup, duration, seed, kwargs:
         Forwarded to :func:`run_long_flow_experiment`.
     """
@@ -120,14 +126,14 @@ def min_buffer_sweep(
         max_wall_seconds=max_wall_seconds,
         deserialize=LongFlowResult.from_dict,
     )
-    points: List[MinBufferPoint] = []
-    curves: Dict[int, List[Tuple[float, float]]] = {}
+    # Flatten the (n, factor) grid up front so the whole sweep can fan
+    # out at once; the serial path runs the identical cell list.
+    cells: List[Tuple[int, int, Dict]] = []
     for n in n_values:
         unit = pipe_packets / math.sqrt(n)
-        curve: List[Tuple[float, float]] = []
         for factor in factors:
             buffer_packets = max(2, int(round(factor * unit)))
-            outcome = supervisor.run_cell(
+            cells.append((n, buffer_packets, dict(
                 n_flows=n,
                 buffer_packets=buffer_packets,
                 pipe_packets=pipe_packets,
@@ -135,12 +141,22 @@ def min_buffer_sweep(
                 duration=duration,
                 seed=seed,
                 **kwargs,
-            )
-            # A cell that stalled through all retries becomes a NaN
-            # sample: it can never satisfy a utilization target, and the
-            # rest of the sweep still completes.
-            utilization = outcome.result.utilization if outcome.ok else math.nan
-            curve.append((buffer_packets, utilization))
+            )))
+    outcomes = supervisor.run_parallel([params for _, _, params in cells],
+                                       jobs=jobs)
+
+    points: List[MinBufferPoint] = []
+    curves: Dict[int, List[Tuple[float, float]]] = {}
+    by_n: Dict[int, List[Tuple[float, float]]] = {}
+    for (n, buffer_packets, _), outcome in zip(cells, outcomes):
+        # A cell that stalled through all retries becomes a NaN
+        # sample: it can never satisfy a utilization target, and the
+        # rest of the sweep still completes.
+        utilization = outcome.result.utilization if outcome.ok else math.nan
+        by_n.setdefault(n, []).append((buffer_packets, utilization))
+    for n in n_values:
+        unit = pipe_packets / math.sqrt(n)
+        curve = by_n[n]
         # Enforce monotonicity for interpolation robustness (tiny
         # non-monotonic wiggles are measurement noise).
         best = 0.0
@@ -161,8 +177,8 @@ def min_buffer_sweep(
     return SweepResult(pipe_packets=pipe_packets, points=points, curves=curves)
 
 
-def main() -> None:  # pragma: no cover - exercised via examples
-    result = min_buffer_sweep()
+def main(jobs: int = 1) -> None:  # pragma: no cover - exercised via examples
+    result = min_buffer_sweep(jobs=jobs)
     print("Figure 7: minimum buffer for target utilization (packets)")
     print(f"{'n':>5} {'model RTTC/sqrt(n)':>20} "
           + "".join(f"{f'{t * 100:.1f}%':>12}" for t in DEFAULT_TARGETS))

@@ -19,7 +19,8 @@ from typing import List, Optional, Sequence
 
 from repro.core import ShortFlowModel
 from repro.errors import ConfigurationError
-from repro.experiments.common import run_short_flow_experiment
+from repro.experiments.common import ShortFlowResult, run_short_flow_experiment
+from repro.runner import SweepSupervisor
 from repro.traffic.sizes import FixedSize, FlowSizeDistribution
 from repro.units import Quantity, format_bandwidth, parse_bandwidth
 
@@ -55,6 +56,9 @@ def afct_buffer_sweep(
     seed: int = 11,
     max_window: int = 43,
     sizes: Optional[FlowSizeDistribution] = None,
+    jobs: int = 1,
+    checkpoint_path: Optional[str] = None,
+    max_retries: int = 2,
     **kwargs,
 ) -> List[ShortFlowPoint]:
     """Measure Figure 8: min buffer for bounded AFCT inflation vs bandwidth.
@@ -72,6 +76,15 @@ def afct_buffer_sweep(
         AFCT inflation tolerance (paper: 12.5%).
     buffer_grid:
         Increasing buffer sizes to try.
+    jobs:
+        Worker processes.  With ``jobs=1`` (default) the grid is
+        scanned serially and stops at the first buffer meeting the
+        threshold; with ``jobs>1`` every (bandwidth, buffer) cell runs
+        concurrently and the scan happens afterwards — more cells, less
+        wall clock, identical min-buffer answers (each cell's result is
+        bit-identical either way).
+    checkpoint_path:
+        Optional JSON checkpoint shared by both modes.
     """
     if list(buffer_grid) != sorted(buffer_grid):
         raise ConfigurationError("buffer_grid must be increasing")
@@ -80,30 +93,54 @@ def afct_buffer_sweep(
                            max_window=max_window)
     model_buffer = model.required_buffer()  # P(Q >= B) = 0.025
 
+    supervisor = SweepSupervisor(
+        run_short_flow_experiment,
+        checkpoint_path=checkpoint_path,
+        max_retries=max_retries,
+        deserialize=ShortFlowResult.from_dict,
+    )
+
+    def cell(bandwidth, buffer_packets):
+        return dict(load=load, buffer_packets=buffer_packets, sizes=size_dist,
+                    bottleneck_rate=bandwidth, warmup=warmup,
+                    duration=duration, seed=seed, max_window=max_window,
+                    **kwargs)
+
+    afct_by_cell: dict = {}
+    if jobs > 1:
+        # Fan out the baselines plus the full buffer grid; the early
+        # -exit scan below then reads measured AFCTs instead of running
+        # simulations.
+        grid = [cell(bw, None) for bw in bandwidths]
+        grid += [cell(bw, bp) for bw in bandwidths for bp in buffer_grid]
+        labels = [(bw, None) for bw in bandwidths]
+        labels += [(bw, bp) for bw in bandwidths for bp in buffer_grid]
+        for label, outcome in zip(labels, supervisor.run_parallel(grid, jobs=jobs)):
+            afct_by_cell[label] = outcome.result.afct if outcome.ok else math.nan
+
+    def measure_afct(bandwidth, buffer_packets):
+        label = (bandwidth, buffer_packets)
+        if label not in afct_by_cell:
+            outcome = supervisor.run_cell(**cell(bandwidth, buffer_packets))
+            afct_by_cell[label] = outcome.result.afct if outcome.ok else math.nan
+        return afct_by_cell[label]
+
     points: List[ShortFlowPoint] = []
     for bandwidth in bandwidths:
-        baseline = run_short_flow_experiment(
-            load=load, buffer_packets=None, sizes=size_dist,
-            bottleneck_rate=bandwidth, warmup=warmup, duration=duration,
-            seed=seed, max_window=max_window, **kwargs,
-        )
-        threshold = baseline.afct * (1.0 + max_inflation)
+        baseline_afct = measure_afct(bandwidth, None)
+        threshold = baseline_afct * (1.0 + max_inflation)
         min_buffer = math.nan
         afct_at_min = math.nan
         for buffer_packets in buffer_grid:
-            result = run_short_flow_experiment(
-                load=load, buffer_packets=buffer_packets, sizes=size_dist,
-                bottleneck_rate=bandwidth, warmup=warmup, duration=duration,
-                seed=seed, max_window=max_window, **kwargs,
-            )
-            if result.afct <= threshold:
+            afct = measure_afct(bandwidth, buffer_packets)
+            if afct <= threshold:
                 min_buffer = float(buffer_packets)
-                afct_at_min = result.afct
+                afct_at_min = afct
                 break
         points.append(ShortFlowPoint(
             bandwidth_bps=parse_bandwidth(bandwidth),
             load=load,
-            afct_infinite=baseline.afct,
+            afct_infinite=baseline_afct,
             min_buffer_packets=min_buffer,
             model_buffer_packets=model_buffer,
             afct_at_min=afct_at_min,
@@ -111,8 +148,8 @@ def afct_buffer_sweep(
     return points
 
 
-def main() -> None:  # pragma: no cover - exercised via examples
-    points = afct_buffer_sweep()
+def main(jobs: int = 1) -> None:  # pragma: no cover - exercised via examples
+    points = afct_buffer_sweep(jobs=jobs)
     print("Figure 8: min buffer for AFCT inflation <= 12.5% (load 0.8)")
     print(f"{'bandwidth':>12} {'AFCT(inf)':>10} {'min buffer':>11} {'model':>7}")
     for p in points:

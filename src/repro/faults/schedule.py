@@ -15,6 +15,7 @@ their metrics.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -309,6 +310,26 @@ class FaultSchedule:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Content-based identity: the configured events, nothing else.
+
+        Runtime state (firing log, rng, installed flag) is deliberately
+        excluded — two schedules describing the same faults must compare
+        and key identically, which is what lets a sweep checkpoint match
+        the same cell across processes and restarts.
+        """
+        return {
+            "events": [
+                {"type": type(event).__name__, **dataclasses.asdict(event)}
+                for event in self.events
+            ],
+        }
+
+    def __repr__(self) -> str:
+        # Stable and content-based (the default object repr embeds the
+        # memory address, which poisons anything keyed on it).
+        return f"FaultSchedule({self.events!r})"
 
     @property
     def horizon(self) -> float:

@@ -9,6 +9,7 @@ window edges, so the measurement itself costs two scheduled events.
 from __future__ import annotations
 
 import math
+import warnings
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
@@ -75,25 +76,49 @@ class UtilizationMonitor:
 
     def _ensure_closed(self) -> None:
         if not self._closed:
-            if self.sim.now <= self.t_start:
+            if self.sim.now < self.t_start:
                 raise ConfigurationError(
                     "utilization window has not started; run the simulation first"
                 )
             self.t_end = self.sim.now
             self._close()
 
+    def _measured_span(self) -> float:
+        """Window span, or NaN (with a warning) for a degenerate window.
+
+        A run aborted by a watchdog or fault at — or a hair past — the
+        window start leaves a zero/near-zero span; dividing by it would
+        turn one aborted cell into a ``ZeroDivisionError`` or an
+        ``inf`` utilization that poisons downstream aggregation.
+        """
+        span = self.t_end - self.t_start
+        if not span > 0.0 or math.isnan(self._busy_at_start):
+            warnings.warn(
+                f"utilization window [{self.t_start}, {self.t_end}] has "
+                f"zero/unopened span (run aborted at the window edge?); "
+                f"reporting nan",
+                RuntimeWarning, stacklevel=3)
+            return math.nan
+        return span
+
     @property
     def utilization(self) -> float:
-        """Busy fraction of the link in the window (0..1)."""
+        """Busy fraction of the link in the window (0..1); NaN if the
+        window never accumulated a positive span."""
         self._ensure_closed()
-        span = self.t_end - self.t_start
+        span = self._measured_span()
+        if math.isnan(span):
+            return math.nan
         return (self._busy_at_end - self._busy_at_start) / span
 
     @property
     def throughput_bps(self) -> float:
-        """Delivered goodput+overhead in bits/second over the window."""
+        """Delivered goodput+overhead in bits/second over the window;
+        NaN if the window never accumulated a positive span."""
         self._ensure_closed()
-        span = self.t_end - self.t_start
+        span = self._measured_span()
+        if math.isnan(span):
+            return math.nan
         return (self._bytes_at_end - self._bytes_at_start) * 8.0 / span
 
     @property
@@ -135,25 +160,51 @@ class WindowedUtilizationProbe:
         self.sim = sim
         self.link = link
         self.period = period
+        self.t_start = t_start
         self.t_end = t_end
         self.windows: List[Tuple[float, float]] = []
         self._last_busy: float = math.nan
+        self._last_tick_at: float = t_start
         sim.call_at(t_start, self._open)
 
     def _open(self) -> None:
         self._last_busy = self.link.busy_time
-        self.sim.schedule(self.period, self._tick)
+        self._last_tick_at = self.sim.now
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        if self.t_end is None or self.sim.now + self.period <= self.t_end + 1e-12:
+            self.sim.schedule(self.period, self._tick)
+        elif self.sim.now + 1e-12 < self.t_end:
+            # t_end is not a whole number of periods away: close the
+            # trailing partial window exactly at t_end instead of
+            # silently dropping it (it is often the window that shows
+            # the tail of a fault recovery).
+            self.sim.call_at(self.t_end, self._final_tick)
 
     def _tick(self) -> None:
         busy = self.link.busy_time
         self.windows.append((self.sim.now, (busy - self._last_busy) / self.period))
         self._last_busy = busy
-        if self.t_end is None or self.sim.now + self.period <= self.t_end + 1e-12:
-            self.sim.schedule(self.period, self._tick)
+        self._last_tick_at = self.sim.now
+        self._schedule_next()
+
+    def _final_tick(self) -> None:
+        span = self.sim.now - self._last_tick_at
+        if span <= 1e-12:
+            return
+        busy = self.link.busy_time
+        # Scale by the window's actual span, not the nominal period: a
+        # half-length window at full utilization is still utilization 1.
+        self.windows.append((self.sim.now, (busy - self._last_busy) / span))
+        self._last_busy = busy
+        self._last_tick_at = self.sim.now
 
     def utilization_at(self, time: float) -> float:
         """Busy fraction of the window containing ``time`` (nan if none)."""
+        start = self.t_start
         for end, util in self.windows:
-            if end - self.period <= time <= end:
+            if start <= time <= end:
                 return util
+            start = end
         return math.nan

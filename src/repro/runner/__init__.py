@@ -13,9 +13,16 @@ Table-10-style sweep.  This package closes both holes:
     :class:`SweepSupervisor` — wraps any experiment callable with
     per-trial event/wall-clock budgets, retry-with-reseed on transient
     failure, and JSON checkpointing so a killed sweep resumes from the
-    last completed cell.
+    last completed cell.  :meth:`SweepSupervisor.run_parallel` fans a
+    grid out over a spawn-safe process pool with bit-identical results
+    and the parent as single checkpoint writer.
+:mod:`repro.runner.bench`
+    :func:`run_sweep_benchmark` — times the standard sweep serial vs
+    parallel and appends the result to a ``BENCH_sweep.json``
+    perf-trajectory artifact.
 """
 
+from repro.runner.bench import build_sweep_grid, run_sweep_benchmark
 from repro.runner.invariants import (
     InvariantMonitor,
     check_link,
@@ -23,7 +30,7 @@ from repro.runner.invariants import (
     check_queue,
     verify_network,
 )
-from repro.runner.supervisor import SweepSupervisor, TrialOutcome
+from repro.runner.supervisor import SweepSupervisor, TrialOutcome, cell_key
 
 __all__ = [
     "check_queue",
@@ -33,4 +40,7 @@ __all__ = [
     "InvariantMonitor",
     "SweepSupervisor",
     "TrialOutcome",
+    "cell_key",
+    "build_sweep_grid",
+    "run_sweep_benchmark",
 ]

@@ -17,7 +17,19 @@ grid of parameter cells with three protections:
   skips finished cells and recomputes nothing.
 
 Cells are keyed by their full parameter dict, so a checkpoint is
-automatically invalidated for cells whose parameters change.
+automatically invalidated for cells whose parameters change.  Keys are
+*content-based*: non-JSON parameter values must expose ``to_dict()``
+(or be dataclasses), so the same logical cell produces the same key in
+every process — the property parallel resume depends on.
+
+:meth:`SweepSupervisor.run_parallel` executes the same grid across a
+spawn-based worker pool.  Each cell builds its own ``Simulator`` and
+``RngStreams(seed)``, so a cell's result is bit-identical no matter
+which worker (or how many workers) ran it; the parent process is the
+single checkpoint writer, merging outcomes and atomically rewriting the
+checkpoint as they stream back.  Watchdog budgets travel with the cell
+and are enforced inside the worker, so one wedged cell dies alone
+without taking the sweep down.
 """
 
 from __future__ import annotations
@@ -25,11 +37,14 @@ from __future__ import annotations
 import dataclasses
 import inspect
 import json
+import multiprocessing
 import os
+import pickle
 import tempfile
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import (
     ConfigurationError,
@@ -38,7 +53,7 @@ from repro.errors import (
     SimulationStalledError,
 )
 
-__all__ = ["SweepSupervisor", "TrialOutcome"]
+__all__ = ["SweepSupervisor", "TrialOutcome", "cell_key"]
 
 #: Stride between derived retry seeds; large and odd so reseeded trials
 #: never collide with neighbouring cells' base seeds.
@@ -72,9 +87,101 @@ def _default_serialize(result: Any) -> Any:
     return result
 
 
+def _canonical_param(value: Any) -> Any:
+    """Reduce one parameter value to a JSON-stable form.
+
+    JSON-native values pass through; containers recurse; objects that
+    expose ``to_dict()`` (or are dataclasses) are flattened to their
+    content plus a type tag.  Anything else is rejected: its identity
+    would otherwise degrade to ``repr`` — for a plain object that is a
+    memory address, which never matches across processes or restarts.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _canonical_param(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_param(v) for v in value]
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        payload = to_dict()
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"{type(value).__name__}.to_dict() must return a dict, "
+                f"got {type(payload).__name__}")
+        return {"__type__": type(value).__name__,
+                **{str(k): _canonical_param(v) for k, v in payload.items()}}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {"__type__": type(value).__name__,
+                **{k: _canonical_param(v)
+                   for k, v in dataclasses.asdict(value).items()}}
+    raise ConfigurationError(
+        f"sweep parameter of type {type(value).__name__} is not "
+        f"JSON-serializable and has no to_dict(); its checkpoint key "
+        f"would not be stable across processes: {value!r}")
+
+
 def cell_key(params: Dict[str, Any]) -> str:
-    """Stable identity of a cell: its sorted, JSON-encoded parameters."""
-    return json.dumps(params, sort_keys=True, default=repr)
+    """Stable, content-based identity of a cell.
+
+    Raises :class:`~repro.errors.ConfigurationError` for parameter
+    values whose identity cannot be made content-based (no ``to_dict``,
+    not a dataclass, not JSON-native).
+    """
+    return json.dumps(_canonical_param(dict(params)), sort_keys=True)
+
+
+def _checkpoint_default(value: Any) -> Any:
+    """JSON fallback for *results* in the checkpoint.
+
+    Results are not identity-bearing, so unknown objects degrade to a
+    readable form instead of failing the write.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    return repr(value)
+
+
+def _attempt_cell(fn: Callable[..., Any], params: Dict[str, Any],
+                  call: Dict[str, Any], max_retries: int,
+                  ) -> Tuple[Any, int, Optional[str]]:
+    """One cell's retry-with-reseed loop: ``(result, attempts, error)``.
+
+    Shared by the serial path and the worker processes, so parallel
+    execution cannot drift from serial semantics.  Transient failures
+    (stalls, invariant violations) are retried under a derived seed;
+    other :class:`~repro.errors.ReproError` s propagate — configuration
+    mistakes never heal with a reseed.
+    """
+    last_error: Optional[BaseException] = None
+    for attempt in range(max_retries + 1):
+        this_call = dict(call)
+        if attempt and "seed" in this_call and isinstance(this_call["seed"], int):
+            # Reseed: a transient failure is usually a pathological
+            # draw; a derived seed gives an independent replicate.
+            this_call["seed"] = params["seed"] + attempt * RESEED_STRIDE
+        try:
+            return fn(**this_call), attempt + 1, None
+        except TRANSIENT_ERRORS as exc:
+            last_error = exc
+    return None, max_retries + 1, f"{type(last_error).__name__}: {last_error}"
+
+
+def _run_cell_in_worker(fn: Callable[..., Any], params: Dict[str, Any],
+                        call: Dict[str, Any], max_retries: int,
+                        ) -> Tuple[Any, int, Optional[str], float]:
+    """Worker-side cell execution; module-level so it survives spawn.
+
+    Watchdog budgets arrive inside ``call`` and fire *here*, in the
+    worker process, so a wedged cell kills only its own work.  Fatal
+    errors propagate through the future to the parent.
+    """
+    started = time.monotonic()
+    result, attempts, error = _attempt_cell(fn, params, call, max_retries)
+    return result, attempts, error, time.monotonic() - started
 
 
 class SweepSupervisor:
@@ -83,13 +190,16 @@ class SweepSupervisor:
     Parameters
     ----------
     fn:
-        The trial callable; invoked as ``fn(**params)``.
+        The trial callable; invoked as ``fn(**params)``.  Must be
+        picklable (a module-level function) to use :meth:`run_parallel`.
     checkpoint_path:
         JSON checkpoint file, or ``None`` to disable persistence.
     resume:
         Load previously-completed cells from the checkpoint (default
-        True).  With ``resume=False`` an existing checkpoint is
-        overwritten as cells complete.
+        True).  With ``resume=False`` any existing checkpoint file is
+        deleted up front, so a crash before the first new cell completes
+        can never leave stale cells for a later ``resume=True`` to
+        silently load.
     max_retries:
         Retries after the first attempt of a transiently-failing cell.
     max_events, max_wall_seconds:
@@ -125,8 +235,19 @@ class SweepSupervisor:
         self.deserialize = deserialize
         self._accepted = self._accepted_params(fn)
         self._cells: Dict[str, Dict[str, Any]] = {}
-        if checkpoint_path and resume:
-            self._cells = self._load_checkpoint(checkpoint_path)
+        if checkpoint_path:
+            if resume:
+                self._cells = self._load_checkpoint(checkpoint_path)
+            elif os.path.exists(checkpoint_path):
+                # Discard immediately: leaving the old file on disk
+                # until the first new cell completes would let a crash
+                # in between resurrect stale cells on the next resume.
+                try:
+                    os.unlink(checkpoint_path)
+                except OSError as exc:
+                    raise ConfigurationError(
+                        f"cannot discard checkpoint {checkpoint_path!r}: "
+                        f"{exc}") from exc
 
     # ------------------------------------------------------------------
     # Checkpoint I/O
@@ -157,10 +278,7 @@ class SweepSupervisor:
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                # default=repr: non-JSON params (e.g. a FaultSchedule)
-                # degrade to their repr instead of breaking the write;
-                # cell identity already uses the same convention.
-                json.dump(payload, fh, default=repr)
+                json.dump(payload, fh, default=_checkpoint_default)
             os.replace(tmp_path, self.checkpoint_path)
         except BaseException:
             try:
@@ -168,6 +286,26 @@ class SweepSupervisor:
             except OSError:
                 pass
             raise
+
+    def _record_success(self, key: str, params: Dict[str, Any], result: Any,
+                        attempts: int, elapsed_seconds: float) -> None:
+        """Merge one completed cell and atomically rewrite the checkpoint."""
+        self._cells[key] = {
+            "params": _canonical_param(dict(params)),
+            "result": self.serialize(result),
+            "attempts": attempts,
+            "elapsed_seconds": elapsed_seconds,
+        }
+        self._write_checkpoint()
+
+    def _cached_outcome(self, key: str, params: Dict[str, Any],
+                        cached: Dict[str, Any]) -> TrialOutcome:
+        result = cached["result"]
+        if self.deserialize is not None:
+            result = self.deserialize(result)
+        return TrialOutcome(key=key, params=params, result=result,
+                            attempts=cached.get("attempts", 1),
+                            from_checkpoint=True)
 
     @property
     def completed_cells(self) -> int:
@@ -203,40 +341,16 @@ class SweepSupervisor:
         key = cell_key(params)
         cached = self._cells.get(key)
         if cached is not None:
-            result = cached["result"]
-            if self.deserialize is not None:
-                result = self.deserialize(result)
-            return TrialOutcome(key=key, params=params, result=result,
-                                attempts=cached.get("attempts", 1),
-                                from_checkpoint=True)
-        outcome = TrialOutcome(key=key, params=params)
+            return self._cached_outcome(key, params, cached)
         started = time.monotonic()
-        last_error: Optional[BaseException] = None
-        for attempt in range(self.max_retries + 1):
-            call = self._budgeted(params)
-            if attempt and "seed" in call and isinstance(call["seed"], int):
-                # Reseed: a transient failure is usually a pathological
-                # draw; a derived seed gives an independent replicate.
-                call["seed"] = params["seed"] + attempt * RESEED_STRIDE
-            outcome.attempts = attempt + 1
-            try:
-                outcome.result = self.fn(**call)
-                break
-            except TRANSIENT_ERRORS as exc:
-                last_error = exc
-            except ReproError:
-                raise  # configuration mistakes never heal with a reseed
-        else:
-            outcome.error = f"{type(last_error).__name__}: {last_error}"
-        outcome.elapsed_seconds = time.monotonic() - started
+        result, attempts, error = _attempt_cell(
+            self.fn, params, self._budgeted(params), self.max_retries)
+        outcome = TrialOutcome(key=key, params=params, result=result,
+                               attempts=attempts, error=error,
+                               elapsed_seconds=time.monotonic() - started)
         if outcome.ok:
-            self._cells[key] = {
-                "params": params,
-                "result": self.serialize(outcome.result),
-                "attempts": outcome.attempts,
-                "elapsed_seconds": outcome.elapsed_seconds,
-            }
-            self._write_checkpoint()
+            self._record_success(key, params, outcome.result,
+                                 outcome.attempts, outcome.elapsed_seconds)
         return outcome
 
     def run(self, grid: Iterable[Dict[str, Any]],
@@ -253,4 +367,101 @@ class SweepSupervisor:
             if on_cell is not None:
                 on_cell(outcome)
             outcomes.append(outcome)
+        return outcomes
+
+    def run_parallel(self, grid: Iterable[Dict[str, Any]], jobs: Optional[int] = None,
+                     on_cell: Optional[Callable[[TrialOutcome], None]] = None,
+                     ) -> List[TrialOutcome]:
+        """Run ``grid`` across a pool of ``jobs`` worker processes.
+
+        Results are **bit-identical** to :meth:`run` regardless of
+        worker count: every cell constructs its own ``Simulator`` and
+        ``RngStreams(seed)``, so no state is shared between cells and
+        completion order cannot influence any cell's outcome.  Outcomes
+        are returned in grid order; ``on_cell`` fires in *completion*
+        order as results stream back.
+
+        The parent process is the only checkpoint writer: each arriving
+        result is merged into the cell table and the JSON checkpoint is
+        atomically rewritten, so killing a parallel sweep loses at most
+        the cells still in flight.  Cells already in the checkpoint are
+        returned without being submitted.
+
+        Watchdog budgets (``max_events`` / ``max_wall_seconds``) travel
+        with each cell and fire inside the worker, so one wedged cell
+        dies alone (``SimulationStalledError`` → retry-with-reseed →
+        error outcome) while its siblings keep running.
+
+        Parameters
+        ----------
+        grid:
+            Parameter dicts, one per cell.
+        jobs:
+            Worker processes (default: ``os.cpu_count()``).  ``jobs=1``
+            degrades to the in-process serial path.
+        on_cell:
+            Progress callback, invoked per outcome in completion order.
+        """
+        grid = [dict(params) for params in grid]
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if jobs == 1 or len(grid) <= 1:
+            return self.run(grid, on_cell=on_cell)
+        try:
+            pickle.dumps(self.fn)
+        except Exception as exc:
+            raise ConfigurationError(
+                f"run_parallel needs a picklable trial function "
+                f"(a module-level def, not {self.fn!r}): {exc}") from exc
+
+        outcomes: List[Optional[TrialOutcome]] = [None] * len(grid)
+        pending: Dict[str, List[int]] = {}
+        for index, params in enumerate(grid):
+            key = cell_key(params)
+            cached = self._cells.get(key)
+            if cached is not None:
+                outcomes[index] = self._cached_outcome(key, params, cached)
+                if on_cell is not None:
+                    on_cell(outcomes[index])
+            else:
+                # Duplicate cells in the grid run once and share the
+                # outcome, exactly as the serial checkpoint path would.
+                pending.setdefault(key, []).append(index)
+        if not pending:
+            return outcomes
+
+        # spawn, not fork: fork would duplicate the parent's arbitrary
+        # state (open files, loaded simulators) into every worker and is
+        # unsafe in threaded parents; spawn re-imports from scratch.
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending)),
+                                 mp_context=context) as pool:
+            futures = {}
+            for key, indices in pending.items():
+                params = grid[indices[0]]
+                future = pool.submit(_run_cell_in_worker, self.fn, params,
+                                     self._budgeted(params), self.max_retries)
+                futures[future] = (key, indices)
+            try:
+                for future in as_completed(futures):
+                    key, indices = futures[future]
+                    result, attempts, error, elapsed = future.result()
+                    if error is None:
+                        self._record_success(key, grid[indices[0]], result,
+                                             attempts, elapsed)
+                    for index in indices:
+                        outcomes[index] = TrialOutcome(
+                            key=key, params=grid[index], result=result,
+                            attempts=attempts, error=error,
+                            elapsed_seconds=elapsed)
+                        if on_cell is not None:
+                            on_cell(outcomes[index])
+            except BaseException:
+                # Fatal error (or Ctrl-C): stop feeding the pool, keep
+                # everything already merged — the checkpoint holds every
+                # completed cell, so a re-run resumes from there.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
         return outcomes

@@ -34,6 +34,14 @@ __all__ = [
 class FlowSizeDistribution:
     """Interface for flow-length distributions (lengths in packets)."""
 
+    def to_dict(self) -> Dict[str, object]:
+        """Content-based identity for sweep checkpoints.
+
+        The public configuration attributes fully determine every
+        distribution here, so this default covers all subclasses.
+        """
+        return {k: v for k, v in vars(self).items() if not k.startswith("_")}
+
     def sample(self, rng: random.Random) -> int:
         raise NotImplementedError
 
@@ -189,6 +197,9 @@ class EmpiricalMix(FlowSizeDistribution):
 
     def probability_map(self, cap: int = 10_000) -> Dict[int, float]:
         return {min(s, cap): p for s, p in zip(self._sizes, self._probs)}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"sizes": list(self._sizes), "probs": list(self._probs)}
 
     def __repr__(self) -> str:
         return f"EmpiricalMix({dict(zip(self._sizes, self._probs))})"

@@ -1,0 +1,190 @@
+"""run_parallel: worker-pool execution with checkpoint-safe merging.
+
+The trial functions here are module-level because ``run_parallel``
+uses spawn-based worker processes: the children re-import this module
+and unpickle the function by reference.
+"""
+
+import dataclasses
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationStalledError
+from repro.experiments.common import LongFlowResult, run_long_flow_experiment
+from repro.runner import SweepSupervisor
+
+#: Small Figure-7-shaped grid: (n_flows, buffer) cells, laptop-tiny.
+FIG7_GRID = [
+    dict(n_flows=3, buffer_packets=8, pipe_packets=30.0,
+         bottleneck_rate="10Mbps", warmup=1.0, duration=2.0, seed=3),
+    dict(n_flows=3, buffer_packets=16, pipe_packets=30.0,
+         bottleneck_rate="10Mbps", warmup=1.0, duration=2.0, seed=3),
+    dict(n_flows=5, buffer_packets=12, pipe_packets=30.0,
+         bottleneck_rate="10Mbps", warmup=1.0, duration=2.0, seed=3),
+]
+
+
+def _double(x):
+    return {"value": x * 2}
+
+
+def _record_run(x, run_dir):
+    """Touch a per-cell marker so the test can count executions."""
+    with open(os.path.join(run_dir, f"cell-{x}.ran"), "a") as fh:
+        fh.write("1\n")
+    return x * 10
+
+
+def _dies_on_three(x, run_dir):
+    """Cell 3 simulates the operator killing the sweep (first run only)."""
+    _record_run(x, run_dir)
+    if x == 3:
+        if not os.path.exists(os.path.join(run_dir, "recovered")):
+            time.sleep(2.0)  # let the sibling cells finish and checkpoint
+            raise KeyboardInterrupt
+    return x * 10
+
+
+def _always_stalls(x):
+    raise SimulationStalledError("synthetic stall")
+
+
+def _synthetic_long_flow_result(seed):
+    return LongFlowResult(
+        n_flows=4, buffer_packets=10, pipe_packets=40.0,
+        utilization=0.9, throughput_bps=1e6, loss_rate=0.01,
+        timeouts=2, fast_retransmits=5, mean_queue=3.5,
+        window_histogram=([0.0, 1.0, 2.0], [4, 5, 6]),
+        fault_log=[(1.5, "link bottleneck down"), (3.5, "link bottleneck up")],
+        window_utilizations=[(1.0, 0.5), (2.0, 0.9)],
+    )
+
+
+def _result_json(result):
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        result = dataclasses.asdict(result)
+    return json.dumps(result, sort_keys=True, default=repr)
+
+
+class TestParallelBasics:
+    def test_outcomes_in_grid_order(self):
+        supervisor = SweepSupervisor(_double)
+        outcomes = supervisor.run_parallel(
+            [{"x": 1}, {"x": 2}, {"x": 3}], jobs=2)
+        assert [o.result for o in outcomes] == [
+            {"value": 2}, {"value": 4}, {"value": 6}]
+        assert all(o.ok and not o.from_checkpoint for o in outcomes)
+
+    def test_jobs_one_degrades_to_serial(self):
+        supervisor = SweepSupervisor(lambda x: x + 1)  # lambda is fine serially
+        outcomes = supervisor.run_parallel([{"x": 1}, {"x": 2}], jobs=1)
+        assert [o.result for o in outcomes] == [2, 3]
+
+    def test_unpicklable_fn_rejected_clearly(self):
+        supervisor = SweepSupervisor(lambda x: x)
+        with pytest.raises(ConfigurationError, match="picklable"):
+            supervisor.run_parallel([{"x": 1}, {"x": 2}], jobs=2)
+
+    def test_bad_jobs_rejected(self):
+        supervisor = SweepSupervisor(_double)
+        with pytest.raises(ConfigurationError, match="jobs"):
+            supervisor.run_parallel([{"x": 1}], jobs=0)
+
+    def test_duplicate_cells_run_once_and_share_outcome(self, tmp_path):
+        run_dir = str(tmp_path)
+        supervisor = SweepSupervisor(_record_run)
+        outcomes = supervisor.run_parallel(
+            [{"x": 1, "run_dir": run_dir}, {"x": 1, "run_dir": run_dir}],
+            jobs=2)
+        assert [o.result for o in outcomes] == [10, 10]
+        with open(tmp_path / "cell-1.ran") as fh:
+            assert len(fh.readlines()) == 1
+
+    def test_on_cell_fires_for_every_outcome(self):
+        seen = []
+        supervisor = SweepSupervisor(_double)
+        supervisor.run_parallel([{"x": 1}, {"x": 2}, {"x": 3}], jobs=2,
+                                on_cell=seen.append)
+        assert sorted(o.params["x"] for o in seen) == [1, 2, 3]
+
+    def test_failed_cell_reported_not_fatal(self):
+        supervisor = SweepSupervisor(_always_stalls, max_retries=1)
+        outcomes = supervisor.run_parallel([{"x": 1}, {"x": 2}], jobs=2)
+        assert all(not o.ok for o in outcomes)
+        assert all("SimulationStalledError" in o.error for o in outcomes)
+        assert all(o.attempts == 2 for o in outcomes)
+
+
+class TestParallelSerialEquivalence:
+    def test_fig7_grid_bit_identical(self):
+        serial = SweepSupervisor(run_long_flow_experiment).run(FIG7_GRID)
+        parallel = SweepSupervisor(run_long_flow_experiment).run_parallel(
+            FIG7_GRID, jobs=2)
+        assert all(o.ok for o in serial + parallel)
+        for s, p in zip(serial, parallel):
+            assert _result_json(s.result) == _result_json(p.result)
+
+
+class TestParallelCheckpointing:
+    def test_killed_parallel_sweep_resumes(self, tmp_path):
+        """A fatal abort loses only in-flight cells; resume recomputes them."""
+        path = str(tmp_path / "sweep.json")
+        run_dir = str(tmp_path)
+        grid = [{"x": x, "run_dir": run_dir} for x in (1, 2, 3, 4)]
+
+        supervisor = SweepSupervisor(_dies_on_three, checkpoint_path=path)
+        with pytest.raises(KeyboardInterrupt):
+            supervisor.run_parallel(grid, jobs=2)
+
+        # The checkpoint on disk holds every cell that completed.
+        resumed = SweepSupervisor(_dies_on_three, checkpoint_path=path)
+        completed_before_resume = resumed.completed_cells
+        assert 1 <= completed_before_resume <= 3
+
+        (tmp_path / "recovered").touch()
+        outcomes = resumed.run_parallel(grid, jobs=2)
+        assert [o.result for o in outcomes] == [10, 20, 30, 40]
+        # Checkpointed cells were replayed, not recomputed.
+        assert sum(o.from_checkpoint for o in outcomes) == completed_before_resume
+        for x in (1, 2, 4):
+            with open(tmp_path / f"cell-{x}.ran") as fh:
+                runs = len(fh.readlines())
+            assert runs <= 2  # at most once per sweep invocation
+
+    def test_parallel_and_serial_share_checkpoint_format(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        grid = [{"x": 1}, {"x": 2}]
+        SweepSupervisor(_double, checkpoint_path=path).run_parallel(grid, jobs=2)
+
+        serial = SweepSupervisor(_double, checkpoint_path=path)
+        outcomes = serial.run(grid)
+        assert all(o.from_checkpoint for o in outcomes)
+        assert [o.result for o in outcomes] == [{"value": 2}, {"value": 4}]
+
+    def test_long_flow_result_tuple_fields_roundtrip(self, tmp_path):
+        """Worker-produced checkpoints rehydrate tuple fields faithfully."""
+        path = str(tmp_path / "sweep.json")
+        grid = [{"seed": 1}, {"seed": 2}]
+        first = SweepSupervisor(_synthetic_long_flow_result,
+                                checkpoint_path=path)
+        computed = first.run_parallel(grid, jobs=2)
+        assert all(isinstance(o.result, LongFlowResult) for o in computed)
+
+        resumed = SweepSupervisor(_synthetic_long_flow_result,
+                                  checkpoint_path=path,
+                                  deserialize=LongFlowResult.from_dict)
+        outcomes = resumed.run_parallel(grid, jobs=2)
+        assert all(o.from_checkpoint for o in outcomes)
+        for outcome in outcomes:
+            result = outcome.result
+            assert isinstance(result, LongFlowResult)
+            hist_edges, hist_counts = result.window_histogram
+            assert hist_edges == [0.0, 1.0, 2.0]
+            assert hist_counts == [4, 5, 6]
+            assert result.fault_log == [(1.5, "link bottleneck down"),
+                                        (3.5, "link bottleneck up")]
+            assert result.window_utilizations == [(1.0, 0.5), (2.0, 0.9)]
+            assert _result_json(result) == _result_json(computed[0].result)

@@ -36,6 +36,79 @@ class TestBasics:
         assert cell_key({"a": 1, "b": 2}) == cell_key({"b": 2, "a": 1})
 
 
+class TestCellKeyIdentity:
+    """Keys must be content-based: equal params => equal key, in any
+    process — the property resume-across-restarts depends on."""
+
+    def make_schedule(self):
+        from repro.faults import FaultSchedule, LinkFlap, LossBurst
+
+        return FaultSchedule([
+            LinkFlap(at=30.0, duration=2.0),
+            LossBurst(at=40.0, duration=5.0, probability=0.02),
+        ])
+
+    def test_fault_schedule_keys_by_content(self):
+        assert (cell_key({"seed": 1, "faults": self.make_schedule()})
+                == cell_key({"seed": 1, "faults": self.make_schedule()}))
+
+    def test_different_fault_schedules_key_differently(self):
+        from repro.faults import FaultSchedule, LinkFlap
+
+        a = {"seed": 1, "faults": self.make_schedule()}
+        b = {"seed": 1, "faults": FaultSchedule([LinkFlap(at=31.0, duration=2.0)])}
+        assert cell_key(a) != cell_key(b)
+
+    def test_fault_schedule_repr_is_stable(self):
+        # The default object repr embeds the memory address; two
+        # equal-content schedules must print identically.
+        assert repr(self.make_schedule()) == repr(self.make_schedule())
+
+    def test_dataclass_params_key_by_content(self):
+        from repro.faults import LinkFlap
+
+        assert (cell_key({"fault": LinkFlap(at=1.0, duration=2.0)})
+                == cell_key({"fault": LinkFlap(at=1.0, duration=2.0)}))
+
+    def test_flow_size_distributions_key_by_content(self):
+        from repro.traffic.sizes import EmpiricalMix, FixedSize
+
+        assert (cell_key({"sizes": FixedSize(14)})
+                == cell_key({"sizes": FixedSize(14)}))
+        assert (cell_key({"sizes": FixedSize(14)})
+                != cell_key({"sizes": FixedSize(15)}))
+        assert (cell_key({"sizes": EmpiricalMix({2: 0.5, 10: 0.5})})
+                != cell_key({"sizes": EmpiricalMix({2: 0.9, 10: 0.1})}))
+
+    def test_non_json_param_rejected_with_clear_error(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(ConfigurationError, match="to_dict"):
+            cell_key({"seed": 1, "thing": Opaque()})
+
+    def test_fault_schedule_cell_resumes_across_supervisors(self, tmp_path):
+        """The original bug: repr-keyed FaultSchedule params embedded a
+        memory address, so resume never matched across processes."""
+        path = str(tmp_path / "sweep.json")
+        calls = []
+
+        def fn(seed, faults):
+            calls.append(seed)
+            return seed
+
+        first = SweepSupervisor(fn, checkpoint_path=path)
+        first.run_cell(seed=1, faults=self.make_schedule())
+        assert calls == [1]
+
+        # New supervisor, new (equal-content) schedule object: the cell
+        # must come back from the checkpoint, not recompute.
+        second = SweepSupervisor(fn, checkpoint_path=path)
+        outcome = second.run_cell(seed=1, faults=self.make_schedule())
+        assert outcome.from_checkpoint
+        assert calls == [1]
+
+
 class TestBudgetForwarding:
     def test_budgets_injected_when_accepted(self):
         seen = {}
@@ -189,6 +262,18 @@ class TestCheckpointing:
         fresh = SweepSupervisor(lambda x: x, checkpoint_path=path,
                                 resume=False)
         assert fresh.completed_cells == 0
+
+    def test_fresh_discards_checkpoint_file_up_front(self, tmp_path):
+        """resume=False must delete the old file at construction: a crash
+        before the first new cell completes must not leave stale cells
+        for a later resume=True to silently load."""
+        path = str(tmp_path / "sweep.json")
+        SweepSupervisor(lambda x: x, checkpoint_path=path).run_cell(x=1)
+        SweepSupervisor(lambda x: x, checkpoint_path=path, resume=False)
+        # No cell has run yet — the stale file must already be gone.
+        assert not (tmp_path / "sweep.json").exists()
+        later = SweepSupervisor(lambda x: x, checkpoint_path=path)
+        assert later.completed_cells == 0
 
     def test_corrupt_checkpoint_is_a_clear_error(self, tmp_path):
         path = tmp_path / "sweep.json"
