@@ -29,6 +29,7 @@ __all__ = [
     "cmd_ablations",
     "cmd_sweep",
     "cmd_bench",
+    "cmd_profile",
 ]
 
 
@@ -383,14 +384,104 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: cProfile + engine statistics for one scenario.
+
+    Runs the scenario twice — an unprofiled timing run (honest
+    events/sec) and a profiled run (hottest functions) — and prints a
+    combined report tying interpreter hot spots to scheduler behaviour
+    (peak heap, compactions, packet-pool hit rate).
+    """
+    from repro.runner.profile import SCENARIOS, profile_scenario
+
+    overrides = {}
+    _, defaults = SCENARIOS[args.scenario]
+    for key in ("flows", "buffer_packets", "duration", "seed"):
+        value = getattr(args, key, None)
+        if value is not None:
+            overrides["n_flows" if key == "flows" else key] = value
+    if args.scenario == "short":
+        overrides.pop("n_flows", None)  # short flows arrive by load, not count
+    try:
+        report = profile_scenario(
+            scenario=args.scenario, params=overrides,
+            top=args.top, sort=args.sort,
+        )
+    except (SimulationStalledError, InvariantViolation) as exc:
+        return _abort(exc)
+    except ReproError as exc:
+        return _fail(str(exc))
+    print(report.format())
+    return 0
+
+
+def _cmd_bench_engine(args: argparse.Namespace) -> int:
+    """``repro bench --engine``: single-run engine throughput mode."""
+    import json as _json
+
+    from repro.runner.bench import run_engine_benchmark
+
+    baseline = None
+    baseline_details = None
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                payload = _json.load(fh)
+            baseline = float(payload["events_per_second"])
+        except (OSError, ValueError, KeyError) as exc:
+            return _fail(f"cannot read baseline {args.baseline!r}: {exc}")
+        baseline_details = {k: v for k, v in payload.items()
+                            if k != "events_per_second"} or None
+    output = args.output
+    if output == "BENCH_sweep.json":
+        output = "BENCH_engine.json"  # engine mode gets its own artifact
+    try:
+        record = run_engine_benchmark(
+            repeats=args.repeats,
+            baseline_events_per_second=baseline,
+            baseline_details=baseline_details,
+            output_path=output,
+        )
+    except (SimulationStalledError, InvariantViolation) as exc:
+        return _abort(exc)
+    except ReproError as exc:
+        return _fail(str(exc))
+    print(f"engine benchmark: {record['scenario']}, "
+          f"best of {record['repeats']} (interleaved)")
+    print(f"  optimized:    {record['seconds']:.3f}s  "
+          f"{record['events_per_second']:,.0f} events/sec")
+    unopt = record["unoptimized"]
+    print(f"  unoptimized:  {unopt['seconds']:.3f}s  "
+          f"{unopt['events_per_second']:,.0f} events/sec")
+    print(f"  speedup:      {record['speedup_vs_unoptimized']:.2f}x")
+    print(f"  peak heap:    {record['peak_heap_size']} entries "
+          f"(unoptimized: {unopt['peak_heap_size']})")
+    verdict = "identical" if record["identical_results"] else "DIVERGED"
+    print(f"  optimized results vs unoptimized: {verdict}")
+    ok = record["identical_results"]
+    if "meets_baseline" in record:
+        status = "ok" if record["meets_baseline"] else "REGRESSED"
+        print(f"  vs baseline {record['baseline_events_per_second']:,.0f} "
+              f"events/sec (floor {record['regression_floor']:,.0f}): "
+              f"{record['speedup_vs_baseline']:.2f}x, {status}")
+        ok = ok and record["meets_baseline"]
+    print(f"artifact: {output}")
+    return 0 if ok else 3
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench``: serial-vs-parallel sweep timing + JSON artifact.
 
     Runs the standard sweep grid once per ``--jobs`` level, checks that
     every parallel level reproduced the serial results bit-for-bit, and
     appends the timings to the ``--output`` perf-trajectory artifact.
+    ``--engine`` switches to the single-run engine-throughput mode
+    (optimized vs unoptimized hot path, ``BENCH_engine.json``).
     """
     from repro.runner.bench import build_sweep_grid, run_sweep_benchmark
+
+    if getattr(args, "engine", False):
+        return _cmd_bench_engine(args)
 
     try:
         jobs = [int(x) for x in args.jobs.split(",")]

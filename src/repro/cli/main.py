@@ -175,9 +175,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=1)
     p_bench.add_argument("--output", default="BENCH_sweep.json", metavar="FILE",
                          help="artifact path; runs accumulate a trajectory "
-                              "(default BENCH_sweep.json)")
+                              "(default BENCH_sweep.json, or "
+                              "BENCH_engine.json with --engine)")
+    p_bench.add_argument("--engine", action="store_true",
+                         help="single-run engine-throughput mode: time the "
+                              "optimized vs unoptimized hot path on the "
+                              "Figure-1 scenario")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="timed repetitions per engine mode, interleaved; "
+                              "the minimum is kept (default 3; --engine only)")
+    p_bench.add_argument("--baseline", default=None, metavar="FILE",
+                         help="JSON file with an events_per_second floor "
+                              "(e.g. ci/engine-baseline.json); exit 3 if "
+                              "throughput drops >30%% below it (--engine only)")
     _add_watchdog_args(p_bench)
     p_bench.set_defaults(func=commands.cmd_bench)
+
+    p_profile = sub.add_parser(
+        "profile", help="profile a scenario: cProfile hot spots + "
+                        "events/sec + engine statistics")
+    p_profile.add_argument("scenario", nargs="?", default="long",
+                           choices=["long", "short"],
+                           help="scenario to profile (default: long)")
+    p_profile.add_argument("--flows", type=int, default=None,
+                           help="override flow count (long scenario)")
+    p_profile.add_argument("--buffer-packets", type=int, default=None,
+                           help="override bottleneck buffer")
+    p_profile.add_argument("--duration", type=float, default=None,
+                           help="override measured duration in seconds")
+    p_profile.add_argument("--seed", type=int, default=None)
+    p_profile.add_argument("--top", type=int, default=15,
+                           help="hot functions to list (default 15)")
+    p_profile.add_argument("--sort", default="tottime",
+                           choices=["tottime", "cumtime", "ncalls"],
+                           help="profile sort key (default tottime)")
+    p_profile.set_defaults(func=commands.cmd_profile)
 
     return parser
 

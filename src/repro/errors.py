@@ -19,6 +19,7 @@ __all__ = [
     "InvariantViolation",
     "RoutingError",
     "QueueError",
+    "PacketPoolError",
     "FaultError",
     "ModelError",
 ]
@@ -58,6 +59,10 @@ class InvariantViolation(SimulationError):
 
 class RoutingError(SimulationError):
     """A packet reached a node with no route toward its destination."""
+
+
+class PacketPoolError(InvariantViolation):
+    """Packet free-list misuse: double release or use-after-release."""
 
 
 class QueueError(InvariantViolation):

@@ -35,7 +35,7 @@ from repro.metrics import (
 )
 from repro.metrics.windows import GaussianFit
 from repro.net import REDQueue, build_dumbbell
-from repro.net.packet import TCP_HEADER_BYTES
+from repro.net.packet import TCP_HEADER_BYTES, pooled_packets
 from repro.net.queues import DropTailQueue
 from repro.net.topology import DumbbellNetwork
 from repro.runner.invariants import InvariantMonitor, verify_network
@@ -141,6 +141,20 @@ def _make_jitter(rng: random.Random, mean: float) -> Callable[[], float]:
     return lambda: rng.expovariate(1.0 / mean)
 
 
+def _make_simulator(optimize: bool, engine_opts: Optional[dict]) -> Simulator:
+    """Build the experiment Simulator.
+
+    ``optimize=False`` selects the unoptimized reference engine (eager
+    timer cancellation, no heap compaction) used by the equivalence
+    tests; ``engine_opts`` overrides individual engine knobs either way.
+    """
+    opts = {} if engine_opts is None else dict(engine_opts)
+    if not optimize:
+        opts.setdefault("lazy_timers", False)
+        opts.setdefault("compaction", False)
+    return Simulator(**opts)
+
+
 def run_long_flow_experiment(
     n_flows: int,
     buffer_packets: int,
@@ -167,6 +181,9 @@ def run_long_flow_experiment(
     check_invariants: bool = True,
     invariant_period: float = 1.0,
     utilization_probe_period: Optional[float] = None,
+    optimize: bool = True,
+    engine_opts: Optional[dict] = None,
+    on_sim: Optional[Callable[[Simulator], None]] = None,
 ) -> LongFlowResult:
     """Run ``n_flows`` long-lived TCP flows through a bottleneck.
 
@@ -212,6 +229,19 @@ def run_long_flow_experiment(
         When set, record per-window bottleneck busy fractions in
         ``result.window_utilizations`` — the trajectory fault
         experiments use to show utilization recovering after an outage.
+    optimize:
+        ``True`` (default) runs the optimized engine: lazy timer
+        rescheduling, heap compaction, and packet pooling.  ``False``
+        runs the unoptimized reference path; results are bit-identical
+        either way (test-enforced).
+    engine_opts:
+        Extra :class:`~repro.sim.Simulator` keyword overrides (e.g.
+        ``{"compaction": False}``) for targeted ablations.
+    on_sim:
+        Callback invoked with the finished simulator before the result
+        is built — the profiling harness uses it to harvest engine
+        statistics (``peak_heap_size``, ``compactions``) without
+        growing the result dataclass.
 
     Returns
     -------
@@ -222,7 +252,7 @@ def run_long_flow_experiment(
     if warmup < 0 or duration <= 0:
         raise ConfigurationError("need warmup >= 0 and duration > 0")
     streams = RngStreams(seed)
-    sim = Simulator()
+    sim = _make_simulator(optimize, engine_opts)
     rtt_mean = rtt_for_pipe(pipe_packets, bottleneck_rate)
     rtt_rng = streams.stream("rtt")
     lo, hi = rtt_spread
@@ -301,8 +331,13 @@ def run_long_flow_experiment(
                        rng=streams.stream("faults"))
     if check_invariants:
         InvariantMonitor(sim, net, period=invariant_period, t_stop=t_end)
-    sim.run(until=t_end, max_events=max_events,
-            max_wall_seconds=max_wall_seconds)
+    with pooled_packets(enabled=optimize):
+        sim.run(until=t_end, max_events=max_events,
+                max_wall_seconds=max_wall_seconds)
+        # Inside the pool scope so an ``on_sim`` observer (profiler,
+        # benchmark) can snapshot the pool as the run actually used it.
+        if on_sim is not None:
+            on_sim(sim)
     if check_invariants:
         verify_network(net)
 
@@ -347,6 +382,9 @@ def run_short_flow_experiment(
     max_wall_seconds: Optional[float] = None,
     check_invariants: bool = True,
     invariant_period: float = 1.0,
+    optimize: bool = True,
+    engine_opts: Optional[dict] = None,
+    on_sim: Optional[Callable[[Simulator], None]] = None,
 ) -> ShortFlowResult:
     """Poisson short-flow arrivals at a target load.
 
@@ -364,6 +402,9 @@ def run_short_flow_experiment(
     access_multiplier:
         Access links run this many times faster than the bottleneck
         (bigger = burstier arrivals; the paper's worst case is infinite).
+    optimize, engine_opts, on_sim:
+        Engine selection and instrumentation hooks, as in
+        :func:`run_long_flow_experiment`.
 
     Returns
     -------
@@ -374,7 +415,7 @@ def run_short_flow_experiment(
     if not 0.0 < load < 1.0:
         raise ConfigurationError(f"load must be in (0, 1), got {load}")
     streams = RngStreams(seed)
-    sim = Simulator()
+    sim = _make_simulator(optimize, engine_opts)
     rate_bps = parse_bandwidth(bottleneck_rate)
     if buffer_packets is None:
         queue_spec = lambda: DropTailQueue(sim, unbounded=True)
@@ -407,8 +448,11 @@ def run_short_flow_experiment(
     if check_invariants:
         InvariantMonitor(sim, net, period=invariant_period, t_stop=t_drain)
     # Drain period so flows that started near t_end can complete.
-    sim.run(until=t_drain, max_events=max_events,
-            max_wall_seconds=max_wall_seconds)
+    with pooled_packets(enabled=optimize):
+        sim.run(until=t_drain, max_events=max_events,
+                max_wall_seconds=max_wall_seconds)
+        if on_sim is not None:
+            on_sim(sim)
     if check_invariants:
         verify_network(net)
 

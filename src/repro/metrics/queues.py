@@ -26,21 +26,28 @@ class QueueMonitor:
     queue:
         The queue to observe.
     sample_period:
-        Sampling period for the occupancy trace (default 10 ms).
+        Sampling period for the occupancy trace (default 10 ms), or
+        ``None`` to disable the occupancy trace entirely — the monitor
+        then keeps only windowed drop/arrival accounting and schedules
+        no per-sample events (null probe).
     t_start:
         When to begin sampling and windowed counting (default: now).
     t_end:
-        Optional end of the accounting window.
+        Optional end of the accounting window.  Also bounds the probe:
+        no occupancy sample is taken past it, even if the simulator is
+        re-entered for a later phase.
     """
 
-    def __init__(self, sim, queue: Queue, sample_period: float = 0.01,
+    def __init__(self, sim, queue: Queue, sample_period: Optional[float] = 0.01,
                  t_start: Optional[float] = None, t_end: Optional[float] = None):
         self.sim = sim
         self.queue = queue
         self.t_start = sim.now if t_start is None else t_start
         self.t_end = t_end
         self.series = TimeSeries("queue-occupancy")
-        self._probe = Probe(sim, lambda: len(queue), sample_period, series=self.series)
+        fn = None if sample_period is None else lambda: len(queue)
+        period = 0.01 if sample_period is None else sample_period
+        self._probe = Probe(sim, fn, period, series=self.series)
         self._arrivals_at_start = 0
         self._drops_at_start = 0
         self._arrivals_at_end: Optional[int] = None
@@ -52,7 +59,7 @@ class QueueMonitor:
     def _open(self) -> None:
         self._arrivals_at_start = self.queue.arrivals
         self._drops_at_start = self.queue.drops
-        self._probe.start()
+        self._probe.start(t_end=self.t_end)
 
     def _close(self) -> None:
         self._arrivals_at_end = self.queue.arrivals

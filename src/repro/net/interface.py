@@ -13,9 +13,14 @@ utilization/occupancy/drop data in every figure of the paper.
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
+
 from repro.net.link import Link
 from repro.net.packet import Packet
-from repro.net.queues import Queue
+from repro.net.queues import DropTailQueue, Queue
+from repro.sim.engine import Event
+
+_new_event = object.__new__
 
 __all__ = ["Interface"]
 
@@ -35,6 +40,8 @@ class Interface:
         Optional label for diagnostics.
     """
 
+    __slots__ = ("sim", "queue", "link", "name")
+
     def __init__(self, sim, queue: Queue, link: Link, name: str = ""):
         self.sim = sim
         self.queue = queue
@@ -44,27 +51,113 @@ class Interface:
         # down, packets accumulate in (and overflow) the queue exactly
         # as they would in a real router whose port lost carrier.
         link.on_up = self._on_link_up
+        # Let the link pull the next packet itself when serialization
+        # ends with the queue non-empty (back-to-back fast path).
+        link._feed_queue = queue
 
     def enqueue(self, packet: Packet) -> bool:
         """Offer a packet for output; returns False if the queue dropped it."""
-        accepted = self.queue.enqueue(packet)
-        if accepted and not self.link.busy and self.link.is_up:
-            self._pump()
-        return accepted
+        # Inlined Queue.enqueue (never overridden — subclasses customize
+        # _admit) followed by the pump: this is the hottest chain in the
+        # simulator, one call per forwarded packet.  Runs with fault
+        # injectors active take the full checked path instead.
+        queue = self.queue
+        if queue._injectors:
+            accepted = queue.enqueue(packet)
+            if accepted:
+                link = self.link
+                if not link.busy and link.is_up:
+                    head = queue.dequeue()
+                    if head is not None:
+                        link.transmit(head, on_idle=self._on_link_idle)
+            return accepted
+        size = packet.size
+        link = self.link
+        if (not link.busy and link.is_up and not queue._items
+                and queue.__class__ is DropTailQueue
+                and link.dst is not None
+                and (queue.capacity_bytes is None
+                     or size <= queue.capacity_bytes)):
+            # Cut-through: empty drop-tail queue, idle link.  The packet
+            # would be dequeued again within this same instant, so its
+            # zero-length residency adds nothing to the occupancy
+            # integral — only the flow counters need touching.  Gated on
+            # the exact class because subclasses put policy in _admit
+            # (RED state updates, scripted drops) that must see every
+            # arrival.
+            queue.arrivals += 1
+            queue.bytes_in += size
+            queue.departures += 1
+            queue.bytes_out += size
+            if queue.peak_packets == 0:
+                queue.peak_packets = 1
+            if size > queue.peak_bytes:
+                queue.peak_bytes = size
+            # Inlined Link.transmit (idle, up, and wired — all just
+            # checked), including its inlined sim.schedule.
+            sim = link.sim
+            now = sim._now
+            link.busy = True
+            link._busy_since = now
+            link._on_idle = self._on_link_idle
+            event = _new_event(Event)
+            event.time = time = now + size * 8.0 / link.rate
+            event.callback = link._end_serialization
+            event.args = (packet,)
+            event._sim = sim
+            event._cancelled = False
+            heap = sim._heap
+            _heappush(heap, (time, next(sim._seq), event))
+            sim._live += 1
+            n = len(heap)
+            if n > sim.peak_heap_size:
+                sim.peak_heap_size = n
+            link._serializing = event
+            return True
+        queue.arrivals += 1
+        queue.bytes_in += size
+        if queue._admit(packet):
+            items = queue._items
+            now = queue.sim._now
+            dt = now - queue._occ_time
+            n = len(items)
+            if dt > 0.0:
+                queue._occ_area_pkts += n * dt
+                queue._occ_area_bytes += queue._bytes * dt
+                queue._occ_time = now
+            items.append(packet)
+            bytes_now = queue._bytes = queue._bytes + size
+            n += 1
+            if n > queue.peak_packets:
+                queue.peak_packets = n
+            if bytes_now > queue.peak_bytes:
+                queue.peak_bytes = bytes_now
+            if not link.busy and link.is_up:
+                head = queue.dequeue()
+                if head is not None:
+                    link.transmit(head, on_idle=self._on_link_idle)
+            return True
+        queue._drop(packet)
+        return False
 
     def _pump(self) -> None:
-        if not self.link.is_up:
+        link = self.link
+        if not link.is_up:
             return
         packet = self.queue.dequeue()
         if packet is not None:
-            self.link.transmit(packet, on_idle=self._on_link_idle)
+            link.transmit(packet, on_idle=self._on_link_idle)
 
     def _on_link_idle(self) -> None:
-        if len(self.queue):
+        # The link drains back-to-back itself (via _feed_queue), so this
+        # fires only when serialization ended with an empty queue — a
+        # safety net for queue subclasses whose dequeue can decline
+        # while items are present.
+        if self.queue._items and self.link.is_up:
             self._pump()
 
     def _on_link_up(self) -> None:
-        if len(self.queue) and not self.link.busy:
+        if self.queue._items and not self.link.busy:
             self._pump()
 
     @property

@@ -25,11 +25,20 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.errors import ConfigurationError
-from repro.net.packet import Packet
+from heapq import heappush as _heappush
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.net.packet import MAX_HOPS, Packet
+from repro.sim.engine import Event
 from repro.units import parse_bandwidth, parse_time, Quantity
 
 __all__ = ["Link"]
+
+# Nearly every event in a packet-level run is scheduled from this
+# module (serialization end, delivery); the hot sites below inline
+# Simulator.schedule — the delays are known finite and non-negative, so
+# the validation branch and the call frame both drop out.
+_new_event = object.__new__
 
 
 class Link:
@@ -48,6 +57,14 @@ class Link:
     name:
         Optional label used in reprs and error messages.
     """
+
+    __slots__ = (
+        "sim", "rate", "delay", "dst", "name", "busy", "is_up",
+        "packets_delivered", "bytes_delivered", "packets_dropped",
+        "bytes_dropped", "down_count", "busy_time", "down_time",
+        "_busy_since", "_down_since", "_on_idle", "on_up",
+        "_serializing", "_propagating", "_feed_queue",
+    )
 
     def __init__(self, sim, rate: Quantity, delay: Quantity, dst=None, name: str = ""):
         self.sim = sim
@@ -74,9 +91,14 @@ class Link:
         #: Set by the owning Interface: invoked when the link recovers.
         self.on_up: Optional[Callable[[], None]] = None
         # In-flight tracking so faults can kill the wire's contents: the
-        # packet being serialized (at most one) and packets propagating.
-        self._serializing: Optional[Tuple[Packet, "Event"]] = None
-        self._propagating: Dict[int, Tuple[Packet, "Event"]] = {}
+        # event serializing a packet (at most one) and the delivery event
+        # of each propagating packet, keyed by packet uid.  The packet
+        # itself rides in ``event.args[0]`` — no extra tuple per hop.
+        self._serializing: Optional["Event"] = None
+        self._propagating: Dict[int, "Event"] = {}
+        #: Set by the owning Interface: its output queue, so back-to-back
+        #: serialization can continue without an idle round-trip.
+        self._feed_queue = None
 
     def serialization_time(self, packet: Packet) -> float:
         """Seconds needed to clock ``packet`` onto the wire."""
@@ -90,9 +112,9 @@ class Link:
     @property
     def in_flight_bytes(self) -> int:
         """Bytes currently on this link."""
-        total = sum(pkt.size for pkt, _ in self._propagating.values())
+        total = sum(ev.args[0].size for ev in self._propagating.values())
         if self._serializing is not None:
-            total += self._serializing[0].size
+            total += self._serializing.args[0].size
         return total
 
     def transmit(self, packet: Packet, on_idle: Optional[Callable[[], None]] = None) -> None:
@@ -112,21 +134,80 @@ class Link:
         if not self.is_up:
             self._count_fault_drop(packet)
             return
+        sim = self.sim
+        now = sim._now
         self.busy = True
-        self._busy_since = self.sim.now
+        self._busy_since = now
         self._on_idle = on_idle
-        tx = self.serialization_time(packet)
-        event = self.sim.schedule(tx, self._end_serialization, packet)
-        self._serializing = (packet, event)
+        # Inlined sim.schedule(tx, self._end_serialization, packet).
+        event = _new_event(Event)
+        event.time = time = now + packet.size * 8.0 / self.rate
+        event.callback = self._end_serialization
+        event.args = (packet,)
+        event._sim = sim
+        event._cancelled = False
+        heap = sim._heap
+        _heappush(heap, (time, next(sim._seq), event))
+        sim._live += 1
+        n = len(heap)
+        if n > sim.peak_heap_size:
+            sim.peak_heap_size = n
+        self._serializing = event
 
     def _end_serialization(self, packet: Packet) -> None:
+        sim = self.sim
+        now = sim._now
+        heap = sim._heap
+        seq = sim._seq
+        # Inlined sim.schedule(self.delay, self._deliver, packet).
+        event = _new_event(Event)
+        event.time = time = now + self.delay
+        event.callback = self._deliver
+        event.args = (packet,)
+        event._sim = sim
+        event._cancelled = False
+        _heappush(heap, (time, next(seq), event))
+        sim._live += 1
+        n = len(heap)
+        if n > sim.peak_heap_size:
+            sim.peak_heap_size = n
+        self._propagating[packet.uid] = event
+        # Back-to-back fast path: under saturation the queue almost
+        # always has a successor, so the transmitter never goes idle —
+        # busy state and busy_time carry over unchanged, and the idle
+        # callback round-trip through the interface is skipped.  The
+        # propagation event is scheduled before the next serialization,
+        # matching the order the idle-callback path produced.  A downed
+        # link cancels the serialization event, so this only runs while
+        # the link is up.
+        queue = self._feed_queue
+        if queue is not None and queue._items:
+            head = queue.dequeue()
+            if head is not None:
+                # busy_time still flushes per packet so probes sampling
+                # mid-busy-period read the same value as the idle path.
+                if self._busy_since is not None:
+                    self.busy_time += now - self._busy_since
+                self._busy_since = now
+                # Inlined sim.schedule(tx, self._end_serialization, head).
+                event = _new_event(Event)
+                event.time = time = now + head.size * 8.0 / self.rate
+                event.callback = self._end_serialization
+                event.args = (head,)
+                event._sim = sim
+                event._cancelled = False
+                _heappush(heap, (time, next(seq), event))
+                sim._live += 1
+                n = len(heap)
+                if n > sim.peak_heap_size:
+                    sim.peak_heap_size = n
+                self._serializing = event
+                return
         self._serializing = None
         self.busy = False
         if self._busy_since is not None:
-            self.busy_time += self.sim.now - self._busy_since
+            self.busy_time += sim._now - self._busy_since
             self._busy_since = None
-        event = self.sim.schedule(self.delay, self._deliver, packet)
-        self._propagating[packet.uid] = (packet, event)
         on_idle = self._on_idle
         self._on_idle = None
         if on_idle is not None:
@@ -136,8 +217,22 @@ class Link:
         self._propagating.pop(packet.uid, None)
         self.packets_delivered += 1
         self.bytes_delivered += packet.size
-        packet.hops += 1
-        self.dst.receive(packet)
+        hops = packet.hops = packet.hops + 1
+        # Inlined Node.forward for the router-hop case: a route table
+        # hit means the far node forwards this packet, so go straight to
+        # the output interface.  A miss falls back to receive() — local
+        # delivery on a host, or the RoutingError path on a router.
+        dst = self.dst
+        try:
+            iface = dst._routes.get(packet.dst)
+        except AttributeError:  # duck-typed receiver (test sinks)
+            iface = None
+        if iface is not None:
+            if hops > MAX_HOPS:
+                raise RoutingError(f"routing loop detected for {packet!r}")
+            iface.enqueue(packet)
+        else:
+            dst.receive(packet)
 
     # ------------------------------------------------------------------
     # Faults
@@ -155,7 +250,8 @@ class Link:
         self.down_count += 1
         self._down_since = self.sim.now
         if self._serializing is not None:
-            packet, event = self._serializing
+            event = self._serializing
+            packet = event.args[0]
             event.cancel()
             self._serializing = None
             self.busy = False
@@ -164,7 +260,8 @@ class Link:
                 self._busy_since = None
             self._on_idle = None
             self._count_fault_drop(packet)
-        for packet, event in self._propagating.values():
+        for event in self._propagating.values():
+            packet = event.args[0]
             event.cancel()
             self._count_fault_drop(packet)
         self._propagating.clear()
@@ -187,6 +284,7 @@ class Link:
     def _count_fault_drop(self, packet: Packet) -> None:
         self.packets_dropped += 1
         self.bytes_dropped += packet.size
+        packet.release()
 
     # ------------------------------------------------------------------
     # Measurement

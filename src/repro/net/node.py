@@ -17,12 +17,9 @@ from typing import Callable, Dict, Optional
 
 from repro.errors import ConfigurationError, RoutingError
 from repro.net.interface import Interface
-from repro.net.packet import Packet
+from repro.net.packet import MAX_HOPS, Packet
 
-__all__ = ["Node", "Host", "Router"]
-
-#: Loop guard: a packet traversing more links than this is a routing bug.
-MAX_HOPS = 64
+__all__ = ["Node", "Host", "Router", "MAX_HOPS"]
 
 
 class Node:
@@ -67,7 +64,12 @@ class Node:
         """Send ``packet`` toward its destination; returns False on drop."""
         if packet.hops > MAX_HOPS:
             raise RoutingError(f"routing loop detected for {packet!r}")
-        return self.route_for(packet.dst).enqueue(packet)
+        # Inlined route_for: one dict probe per hop, with the error path
+        # delegated to route_for so the message stays in one place.
+        iface = self._routes.get(packet.dst)
+        if iface is None:
+            iface = self.route_for(packet.dst)
+        return iface.enqueue(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name!r})"
@@ -79,8 +81,9 @@ class Router(Node):
     the interfaces, so the "router buffer" of the paper is the queue on
     this router's bottleneck-facing interface."""
 
-    def receive(self, packet: Packet) -> None:
-        self.forward(packet)
+    # receive *is* forward for a router — aliasing skips one call frame
+    # on every store-and-forward hop (the busiest code path there is).
+    receive = Node.forward
 
 
 class Host(Node):
@@ -121,7 +124,7 @@ class Host(Node):
 
     def inject(self, packet: Packet) -> bool:
         """Send a locally-generated packet into the network."""
-        packet.created_at = self.sim.now
+        packet.created_at = self.sim._now
         self.packets_sent += 1
         if packet.dst == self.address:
             # Loopback: deliver without touching any link.  Counted as
@@ -138,11 +141,13 @@ class Host(Node):
                 f"host {self.name!r} (addr {self.address}) received packet "
                 f"for address {packet.dst}"
             )
-        if packet.meta is not None and packet.meta.get("corrupted"):
+        meta = packet.meta
+        if meta is not None and meta.get("corrupted"):
             # Transport checksum failure: the bits arrived but the
             # payload is garbage, so the packet dies here (TCP recovers
             # it by retransmission, exactly as with a queue drop).
             self.packets_corrupted += 1
+            packet.release()
             return
         self.packets_received += 1
         if self.proc_jitter is not None:
@@ -150,14 +155,22 @@ class Host(Node):
             if delay > 0:
                 self.sim.schedule(delay, self._dispatch, packet)
                 return
-        self._dispatch(packet)
+        # Inlined _dispatch (the no-jitter fast path runs once per
+        # delivered packet).
+        agent = self._agents.get(packet.dport)
+        if agent is not None:
+            agent.deliver(packet)
+        packet.release()
 
     def _dispatch(self, packet: Packet) -> None:
         agent = self._agents.get(packet.dport)
         if agent is not None:
             agent.deliver(packet)
         # Unbound port: silently discard, mirroring a host dropping
-        # traffic for a closed socket.
+        # traffic for a closed socket.  Either way the packet is dead
+        # once delivery returns — agents copy what they need — so it
+        # goes back to the free list.
+        packet.release()
 
 
 class AgentLike:

@@ -23,6 +23,10 @@ from repro.net.packet import Packet, PacketFlags
 
 __all__ = ["Queue", "DropTailQueue", "REDQueue"]
 
+# Plain-int flag masks (packet.flags is a plain int; see repro.net.packet).
+_ECT = int(PacketFlags.ECT)
+_CE = int(PacketFlags.CE)
+
 DropHook = Callable[[Packet], None]
 #: Fault injector: returns "drop", "corrupt", or None for each arrival.
 Injector = Callable[[Packet], Optional[str]]
@@ -47,6 +51,19 @@ class Queue:
         Explicitly allow an infinite queue (used for "infinite buffer"
         baselines such as the AFCT reference in Figure 8).
     """
+
+    # Slotted: queue attribute access dominates the per-packet hot path.
+    # Subclasses that add state without declaring __slots__ (e.g. test
+    # fixtures) transparently get a __dict__ for their extras.
+    __slots__ = (
+        "sim", "capacity_packets", "capacity_bytes", "_items", "_bytes",
+        "arrivals", "departures", "drops", "bytes_in", "bytes_out",
+        "bytes_dropped", "_occ_start", "_occ_time", "_occ_area_pkts",
+        "_occ_area_bytes", "peak_packets", "peak_bytes", "_drop_hooks",
+        "_injectors", "injected_drops", "injected_corruptions", "flushed",
+        "_resident_at_reset", "_resident_bytes_at_reset",
+        "_drops_before_reset",
+    )
 
     def __init__(
         self,
@@ -116,46 +133,65 @@ class Queue:
         Returns ``True`` if the packet was accepted, ``False`` if dropped
         (drop hooks fire before returning).
         """
+        size = packet.size
         self.arrivals += 1
-        self.bytes_in += packet.size
-        for injector in self._injectors:
-            action = injector(packet)
-            if action == "drop":
-                self.injected_drops += 1
-                self._drop(packet)
-                return False
-            if action == "corrupt":
-                # The payload is damaged but the packet still occupies
-                # buffer and wire; the destination host's checksum
-                # discards it (see Host.receive).
-                self.injected_corruptions += 1
-                if packet.meta is None:
-                    packet.meta = {}
-                packet.meta["corrupted"] = True
+        self.bytes_in += size
+        if self._injectors:
+            for injector in self._injectors:
+                action = injector(packet)
+                if action == "drop":
+                    self.injected_drops += 1
+                    self._drop(packet)
+                    return False
+                if action == "corrupt":
+                    # The payload is damaged but the packet still occupies
+                    # buffer and wire; the destination host's checksum
+                    # discards it (see Host.receive).
+                    self.injected_corruptions += 1
+                    if packet.meta is None:
+                        packet.meta = {}
+                    packet.meta["corrupted"] = True
         if self._admit(packet):
-            self._record_occupancy()
-            self._items.append(packet)
-            self._bytes += packet.size
-            n = len(self._items)
+            # Inlined _record_occupancy (this and dequeue are the two
+            # per-packet callers; the interval ending now carried the
+            # pre-change occupancy).
+            items = self._items
+            now = self.sim._now
+            dt = now - self._occ_time
+            n = len(items)
+            if dt > 0.0:
+                self._occ_area_pkts += n * dt
+                self._occ_area_bytes += self._bytes * dt
+                self._occ_time = now
+            items.append(packet)
+            bytes_now = self._bytes = self._bytes + size
+            n += 1
             if n > self.peak_packets:
                 self.peak_packets = n
-            if self._bytes > self.peak_bytes:
-                self.peak_bytes = self._bytes
+            if bytes_now > self.peak_bytes:
+                self.peak_bytes = bytes_now
             return True
         self._drop(packet)
         return False
 
     def dequeue(self) -> Optional[Packet]:
         """Remove and return the head-of-line packet, or ``None`` if empty."""
-        if not self._items:
+        items = self._items
+        if not items:
             return None
-        self._record_occupancy()
-        packet = self._items.popleft()
-        self._bytes -= packet.size
-        if self._bytes < 0:
+        now = self.sim._now
+        dt = now - self._occ_time
+        if dt > 0.0:
+            self._occ_area_pkts += len(items) * dt
+            self._occ_area_bytes += self._bytes * dt
+            self._occ_time = now
+        packet = items.popleft()
+        size = packet.size
+        bytes_now = self._bytes = self._bytes - size
+        if bytes_now < 0:
             raise QueueError("negative byte occupancy")
         self.departures += 1
-        self.bytes_out += packet.size
+        self.bytes_out += size
         return packet
 
     def peek(self) -> Optional[Packet]:
@@ -289,6 +325,8 @@ class Queue:
         self.bytes_dropped += packet.size
         for hook in self._drop_hooks:
             hook(packet)
+        # A dropped packet is dead once the hooks have seen it.
+        packet.release()
 
     def _record_occupancy(self) -> None:
         """Accumulate occupancy*dt for the interval just ending.
@@ -296,7 +334,7 @@ class Queue:
         Called *before* the occupancy changes, so the current length
         is the value that held since the previous change.
         """
-        now = self.sim.now
+        now = self.sim._now
         dt = now - self._occ_time
         if dt > 0.0:
             self._occ_area_pkts += len(self._items) * dt
@@ -309,8 +347,18 @@ class DropTailQueue(Queue):
     otherwise.  This is the discipline the paper's theory and evaluation
     assume."""
 
+    __slots__ = ()
+
     def _admit(self, packet: Packet) -> bool:
-        return self._fits(packet)
+        # _fits, inlined: this is the admission test for every packet on
+        # the bottleneck hot path.
+        cap = self.capacity_packets
+        if cap is not None and len(self._items) >= cap:
+            return False
+        cap_b = self.capacity_bytes
+        if cap_b is not None and self._bytes + packet.size > cap_b:
+            return False
+        return True
 
 
 class REDQueue(Queue):
@@ -345,6 +393,12 @@ class REDQueue(Queue):
         overflow — still drop, and non-ECT packets are dropped as in
         plain RED.
     """
+
+    __slots__ = (
+        "min_thresh", "max_thresh", "max_p", "weight", "gentle", "rng",
+        "mean_pkt_time", "ecn", "ecn_marks", "avg", "_count_since_drop",
+        "_idle_since", "early_drops", "forced_drops",
+    )
 
     def __init__(
         self,
@@ -396,9 +450,9 @@ class REDQueue(Queue):
             return False
         if self._should_early_drop():
             self._count_since_drop = 0
-            if self.ecn and packet.flags & PacketFlags.ECT:
+            if self.ecn and packet.flags & _ECT:
                 # Congestion signal without loss: mark and admit.
-                packet.flags |= PacketFlags.CE
+                packet.flags |= _CE
                 self.ecn_marks += 1
                 return True
             self.early_drops += 1

@@ -19,10 +19,20 @@ Table-10-style sweep.  This package closes both holes:
 :mod:`repro.runner.bench`
     :func:`run_sweep_benchmark` — times the standard sweep serial vs
     parallel and appends the result to a ``BENCH_sweep.json``
-    perf-trajectory artifact.
+    perf-trajectory artifact.  :func:`run_engine_benchmark` — single-run
+    engine throughput (optimized vs unoptimized hot path) appended to
+    ``BENCH_engine.json``, with an optional committed baseline floor.
+:mod:`repro.runner.profile`
+    :func:`profile_scenario` — wraps any scenario in cProfile plus an
+    events/sec + peak-heap + packet-pool report (``repro profile``).
 """
 
-from repro.runner.bench import build_sweep_grid, run_sweep_benchmark
+from repro.runner.bench import (
+    build_sweep_grid,
+    run_engine_benchmark,
+    run_sweep_benchmark,
+)
+from repro.runner.profile import ProfileReport, profile_scenario
 from repro.runner.invariants import (
     InvariantMonitor,
     check_link,
@@ -43,4 +53,7 @@ __all__ = [
     "cell_key",
     "build_sweep_grid",
     "run_sweep_benchmark",
+    "run_engine_benchmark",
+    "ProfileReport",
+    "profile_scenario",
 ]

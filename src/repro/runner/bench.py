@@ -21,9 +21,24 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 from repro.errors import ConfigurationError
 from repro.runner.supervisor import SweepSupervisor
 
-__all__ = ["build_sweep_grid", "run_sweep_benchmark", "DEFAULT_OUTPUT"]
+__all__ = [
+    "build_sweep_grid",
+    "run_sweep_benchmark",
+    "run_engine_benchmark",
+    "DEFAULT_OUTPUT",
+    "DEFAULT_ENGINE_OUTPUT",
+    "DEFAULT_ENGINE_PARAMS",
+]
 
 DEFAULT_OUTPUT = "BENCH_sweep.json"
+DEFAULT_ENGINE_OUTPUT = "BENCH_engine.json"
+
+#: The engine-throughput scenario: a Figure-1-shaped long-lived-flow run
+#: sized so one repetition takes under a second on commodity hardware.
+DEFAULT_ENGINE_PARAMS: Dict[str, Any] = dict(
+    n_flows=16, buffer_packets=40, pipe_packets=80.0,
+    bottleneck_rate="10Mbps", warmup=4.0, duration=8.0, seed=3,
+)
 
 
 def build_sweep_grid(
@@ -125,6 +140,118 @@ def run_sweep_benchmark(
         "timings": timings,
         "identical_results": identical,
     }
+    if output_path:
+        _append_to_artifact(output_path, record)
+    return record
+
+
+def run_engine_benchmark(
+    params: Optional[Dict[str, Any]] = None,
+    repeats: int = 3,
+    baseline_events_per_second: Optional[float] = None,
+    baseline_details: Optional[Dict[str, Any]] = None,
+    regression_tolerance: float = 0.3,
+    output_path: Optional[str] = DEFAULT_ENGINE_OUTPUT,
+) -> Dict[str, Any]:
+    """Single-run engine throughput: optimized vs unoptimized hot path.
+
+    Runs the Figure-1-shaped scenario ``repeats`` times in each engine
+    mode (after one discarded warmup run per mode) and keeps the
+    *minimum* wall time — the measurement least disturbed by scheduler
+    noise.  The two modes must produce bit-identical results; the record
+    notes whether they did.
+
+    ``baseline_events_per_second`` is a committed floor (see
+    ``ci/engine-baseline.json``): the benchmark is flagged as a
+    regression when optimized throughput falls more than
+    ``regression_tolerance`` (default 30%) below it.
+
+    Returns the benchmark record; when ``output_path`` is set it is also
+    appended to the artifact's run history (same trajectory format as
+    ``BENCH_sweep.json``).
+    """
+    from repro.experiments.common import run_long_flow_experiment
+
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    if not 0.0 <= regression_tolerance < 1.0:
+        raise ConfigurationError(
+            f"regression_tolerance must be in [0, 1), got {regression_tolerance}")
+    params = dict(DEFAULT_ENGINE_PARAMS, **(params or {}))
+
+    # One discarded warmup per mode, then the timed repetitions
+    # *interleaved* (optimized, unoptimized, optimized, ...) so slow
+    # machine phases hit both modes equally and the speedup ratio stays
+    # honest.  Min-of-N per mode discards scheduler noise.
+    modes: Dict[str, Dict[str, Any]] = {}
+    stats_for: Dict[str, Dict[str, Any]] = {"optimized": {}, "unoptimized": {}}
+    best: Dict[str, float] = {"optimized": math.inf, "unoptimized": math.inf}
+    fingerprint: Dict[str, Optional[str]] = {}
+    for optimize in (True, False):
+        run_long_flow_experiment(optimize=optimize, **params)  # warmup
+    for _ in range(repeats):
+        for optimize in (True, False):
+            label = "optimized" if optimize else "unoptimized"
+            stats = stats_for[label]
+
+            def capture(sim, stats=stats) -> None:
+                stats["events_processed"] = sim.events_processed
+                stats["peak_heap_size"] = sim.peak_heap_size
+                stats["compactions"] = sim.compactions
+
+            started = time.perf_counter()
+            result = run_long_flow_experiment(
+                optimize=optimize, on_sim=capture, **params)
+            best[label] = min(best[label], time.perf_counter() - started)
+            fingerprint[label] = _result_fingerprint(result)
+    for label in ("optimized", "unoptimized"):
+        stats = stats_for[label]
+        events = stats.get("events_processed", 0)
+        seconds = best[label]
+        modes[label] = {
+            "seconds": seconds,
+            "events_processed": events,
+            "events_per_second": events / seconds if seconds > 0 else math.nan,
+            "peak_heap_size": stats.get("peak_heap_size", 0),
+            "compactions": stats.get("compactions", 0),
+            "fingerprint": fingerprint.get(label),
+        }
+
+    opt, unopt = modes["optimized"], modes["unoptimized"]
+    identical = (opt["fingerprint"] == unopt["fingerprint"]
+                 and opt["fingerprint"] is not None)
+    events_per_second = opt["events_per_second"]
+    speedup = (events_per_second / unopt["events_per_second"]
+               if unopt["events_per_second"] else math.nan)
+    record: Dict[str, Any] = {
+        "benchmark": "engine",
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scenario": "long-lived flows (Figure 1)",
+        "params": params,
+        "repeats": repeats,
+        "events_processed": opt["events_processed"],
+        "events_per_second": events_per_second,
+        "seconds": opt["seconds"],
+        "unoptimized": {k: unopt[k] for k in
+                        ("seconds", "events_processed",
+                         "events_per_second", "peak_heap_size")},
+        "speedup_vs_unoptimized": speedup,
+        "peak_heap_size": opt["peak_heap_size"],
+        "compactions": opt["compactions"],
+        "identical_results": identical,
+    }
+    if baseline_events_per_second is not None:
+        floor = baseline_events_per_second * (1.0 - regression_tolerance)
+        record["baseline_events_per_second"] = baseline_events_per_second
+        record["speedup_vs_baseline"] = (
+            events_per_second / baseline_events_per_second
+            if baseline_events_per_second else math.nan)
+        if baseline_details:
+            # Provenance of the comparison point (e.g. the pre-PR
+            # commit and how it was measured) travels with the record.
+            record["baseline_details"] = baseline_details
+        record["regression_floor"] = floor
+        record["meets_baseline"] = events_per_second >= floor
     if output_path:
         _append_to_artifact(output_path, record)
     return record

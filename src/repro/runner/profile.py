@@ -1,0 +1,187 @@
+"""Built-in profiling harness: wrap any scenario in cProfile + engine stats.
+
+``repro profile`` answers "where does the simulation spend its time?"
+without requiring the user to write a driver script.  It runs a scenario
+twice:
+
+1. an *unprofiled* timing run, so the reported events/sec is honest
+   (cProfile inflates Python-frame cost several-fold), and
+2. a profiled run under :mod:`cProfile`, from which the hottest
+   functions are extracted.
+
+Engine-side statistics (events processed, peak heap size, compaction
+passes, packet-pool hit rate) are captured through the experiment
+runners' ``on_sim`` hook, so the report ties interpreter hot spots to
+scheduler behaviour in a single place.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import dataclasses
+import pstats
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.packet import pool_stats
+
+__all__ = ["ProfileReport", "profile_scenario", "SCENARIOS"]
+
+#: Default Figure-1-shaped long-lived-flow scenario: big enough that the
+#: hot loop dominates, small enough to finish in a few seconds.
+DEFAULT_LONG_PARAMS: Dict[str, Any] = dict(
+    n_flows=16, buffer_packets=40, pipe_packets=80.0,
+    bottleneck_rate="10Mbps", warmup=4.0, duration=8.0, seed=3,
+)
+
+DEFAULT_SHORT_PARAMS: Dict[str, Any] = dict(
+    load=0.8, buffer_packets=64, flow_packets=14,
+    bottleneck_rate="10Mbps", rtt="40ms", warmup=2.0, duration=10.0, seed=3,
+)
+
+
+@dataclasses.dataclass
+class ProfileReport:
+    """Everything ``repro profile`` prints, as data."""
+
+    scenario: str
+    params: Dict[str, Any]
+    seconds: float                    # unprofiled wall time
+    events_processed: int
+    events_per_second: float
+    peak_heap_size: int
+    pending_at_end: int
+    compactions: int
+    dead_fraction: float
+    pool: Dict[str, Any]
+    top_functions: List[Dict[str, Any]]
+
+    def format(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"profile: {self.scenario} scenario",
+            f"  wall time:      {self.seconds:.3f}s (unprofiled run)",
+            f"  events:         {self.events_processed}",
+            f"  events/sec:     {self.events_per_second:,.0f}",
+            f"  peak heap:      {self.peak_heap_size} entries",
+            f"  pending at end: {self.pending_at_end}",
+            f"  compactions:    {self.compactions} "
+            f"(dead fraction at end: {self.dead_fraction:.3f})",
+        ]
+        pool = self.pool
+        if pool.get("enabled"):
+            acquired = pool.get("acquired", 0)
+            reused = pool.get("reused", 0)
+            rate = reused / acquired if acquired else 0.0
+            lines.append(f"  packet pool:    {reused}/{acquired} reused "
+                         f"({rate * 100:.1f}% hit rate)")
+        else:
+            lines.append("  packet pool:    disabled")
+        lines.append(f"  hottest functions (cProfile, by internal time):")
+        lines.append(f"    {'calls':>9} {'tottime':>8} {'cumtime':>8}  function")
+        for fn in self.top_functions:
+            lines.append(f"    {fn['calls']:>9} {fn['tottime']:>8.3f} "
+                         f"{fn['cumtime']:>8.3f}  {fn['function']}")
+        return "\n".join(lines)
+
+
+def _run_long(params: Dict[str, Any], on_sim: Callable) -> Any:
+    from repro.experiments.common import run_long_flow_experiment
+    return run_long_flow_experiment(on_sim=on_sim, **params)
+
+
+def _run_short(params: Dict[str, Any], on_sim: Callable) -> Any:
+    from repro.experiments.common import run_short_flow_experiment
+    from repro.traffic.sizes import FixedSize
+
+    params = dict(params)
+    flow_packets = params.pop("flow_packets", 14)
+    params.setdefault("sizes", FixedSize(flow_packets))
+    return run_short_flow_experiment(on_sim=on_sim, **params)
+
+
+#: scenario name -> (runner, default params)
+SCENARIOS: Dict[str, Any] = {
+    "long": (_run_long, DEFAULT_LONG_PARAMS),
+    "short": (_run_short, DEFAULT_SHORT_PARAMS),
+}
+
+
+def profile_scenario(
+    scenario: str = "long",
+    params: Optional[Dict[str, Any]] = None,
+    top: int = 15,
+    sort: str = "tottime",
+) -> ProfileReport:
+    """Profile one scenario; returns the :class:`ProfileReport`.
+
+    ``params`` overrides the scenario's defaults key-by-key.  ``sort``
+    is any :mod:`pstats` sort key (``tottime``, ``cumtime``, ...).
+    """
+    if scenario not in SCENARIOS:
+        raise ConfigurationError(
+            f"unknown profile scenario {scenario!r}; "
+            f"choose from {sorted(SCENARIOS)}")
+    if top < 1:
+        raise ConfigurationError(f"top must be >= 1, got {top}")
+    runner, defaults = SCENARIOS[scenario]
+    merged = dict(defaults)
+    merged.update(params or {})
+
+    stats: Dict[str, Any] = {}
+
+    def capture(sim) -> None:
+        stats["events_processed"] = sim.events_processed
+        stats["peak_heap_size"] = sim.peak_heap_size
+        stats["pending_at_end"] = sim.pending()
+        stats["compactions"] = sim.compactions
+        stats["dead_fraction"] = sim.dead_fraction
+        # Snapshot while the run's pooled_packets() scope is still
+        # active; the counters are lifetime totals, diffed below.
+        stats["pool"] = pool_stats()
+
+    # Timing run first (also warms imports/allocator for the profile run).
+    pool_before = pool_stats()
+    started = time.perf_counter()
+    runner(merged, capture)
+    seconds = time.perf_counter() - started
+    pool = stats.get("pool", pool_stats())
+    for key in ("acquired", "reused", "released", "dropped"):
+        pool[key] = pool[key] - pool_before[key]
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    runner(merged, lambda sim: None)
+    profiler.disable()
+
+    ps = pstats.Stats(profiler)
+    ps.sort_stats(sort)
+    top_functions: List[Dict[str, Any]] = []
+    for func in ps.fcn_list[:top]:  # fcn_list is set by sort_stats
+        cc, nc, tt, ct, _callers = ps.stats[func]
+        filename, lineno, name = func
+        if filename.startswith("~"):
+            label = name  # builtins print as ~:0(<name>)
+        else:
+            short = "/".join(filename.split("/")[-2:])
+            label = f"{short}:{lineno}({name})"
+        top_functions.append(dict(
+            calls=nc, tottime=round(tt, 4), cumtime=round(ct, 4),
+            function=label,
+        ))
+
+    events = stats.get("events_processed", 0)
+    return ProfileReport(
+        scenario=scenario,
+        params=merged,
+        seconds=seconds,
+        events_processed=events,
+        events_per_second=events / seconds if seconds > 0 else 0.0,
+        peak_heap_size=stats.get("peak_heap_size", 0),
+        pending_at_end=stats.get("pending_at_end", 0),
+        compactions=stats.get("compactions", 0),
+        dead_fraction=stats.get("dead_fraction", 0.0),
+        pool=pool,
+        top_functions=top_functions,
+    )

@@ -11,6 +11,9 @@ Public classes
     and :mod:`repro.traffic` schedules callbacks through it.
 :class:`~repro.sim.engine.Event`
     A handle to a scheduled callback; supports cancellation.
+:class:`~repro.sim.engine.Timer`
+    A restartable one-shot timer with an in-place reschedule fast path
+    (no heap churn when the deadline only moves later).
 :class:`~repro.sim.random.RngStreams`
     A registry of named, independently-seeded ``random.Random`` streams so
     that e.g. flow start times and packet-size draws never perturb each
@@ -19,13 +22,14 @@ Public classes
     Lightweight trace recording used by the metrics layer.
 """
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, Simulator, Timer
 from repro.sim.random import RngStreams
 from repro.sim.trace import Probe, TimeSeries, TimeWeightedStat
 
 __all__ = [
     "Simulator",
     "Event",
+    "Timer",
     "RngStreams",
     "TimeSeries",
     "Probe",

@@ -9,8 +9,18 @@ order (FIFO), which keeps packet processing deterministic.
 Design notes
 ------------
 * Cancellation is *lazy*: cancelled events stay in the heap with their
-  callback detached and are skipped on pop.  This makes TCP
-  retransmission-timer churn cheap (cancel + reschedule per ACK).
+  callback detached and are skipped on pop.  The simulator keeps an O(1)
+  live-event count, and when dead entries outnumber live ones (past a
+  minimum heap size) the heap is compacted in place.  Compaction filters
+  entries without touching their ``(time, seq)`` keys, so the eventual
+  pop order — and therefore every simulation result — is bit-identical
+  with compaction on or off.
+* :class:`Timer` is the facility for the cancel/re-arm churn of TCP
+  retransmission and delayed-ACK timers.  Re-arming to a *later*
+  deadline updates the deadline in place instead of pushing a new heap
+  entry; the stale entry re-keys itself lazily when it surfaces.  A
+  long-lived flow acking a thousand packets per RTO period costs one
+  heap push per RTO period instead of one per ACK.
 * The loop supports three stop conditions that may be combined: an
   explicit horizon (:meth:`run` ``until=``), event-queue exhaustion, and
   :meth:`stop` called from inside a callback.
@@ -33,7 +43,11 @@ from repro.errors import (
     SimulationStalledError,
 )
 
-__all__ = ["Event", "Simulator"]
+__all__ = ["Event", "Simulator", "Timer"]
+
+_INF = math.inf
+_new_event = object.__new__
+_heappush = heapq.heappush
 
 
 class Event:
@@ -44,28 +58,188 @@ class Event:
     timers).  Internally the heap stores ``(time, seq, event)`` tuples
     so ordering is decided by fast C-level tuple comparison rather than
     a Python ``__lt__``.
+
+    ``event.time`` is the *authoritative* deadline.  It normally equals
+    the heap key, but a lazily-rescheduled timer moves it later without
+    re-keying; the run loop re-inserts such entries when they surface.
     """
 
-    __slots__ = ("time", "callback", "args")
+    __slots__ = ("time", "callback", "args", "_sim", "_cancelled")
 
-    def __init__(self, time: float, callback: Optional[Callable], args: Tuple):
+    def __init__(self, time: float, callback: Optional[Callable], args: Tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.callback = callback
         self.args = args
+        self._sim = sim
+        self._cancelled = False
 
     def cancel(self) -> None:
-        """Detach the callback; the event becomes a no-op when popped."""
+        """Detach the callback; the event becomes a no-op when popped.
+
+        Idempotent, and a no-op on an event that has already run — only
+        a genuine cancellation of pending work sets :attr:`cancelled`.
+        """
+        if self.callback is None:
+            return
         self.callback = None
         self.args = ()
+        self._cancelled = True
+        sim = self._sim
+        if sim is not None:
+            live = sim._live - 1
+            sim._live = live
+            # Compaction is checked here, not in schedule(): dead heap
+            # entries are created only by cancellation, so this is the
+            # one place the dead/live ratio can cross the threshold
+            # upward — and schedule() stays a branch shorter.
+            heap = sim._heap
+            n = len(heap)
+            if n - live > live and n >= sim._compact_min:
+                sim._compact()
 
     @property
     def cancelled(self) -> bool:
-        """Whether :meth:`cancel` has been called (or the event already ran)."""
-        return self.callback is None
+        """Whether :meth:`cancel` detached this event while still pending.
+
+        Distinct from :attr:`consumed`: an event that ran normally is
+        *not* cancelled, so invariant monitors can tell "this timer was
+        disarmed" from "this timer fired".
+        """
+        return self._cancelled
+
+    @property
+    def consumed(self) -> bool:
+        """Whether the event was dispatched (ran) by the simulator."""
+        return self.callback is None and not self._cancelled
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still queued and will run."""
+        return self.callback is not None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else getattr(self.callback, "__name__", "?")
+        if self._cancelled:
+            state = "cancelled"
+        elif self.callback is None:
+            state = "consumed"
+        else:
+            state = getattr(self.callback, "__name__", "?")
         return f"Event(t={self.time:.6f}, {state})"
+
+
+class Timer:
+    """A re-armable one-shot timer with lazy heap deferral.
+
+    The classic TCP pattern — cancel the retransmission timer and re-arm
+    it on every ACK — costs a dead heap entry plus an O(log n) push per
+    ACK when done with raw :class:`Event` handles.  A ``Timer`` instead
+    moves the deadline *in place* whenever the new deadline is no
+    earlier than the current heap position (the common case: RTO
+    restarts always push the deadline forward).  The single heap entry
+    re-keys itself lazily when it surfaces, so a burst of k re-arms
+    costs O(1) each plus one push per *expiry period* rather than k
+    pushes.
+
+    Re-arming to an earlier deadline falls back to cancel-plus-push, and
+    on a simulator constructed with ``lazy_timers=False`` every re-arm
+    does (matching the historical unoptimized behaviour exactly — the
+    equivalence tests run both modes and compare results).
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    callback:
+        Invoked as ``callback(*args)`` when the timer expires.  ``args``
+        may be replaced per :meth:`arm` call.
+    """
+
+    __slots__ = ("sim", "callback", "args", "_event")
+
+    def __init__(self, sim: "Simulator", callback: Callable, *args: Any):
+        self.sim = sim
+        self.callback = callback
+        self.args = args
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether the timer is pending (will fire unless re-armed/cancelled)."""
+        event = self._event
+        return event is not None and event.callback is not None
+
+    @property
+    def deadline(self) -> float:
+        """Absolute expiry time, or ``nan`` when disarmed."""
+        event = self._event
+        if event is None or event.callback is None:
+            return math.nan
+        return event.time
+
+    def arm(self, delay: float, *args: Any) -> None:
+        """(Re-)arm the timer ``delay`` seconds from now.
+
+        Extra ``args`` replace the callback arguments for this firing;
+        when omitted, the arguments from the constructor (or the most
+        recent arm) are kept.
+        """
+        if not 0.0 <= delay < _INF:
+            raise SchedulingError(
+                f"timer delay must be finite and >= 0, got {delay!r}")
+        sim = self.sim
+        deadline = sim._now + delay
+        if args:
+            self.args = args
+        # Inlined deferral fast path (one call per ACK on the RTO hot
+        # loop): the deadline is finite and >= now by construction, so
+        # arm_at's validation is redundant here.
+        event = self._event
+        if (sim._lazy_timers and event is not None
+                and event.callback is not None and deadline >= event.time):
+            event.time = deadline
+            return
+        if event is not None:
+            event.cancel()
+        self._event = sim.call_at(deadline, self._fire)
+
+    def arm_at(self, deadline: float, *args: Any) -> None:
+        """(Re-)arm the timer at absolute virtual time ``deadline``."""
+        sim = self.sim
+        if not math.isfinite(deadline):
+            raise SchedulingError(f"timer deadline must be finite, got {deadline!r}")
+        if deadline < sim._now:
+            raise SchedulingError(
+                f"cannot arm timer at t={deadline:.9f}, clock already at "
+                f"t={sim._now:.9f}")
+        if args:
+            self.args = args
+        event = self._event
+        if sim._lazy_timers and event is not None and event.callback is not None:
+            if deadline >= event.time:
+                # In-place reschedule: the heap entry keyed at (or before)
+                # the old deadline re-keys itself when popped.
+                event.time = deadline
+                return
+        if event is not None:
+            event.cancel()
+        self._event = sim.call_at(deadline, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer (idempotent)."""
+        event = self._event
+        if event is not None:
+            event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self.callback(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.armed:
+            return f"Timer(at t={self.deadline:.6f})"
+        return "Timer(disarmed)"
 
 
 class Simulator:
@@ -75,6 +249,15 @@ class Simulator:
     ----------
     start_time:
         Initial clock value in seconds (default 0.0).
+    lazy_timers:
+        Allow :class:`Timer` to defer re-arms in place (default True).
+        ``False`` restores cancel-plus-push on every re-arm.
+    compaction:
+        Rebuild the heap dropping dead entries once they outnumber live
+        ones (default True).  Never changes results: compaction keeps
+        entry keys intact, so pop order is unaffected.
+    compact_min:
+        Minimum heap length before compaction is considered.
 
     Examples
     --------
@@ -86,13 +269,26 @@ class Simulator:
     (1.5, ['hello'])
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, *, lazy_timers: bool = True,
+                 compaction: bool = True, compact_min: int = 512):
         self._now = float(start_time)
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
+        self._lazy_timers = bool(lazy_timers)
+        self._compaction = bool(compaction)
+        # Sentinel trick: with compaction off the threshold is pushed
+        # beyond any reachable heap size, so the hot path tests a single
+        # integer instead of also loading the _compaction flag.
+        self._compact_min = int(compact_min) if compaction else (1 << 62)
+        #: Pending (scheduled, neither cancelled nor dispatched) events.
+        self._live = 0
         self.events_processed = 0
+        #: Largest heap length ever observed (dead entries included).
+        self.peak_heap_size = 0
+        #: Number of dead-entry compaction passes performed.
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -112,18 +308,34 @@ class Simulator:
         non-negative; zero-delay events run after all events already
         scheduled for the current instant (FIFO tie-break).
         """
-        if delay < 0:
-            raise SchedulingError(
-                f"cannot schedule {delay!r}s into the past "
-                f"(clock at t={self._now:.9f}); delays must be >= 0"
-            )
-        if not math.isfinite(delay):
+        # Single range test: NaN fails both comparisons, inf fails the
+        # right-hand one, negatives fail the left — one branch on the
+        # hot path instead of two plus a math.isfinite call.
+        if not 0.0 <= delay < _INF:
+            if delay < 0:
+                raise SchedulingError(
+                    f"cannot schedule {delay!r}s into the past "
+                    f"(clock at t={self._now:.9f}); delays must be >= 0"
+                )
             # NaN compares false against everything, so without this
             # guard a NaN timestamp would silently corrupt heap order.
             raise SchedulingError(f"delay must be finite, got {delay!r}")
         time = self._now + delay
-        event = Event(time, callback, args)
-        heapq.heappush(self._heap, (time, next(self._seq), event))
+        # Inlined Event construction: this is the single hottest
+        # allocation site in a packet-level run, and skipping the
+        # __init__ frame is measurable at millions of events.
+        event = _new_event(Event)
+        event.time = time
+        event.callback = callback
+        event.args = args
+        event._sim = self
+        event._cancelled = False
+        heap = self._heap
+        _heappush(heap, (time, next(self._seq), event))
+        self._live += 1
+        n = len(heap)
+        if n > self.peak_heap_size:
+            self.peak_heap_size = n
         return event
 
     def call_at(self, time: float, callback: Callable, *args: Any) -> Event:
@@ -138,9 +350,32 @@ class Simulator:
             raise SchedulingError(
                 f"cannot schedule at t={time:.9f}, clock already at t={self._now:.9f}"
             )
-        event = Event(time, callback, args)
-        heapq.heappush(self._heap, (time, next(self._seq), event))
+        event = Event(time, callback, args, self)
+        heap = self._heap
+        _heappush(heap, (time, next(self._seq), event))
+        self._live += 1
+        n = len(heap)
+        if n > self.peak_heap_size:
+            self.peak_heap_size = n
         return event
+
+    def timer(self, callback: Callable, *args: Any) -> Timer:
+        """Create a (disarmed) :class:`Timer` bound to this simulator."""
+        return Timer(self, callback, *args)
+
+    def _compact(self) -> None:
+        """Drop dead heap entries in place.
+
+        Entry keys are preserved, so the relative pop order of surviving
+        entries — including FIFO tie-breaks — is untouched; results are
+        bit-identical with compaction on or off.  In-place mutation
+        (slice assignment) keeps the list identity stable for the run
+        loop's cached reference.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if entry[2].callback is not None]
+        heapq.heapify(heap)
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -177,45 +412,74 @@ class Simulator:
         self._running = True
         self._stopped = False
         dispatched = 0
-        wall_start = _wallclock.monotonic() if max_wall_seconds is not None else 0.0
+        # Hot-loop precomputation: the horizon becomes a plain float
+        # compare (inf = no horizon), the event budget a plain equality
+        # (0 = unlimited; dispatched starts at 1 so 0 never matches),
+        # and the wall budget an absolute deadline checked every 4096
+        # events.
+        horizon = _INF if until is None else until
+        limit = 0 if max_events is None else max_events
+        wall_deadline = (_wallclock.monotonic() + max_wall_seconds
+                         if max_wall_seconds is not None else 0.0)
         try:
             heap = self._heap
             pop = heapq.heappop
-            while heap and not self._stopped:
-                time = heap[0][0]
-                if until is not None and time > until:
+            push = heapq.heappush
+            seq = self._seq
+            now = self._now
+            while heap:
+                # Pop first, push back at the horizon: the give-back
+                # happens at most once per run() call, which is cheaper
+                # than peeking heap[0][0] on every iteration.
+                item = pop(heap)
+                time = item[0]
+                if time > horizon:
+                    push(heap, item)
                     break
-                event = pop(heap)[2]
+                event = item[2]
                 callback = event.callback
                 if callback is None:
                     continue
-                if time < self._now:
+                etime = event.time
+                if etime > time:
+                    # Lazily-deferred timer: re-key at its real deadline.
+                    # Not a dispatch — the clock does not advance and the
+                    # event/watchdog counters are untouched, so optimized
+                    # runs process exactly the same events as unoptimized
+                    # ones.
+                    push(heap, (etime, next(seq), event))
+                    continue
+                if time < now:
                     raise InvariantViolation(
                         f"virtual clock moved backwards: popped event at "
-                        f"t={time:.9f} with clock at t={self._now:.9f}"
+                        f"t={time:.9f} with clock at t={now:.9f}"
                     )
-                self._now = time
+                self._now = now = time
                 event.callback = None  # mark as consumed
-                args = event.args
-                event.args = ()
-                self.events_processed += 1
+                self._live -= 1
                 dispatched += 1
-                callback(*args)
-                if max_events is not None and dispatched >= max_events:
+                callback(*event.args)
+                # _stopped can only flip inside a callback, so it is
+                # checked here instead of in the loop condition — the
+                # dead-entry and re-key paths skip the load entirely.
+                if self._stopped:
+                    break
+                if dispatched == limit:
                     raise SimulationStalledError(
                         f"watchdog: event budget of {max_events} exhausted at "
-                        f"t={self._now:.6f} ({len(heap)} events still queued)"
+                        f"t={now:.6f} ({len(heap)} events still queued)"
                     )
-                if (max_wall_seconds is not None and dispatched % 4096 == 0
-                        and _wallclock.monotonic() - wall_start > max_wall_seconds):
+                if (not dispatched & 4095 and wall_deadline
+                        and _wallclock.monotonic() > wall_deadline):
                     raise SimulationStalledError(
                         f"watchdog: wall-clock budget of {max_wall_seconds:.1f}s "
-                        f"exhausted at t={self._now:.6f} after {dispatched} events"
+                        f"exhausted at t={now:.6f} after {dispatched} events"
                     )
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:
             self._running = False
+            self.events_processed += dispatched
 
     def step(self) -> bool:
         """Execute the single next non-cancelled event.
@@ -228,11 +492,15 @@ class Simulator:
             time, _seq, event = heapq.heappop(heap)
             if event.callback is None:
                 continue
+            if event.time > time:
+                heapq.heappush(heap, (event.time, next(self._seq), event))
+                continue
             self._now = time
             callback = event.callback
             event.callback = None
             args = event.args
             event.args = ()
+            self._live -= 1
             self.events_processed += 1
             callback(*args)
             return True
@@ -242,11 +510,44 @@ class Simulator:
         """Request the run loop to exit after the current callback."""
         self._stopped = True
 
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     def pending(self) -> int:
-        """Number of queued, non-cancelled events (O(n); diagnostics only)."""
-        return sum(1 for _, _, event in self._heap if not event.cancelled)
+        """Number of queued, non-cancelled events.
+
+        O(1): maintained on schedule/cancel/dispatch instead of scanning
+        the heap (which is dominated by dead entries under timer churn).
+        """
+        return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, dead entries included (diagnostics)."""
+        return len(self._heap)
+
+    @property
+    def dead_fraction(self) -> float:
+        """Fraction of heap entries that are cancelled/stale (diagnostics)."""
+        n = len(self._heap)
+        return (n - self._live) / n if n else 0.0
 
     def peek_time(self) -> Optional[float]:
-        """Timestamp of the next live event, or ``None`` if the queue is empty."""
-        live = [time for time, _, event in self._heap if not event.cancelled]
-        return min(live) if live else None
+        """Timestamp of the next live event, or ``None`` if the queue is empty.
+
+        Amortized O(1): dead entries at the top are discarded (they
+        would be skipped by :meth:`run` anyway) and lazily-deferred
+        timers are re-keyed, exactly as the run loop would.
+        """
+        heap = self._heap
+        while heap:
+            time, _seq, event = heap[0]
+            if event.callback is None:
+                heapq.heappop(heap)
+                continue
+            if event.time > time:
+                heapq.heappop(heap)
+                heapq.heappush(heap, (event.time, next(self._seq), event))
+                continue
+            return time
+        return None

@@ -46,6 +46,17 @@ class TimeSeries:
         self.times.append(time)
         self.values.append(value)
 
+    def append_unchecked(self, time: float, value: float) -> None:
+        """Append without the monotonicity check.
+
+        Release-mode fast path for callers that already guarantee
+        non-decreasing times — the simulator clock is monotonic by
+        engine invariant, so :class:`Probe` samples qualify.  Use
+        :meth:`append` anywhere ordering is not structurally guaranteed.
+        """
+        self.times.append(time)
+        self.values.append(value)
+
     def __len__(self) -> int:
         return len(self.values)
 
@@ -208,14 +219,16 @@ class Probe:
     sim:
         The simulator providing the clock.
     fn:
-        Zero-argument callable returning the current value.
+        Zero-argument callable returning the current value, or ``None``
+        for a *null probe*: :meth:`start` then schedules nothing at all,
+        so untraced runs pay zero sampling events in the hot loop.
     period:
         Sampling period in seconds.
     series:
         Optional existing series to append into.
     """
 
-    def __init__(self, sim, fn: Callable[[], float], period: float,
+    def __init__(self, sim, fn: Optional[Callable[[], float]], period: float,
                  series: Optional[TimeSeries] = None, name: str = ""):
         if period <= 0:
             raise ConfigurationError("probe period must be positive")
@@ -225,10 +238,26 @@ class Probe:
         self.series = series if series is not None else TimeSeries(name)
         self._event = None
         self._active = False
+        self._t_end: Optional[float] = None
+        self._append_time = self.series.times.append
+        self._append_value = self.series.values.append
 
-    def start(self, delay: float = 0.0) -> "Probe":
-        """Begin sampling ``delay`` seconds from now; returns self."""
+    def start(self, delay: float = 0.0, t_end: Optional[float] = None) -> "Probe":
+        """Begin sampling ``delay`` seconds from now; returns self.
+
+        ``t_end`` is a hard sampling horizon: no sample is recorded at a
+        time strictly greater than it.  Without one, a probe whose next
+        tick was scheduled past a ``run(until=...)`` pause keeps sampling
+        when the loop is re-entered for a later phase — callers that run
+        in phases should pass the horizon they care about.
+
+        A null probe (``fn is None``) returns immediately without
+        scheduling anything.
+        """
+        if self.fn is None:
+            return self
         self._active = True
+        self._t_end = t_end
         self._event = self.sim.schedule(delay, self._tick)
         return self
 
@@ -242,5 +271,17 @@ class Probe:
     def _tick(self) -> None:
         if not self._active:
             return
-        self.series.append(self.sim.now, float(self.fn()))
+        now = self.sim._now
+        t_end = self._t_end
+        if t_end is not None and now > t_end:
+            # Past the horizon: a later run() phase re-entered the loop
+            # with this tick still pending.  Stop cleanly.
+            self._active = False
+            self._event = None
+            return
+        # The engine clock is monotonic, so the ordering check in
+        # TimeSeries.append is redundant here — append directly through
+        # the cached bound methods (release-mode fast path).
+        self._append_time(now)
+        self._append_value(float(self.fn()))
         self._event = self.sim.schedule(self.period, self._tick)

@@ -21,8 +21,16 @@ from typing import Callable, Optional, Set
 from repro.errors import ConfigurationError
 from repro.net.node import Host
 from repro.net.packet import Packet, PacketFlags, TCP_HEADER_BYTES
+from repro.sim.engine import Timer
 
 __all__ = ["TcpReceiver"]
+
+# Plain-int flag masks: packet.flags is a plain int (see repro.net.packet),
+# and int & int keeps these per-segment tests off the enum slow path.
+_ACK = int(PacketFlags.ACK)
+_CE = int(PacketFlags.CE)
+_CWR = int(PacketFlags.CWR)
+_ECE = int(PacketFlags.ECE)
 
 
 class TcpReceiver:
@@ -84,7 +92,12 @@ class TcpReceiver:
         self._ece_pending = False
         self.ce_marks_seen = 0
         self._unacked_segments = 0  # in-order segments since last ACK
-        self._delack_event = None
+        self._delack_timer = Timer(sim, self._flush_ack)
+        # Reply path for a deferred ACK: (src, flow_id, sport) of the
+        # last in-order data segment.  Stored as scalars because the
+        # packet object itself may be recycled by the pool the moment
+        # delivery returns — the timer must never retain a packet.
+        self._reply_to: Optional[tuple] = None
 
         self.segments_received = 0
         self.duplicate_segments = 0
@@ -97,9 +110,7 @@ class TcpReceiver:
 
     def close(self) -> None:
         """Tear down: cancel the delayed-ACK timer and release the port."""
-        if self._delack_event is not None:
-            self._delack_event.cancel()
-            self._delack_event = None
+        self._delack_timer.cancel()
         self.host.unbind(self.port)
 
     # ------------------------------------------------------------------
@@ -114,10 +125,11 @@ class TcpReceiver:
             self.first_arrival = self.sim.now
         seq = packet.seq
         self._last_arrival_seq = seq
-        if packet.flags & PacketFlags.CE:
+        flags = packet.flags
+        if flags & _CE:
             self._ece_pending = True
             self.ce_marks_seen += 1
-        if packet.flags & PacketFlags.CWR:
+        if flags & _CWR:
             self._ece_pending = False
         if seq < self.rcv_nxt or seq in self._out_of_order:
             # Duplicate (spurious retransmission): re-ACK immediately so
@@ -143,39 +155,40 @@ class TcpReceiver:
             self._send_ack(packet)
             return
         self._unacked_segments += 1
+        self._reply_to = (packet.src, packet.flow_id, packet.sport)
         if self._unacked_segments >= 2:
-            self._flush_ack(packet)
-        elif self._delack_event is None:
-            self._delack_event = self.sim.schedule(
-                self.delack_timeout, self._flush_ack, packet
-            )
+            self._flush_ack()
+        elif not self._delack_timer.armed:
+            self._delack_timer.arm(self.delack_timeout)
 
-    def _flush_ack(self, packet: Packet) -> None:
-        if self._delack_event is not None:
-            self._delack_event.cancel()
-            self._delack_event = None
+    def _flush_ack(self) -> None:
+        self._delack_timer.cancel()
         self._unacked_segments = 0
-        self._send_ack(packet)
+        if self._reply_to is not None:
+            self._emit_ack(*self._reply_to)
 
     def _send_ack(self, data_packet: Packet) -> None:
+        self._emit_ack(data_packet.src, data_packet.flow_id, data_packet.sport)
+
+    def _emit_ack(self, dst: int, flow_id: int, dport: int) -> None:
         meta = None
         if self.sack:
             blocks = self._sack_blocks()
             if blocks:
                 meta = {"sack": blocks}
-        flags = PacketFlags.ACK
+        flags = _ACK
         if self._ece_pending:
-            flags |= PacketFlags.ECE
-        ack = Packet(
+            flags |= _ECE
+        ack = Packet.acquire(
             src=self.host.address,
-            dst=data_packet.src,
+            dst=dst,
             payload=0,
             header=TCP_HEADER_BYTES,
             ack=self.rcv_nxt,
             flags=flags,
-            flow_id=data_packet.flow_id,
+            flow_id=flow_id,
             sport=self.port,
-            dport=data_packet.sport,
+            dport=dport,
             meta=meta,
         )
         self.acks_sent += 1

@@ -19,10 +19,18 @@ from typing import Callable, Dict, Optional, Set
 from repro.errors import ConfigurationError
 from repro.net.node import Host
 from repro.net.packet import Packet, PacketFlags, TCP_HEADER_BYTES
+from repro.sim.engine import Timer
 from repro.tcp.congestion import CongestionControl, RenoCC
 from repro.tcp.rto import RtoEstimator
 
 __all__ = ["TcpSender"]
+
+# Plain-int flag masks (packet.flags is a plain int; int & int stays off
+# the enum slow path on the per-ACK hot loop).
+_ACK = int(PacketFlags.ACK)
+_ECE = int(PacketFlags.ECE)
+_ECT = int(PacketFlags.ECT)
+_CWR = int(PacketFlags.CWR)
 
 #: Duplicate-ACK threshold for fast retransmit (RFC 5681).
 DUPACK_THRESHOLD = 3
@@ -117,10 +125,11 @@ class TcpSender:
         self.in_recovery = False
         self.recover = 0  # highest seq outstanding when recovery began
 
-        # Timing state.
+        # Timing state.  The RTO is a Timer so per-ACK restarts are an
+        # in-place deadline update instead of cancel-plus-push churn.
         self._send_times: Dict[int, float] = {}
         self._retx_seqs: Set[int] = set()
-        self._rto_event = None
+        self._rto_timer = Timer(sim, self._on_rto)
         self.started = False
         self.completed = False
         self.start_time: float = math.nan
@@ -146,9 +155,7 @@ class TcpSender:
 
     def close(self) -> None:
         """Tear the agent down: cancel timers and release the port."""
-        if self._rto_event is not None:
-            self._rto_event.cancel()
-            self._rto_event = None
+        self._rto_timer.cancel()
         if self._pace_event is not None:
             self._pace_event.cancel()
             self._pace_event = None
@@ -184,14 +191,20 @@ class TcpSender:
         else:
             limit = self.total_packets
             window = self.effective_window
-            while self.flight_size < window:
-                if limit is not None and self.snd_nxt >= limit:
+            # Local sequence cursors: the property reads (flight_size)
+            # and attribute round-trips are measurable in this loop.
+            snd_nxt = self.snd_nxt
+            snd_una = self.snd_una
+            high_water = self.high_water
+            while snd_nxt - snd_una < window:
+                if limit is not None and snd_nxt >= limit:
                     break
                 # After a timeout, snd_nxt is rolled back (go-back-N), so
                 # segments below high_water are retransmissions.
-                self._emit(self.snd_nxt, retransmission=self.snd_nxt < self.high_water)
-                self.snd_nxt += 1
-        if self.flight_size > 0 and self._rto_event is None:
+                self.snd_nxt = snd_nxt + 1
+                self._emit(snd_nxt, retransmission=snd_nxt < high_water)
+                snd_nxt += 1
+        if self.snd_nxt > self.snd_una and not self._rto_timer.armed:
             self._arm_rto()
 
     # ------------------------------------------------------------------
@@ -233,13 +246,13 @@ class TcpSender:
             self._pace_pump()
 
     def _emit(self, seq: int, retransmission: bool) -> None:
-        flags = PacketFlags.NONE
+        flags = 0
         if self.ecn:
-            flags |= PacketFlags.ECT
+            flags |= _ECT
             if self._cwr_pending:
-                flags |= PacketFlags.CWR
+                flags |= _CWR
                 self._cwr_pending = False
-        packet = Packet(
+        packet = Packet.acquire(
             src=self.host.address,
             dst=self.dst_address,
             payload=self.mss,
@@ -270,14 +283,17 @@ class TcpSender:
     # ------------------------------------------------------------------
     def deliver(self, packet: Packet) -> None:
         """Entry point for packets arriving on the bound port (ACKs)."""
-        if not packet.is_ack or self.completed:
+        # Inline flag test and flight check (is_ack / flight_size are
+        # properties, and this runs once per ACK on the clocking path).
+        if not packet.flags & _ACK or self.completed:
             return
-        if self.ecn and packet.flags & PacketFlags.ECE:
+        if self.ecn and packet.flags & _ECE:
             self._on_ecn_echo()
         ackno = packet.ack
-        if ackno > self.snd_una:
+        snd_una = self.snd_una
+        if ackno > snd_una:
             self._handle_new_ack(ackno)
-        elif ackno == self.snd_una and self.flight_size > 0:
+        elif ackno == snd_una and self.snd_nxt > snd_una:
             self._handle_dup_ack()
 
     def _on_ecn_echo(self) -> None:
@@ -320,7 +336,7 @@ class TcpSender:
             self.dup_acks = 0
             self.cc.on_ack(newly_acked)
 
-        if self.flight_size == 0:
+        if self.snd_nxt == self.snd_una:  # flight_size == 0, inlined
             self._cancel_rto()
         else:
             self._arm_rto()
@@ -363,7 +379,7 @@ class TcpSender:
         for seq in range(ackno - 1, self.snd_una - 1, -1):
             sent_at = self._send_times.get(seq)
             if sent_at is not None and seq not in self._retx_seqs:
-                rtt = self.sim.now - sent_at
+                rtt = self.sim._now - sent_at
                 if rtt > 0:
                     self.rto.sample(rtt)
                 return
@@ -377,16 +393,15 @@ class TcpSender:
     # Retransmission timer
     # ------------------------------------------------------------------
     def _arm_rto(self) -> None:
-        self._cancel_rto()
-        self._rto_event = self.sim.schedule(self.rto.rto, self._on_rto)
+        # Timer.arm defers in place when the new deadline is later than
+        # the pending one — the common case for per-ACK RTO restarts —
+        # so this is O(1) with no heap garbage on an optimized engine.
+        self._rto_timer.arm(self.rto.rto)
 
     def _cancel_rto(self) -> None:
-        if self._rto_event is not None:
-            self._rto_event.cancel()
-            self._rto_event = None
+        self._rto_timer.cancel()
 
     def _on_rto(self) -> None:
-        self._rto_event = None
         if self.completed or self.flight_size == 0:
             return
         self.in_recovery = False

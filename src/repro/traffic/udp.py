@@ -98,7 +98,7 @@ class UdpSource:
     def _send_next(self) -> None:
         if not self._running:
             return
-        packet = Packet(
+        packet = Packet.acquire(
             src=self.host.address,
             dst=self.dst_address,
             payload=self.payload,

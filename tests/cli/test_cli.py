@@ -277,3 +277,43 @@ class TestFluidCommand:
                             "--synchronized", "--duration", "40")
         assert code == 0
         assert "synchronized" in out
+
+
+class TestProfileCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.scenario == "long"
+        assert args.top == 15
+        assert args.sort == "tottime"
+
+    def test_profile_long_smoke(self, capsys):
+        code, out = run_cli(capsys, "profile", "long",
+                            "--flows", "4", "--buffer-packets", "20",
+                            "--duration", "4", "--top", "5")
+        assert code == 0
+        assert "events/sec" in out
+        assert "tottime" in out
+
+    def test_bad_scenario_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "frobnicate"])
+
+
+class TestEngineBenchCommand:
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--engine", "--repeats", "2",
+             "--baseline", "ci/engine-baseline.json"])
+        assert args.engine
+        assert args.repeats == 2
+        assert args.baseline == "ci/engine-baseline.json"
+
+    def test_engine_bench_smoke(self, capsys, tmp_path, monkeypatch):
+        out_path = tmp_path / "BENCH_engine.json"
+        code, out = run_cli(capsys, "bench", "--engine", "--repeats", "1",
+                            "--flows", "4", "--duration", "4",
+                            "--output", str(out_path))
+        assert code == 0
+        assert "speedup" in out
+        assert "identical" in out
+        assert out_path.exists()

@@ -1,0 +1,93 @@
+"""Optimized and unoptimized engine paths must be bit-identical.
+
+The hot-path layer (lazy timers, heap compaction, packet pooling, probe
+fast paths) is pure mechanism: it must never change what the simulation
+computes.  These tests pin that guarantee on the paper's own scenarios
+by comparing full result fingerprints across engine configurations.
+"""
+
+import dataclasses
+import json
+
+from repro.experiments.common import (
+    run_long_flow_experiment,
+    run_short_flow_experiment,
+)
+from repro.traffic.sizes import FixedSize
+
+LONG = dict(n_flows=6, buffer_packets=20, pipe_packets=60.0,
+            bottleneck_rate="10Mbps", warmup=4.0, duration=8.0, seed=5)
+SHORT = dict(load=0.5, buffer_packets=40, bottleneck_rate="10Mbps",
+             warmup=2.0, duration=6.0, seed=5)
+
+
+def fingerprint(result):
+    return json.dumps(dataclasses.asdict(result), sort_keys=True,
+                      default=repr)
+
+
+def run_long(**overrides):
+    params = dict(LONG)
+    params.update(overrides)
+    return run_long_flow_experiment(**params)
+
+
+def run_short(**overrides):
+    params = dict(SHORT, sizes=FixedSize(14))
+    params.update(overrides)
+    return run_short_flow_experiment(**params)
+
+
+class TestOptimizedMatchesUnoptimized:
+    def test_long_flow_figure1(self):
+        assert fingerprint(run_long(optimize=True)) == \
+               fingerprint(run_long(optimize=False))
+
+    def test_long_flow_with_window_tracking(self):
+        """Probes and window sampling ride the trace fast path."""
+        assert fingerprint(run_long(optimize=True, track_windows=True)) == \
+               fingerprint(run_long(optimize=False, track_windows=True))
+
+    def test_figure7_style_grid_cells(self):
+        """A small slice of the Figure-7 buffer sweep, both modes."""
+        for buffer_packets in (8, 20, 40):
+            a = run_long(optimize=True, buffer_packets=buffer_packets)
+            b = run_long(optimize=False, buffer_packets=buffer_packets)
+            assert fingerprint(a) == fingerprint(b), buffer_packets
+
+    def test_short_flow(self):
+        assert fingerprint(run_short(optimize=True)) == \
+               fingerprint(run_short(optimize=False))
+
+
+class TestCompactionEquivalence:
+    def test_results_identical_compaction_on_off(self):
+        on = run_long(engine_opts={"compact_min": 32})
+        off = run_long(engine_opts={"compaction": False})
+        assert fingerprint(on) == fingerprint(off)
+
+    def test_lazy_timers_on_off(self):
+        lazy = run_long(engine_opts={"lazy_timers": True})
+        eager = run_long(engine_opts={"lazy_timers": False})
+        assert fingerprint(lazy) == fingerprint(eager)
+
+
+class TestTimerChurnHygiene:
+    def test_long_run_keeps_dead_fraction_bounded(self):
+        """TCP retransmission timers re-arm on every ACK; with lazy
+        deferral plus compaction the heap must stay mostly live."""
+        stats = {}
+
+        def capture(sim):
+            stats["compactions"] = sim.compactions
+            stats["heap_size"] = sim.heap_size
+            stats["pending"] = sim.pending()
+
+        run_long(engine_opts={"compact_min": 32}, on_sim=capture)
+        dead = stats["heap_size"] - stats["pending"]
+        assert dead <= max(stats["pending"], 32)
+
+    def test_churn_results_survive_aggressive_compaction(self):
+        aggressive = run_long(engine_opts={"compact_min": 16})
+        relaxed = run_long(engine_opts={"compact_min": 4096})
+        assert fingerprint(aggressive) == fingerprint(relaxed)

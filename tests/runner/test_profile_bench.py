@@ -1,0 +1,93 @@
+"""Profiling harness and engine benchmark: smoke + contract tests."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner.bench import run_engine_benchmark
+from repro.runner.profile import ProfileReport, profile_scenario
+
+TINY_LONG = dict(n_flows=4, buffer_packets=20, pipe_packets=40.0,
+                 bottleneck_rate="10Mbps", warmup=2.0, duration=4.0, seed=2)
+TINY_SHORT = dict(load=0.4, buffer_packets=30, flow_packets=8,
+                  bottleneck_rate="10Mbps", rtt="40ms",
+                  warmup=1.0, duration=4.0, seed=2)
+
+
+class TestProfileScenario:
+    def test_long_scenario_report_populated(self):
+        report = profile_scenario("long", params=TINY_LONG, top=5)
+        assert isinstance(report, ProfileReport)
+        assert report.scenario == "long"
+        assert report.events_processed > 1000
+        assert report.events_per_second > 0
+        assert report.peak_heap_size > 0
+        assert 0.0 <= report.dead_fraction <= 1.0
+        assert report.top_functions  # cProfile table extracted
+        assert len(report.top_functions) <= 5
+        for row in report.top_functions:
+            assert set(row) == {"calls", "tottime", "cumtime", "function"}
+
+    def test_pool_counters_are_per_run_deltas(self):
+        report = profile_scenario("long", params=TINY_LONG, top=3)
+        assert report.pool["enabled"]
+        assert report.pool["acquired"] > 0
+        assert report.pool["reused"] > 0  # pooling actually engaged
+
+    def test_short_scenario(self):
+        report = profile_scenario("short", params=TINY_SHORT, top=3)
+        assert report.scenario == "short"
+        assert report.events_processed > 100
+
+    def test_format_renders(self):
+        report = profile_scenario("long", params=TINY_LONG, top=3)
+        text = report.format()
+        assert "events/sec" in text
+        assert "peak heap" in text
+        for row in report.top_functions:
+            assert row["function"] in text
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            profile_scenario("nope")
+
+    def test_bad_top_rejected(self):
+        with pytest.raises(ConfigurationError):
+            profile_scenario("long", top=0)
+
+
+class TestEngineBenchmark:
+    def test_smoke_and_artifact(self, tmp_path):
+        out = tmp_path / "BENCH_engine.json"
+        record = run_engine_benchmark(params=TINY_LONG, repeats=1,
+                                      output_path=str(out))
+        assert record["benchmark"] == "engine"
+        assert record["identical_results"] is True
+        assert record["events_per_second"] > 0
+        assert record["unoptimized"]["events_per_second"] > 0
+        assert record["speedup_vs_unoptimized"] > 0
+        # Both modes saw the same event stream.
+        assert record["events_processed"] == \
+               record["unoptimized"]["events_processed"]
+        payload = json.loads(out.read_text())
+        assert payload["runs"][-1]["benchmark"] == "engine"
+
+    def test_baseline_pass_and_fail(self, tmp_path):
+        out = tmp_path / "BENCH_engine.json"
+        record = run_engine_benchmark(
+            params=TINY_LONG, repeats=1,
+            baseline_events_per_second=1.0,  # trivially met
+            output_path=str(out))
+        assert record["meets_baseline"] is True
+        assert record["regression_floor"] == pytest.approx(0.7)
+        record = run_engine_benchmark(
+            params=TINY_LONG, repeats=1,
+            baseline_events_per_second=1e12,  # impossible floor
+            output_path=str(out))
+        assert record["meets_baseline"] is False
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_engine_benchmark(params=TINY_LONG, repeats=0,
+                                 output_path=None)

@@ -94,7 +94,20 @@ class TestCancellation:
         sim = Simulator()
         event = sim.schedule(1.0, lambda: None)
         sim.run()
+        # A dispatched event is *consumed*, not cancelled: the two fates
+        # are distinguishable after the fact.
+        assert event.consumed
+        assert not event.cancelled
+        assert not event.pending
+
+    def test_cancelled_event_is_not_consumed(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        sim.run()
         assert event.cancelled
+        assert not event.consumed
+        assert not event.pending
 
 
 class TestRunControl:

@@ -1,0 +1,105 @@
+"""Heap compaction and O(1) live-event accounting."""
+
+from repro.sim import Simulator, Timer
+
+
+def churn(sim, n=100, horizon=10.0):
+    """Schedule-and-cancel n events, leaving dead entries in the heap."""
+    for i in range(n):
+        sim.schedule(horizon + i, lambda: None).cancel()
+
+
+class TestLiveAccounting:
+    def test_pending_is_live_count_not_heap_length(self):
+        sim = Simulator(compaction=False)
+        keep = [sim.schedule(1.0 + i, lambda: None) for i in range(5)]
+        churn(sim, 20)
+        assert sim.pending() == 5
+        assert sim.heap_size == 25
+        assert sim.dead_fraction == 20 / 25
+        keep[0].cancel()
+        assert sim.pending() == 4
+
+    def test_dispatch_decrements_live(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.0)
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_peak_heap_size_tracked(self):
+        sim = Simulator(compaction=False)
+        for i in range(10):
+            sim.schedule(1.0 + i, lambda: None)
+        sim.run()
+        assert sim.peak_heap_size == 10
+
+
+class TestCompaction:
+    def test_compaction_triggers_when_dead_outnumber_live(self):
+        sim = Simulator(compact_min=16)
+        sim.schedule(1000.0, lambda: None)  # one live survivor
+        churn(sim, 64)
+        assert sim.compactions >= 1
+        # Hygiene bound: after every cancel, dead entries cannot exceed
+        # live entries once the heap is past the compaction minimum.
+        dead = sim.heap_size - sim.pending()
+        assert dead <= max(sim.pending(), 16)
+
+    def test_no_compaction_below_minimum(self):
+        sim = Simulator(compact_min=512)
+        sim.schedule(1000.0, lambda: None)
+        churn(sim, 100)
+        assert sim.compactions == 0
+        assert sim.heap_size == 101
+
+    def test_compaction_disabled(self):
+        sim = Simulator(compaction=False, compact_min=4)
+        sim.schedule(1000.0, lambda: None)
+        churn(sim, 100)
+        assert sim.compactions == 0
+        assert sim.heap_size == 101
+
+    def test_results_identical_with_and_without_compaction(self):
+        """Compaction keeps entry keys, so dispatch order — including
+        FIFO ties — is bit-identical either way."""
+
+        def run(compaction):
+            sim = Simulator(compaction=compaction, compact_min=8)
+            order = []
+            timers = [Timer(sim, order.append, i) for i in range(7)]
+            # Interleave ties, cancels, and re-arms to stress ordering.
+            for i, timer in enumerate(timers):
+                timer.arm(1.0 + (i % 3) * 0.5)
+            for i in range(60):
+                event = sim.schedule(5.0 + i, order.append, 100 + i)
+                if i % 3:
+                    event.cancel()
+            for i, timer in enumerate(timers):
+                if i % 2:
+                    timer.arm(2.0)  # deferred or re-pushed
+            sim.schedule(1.0, order.append, "tie-a")
+            sim.schedule(1.0, order.append, "tie-b")
+            sim.run()
+            return order, sim.events_processed
+
+        assert run(True) == run(False)
+
+    def test_compaction_preserves_heap_identity_during_run(self):
+        """Cancelling (and thus compacting) from inside a callback must
+        not strand the run loop's cached heap reference."""
+        sim = Simulator(compact_min=4)
+        fired = []
+        victims = [sim.schedule(50.0 + i, lambda: None) for i in range(32)]
+
+        def cancel_all():
+            for event in victims:
+                event.cancel()
+
+        sim.schedule(1.0, cancel_all)
+        sim.schedule(2.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.0]
+        assert sim.compactions >= 1

@@ -1,0 +1,162 @@
+"""Tests for Timer: in-place reschedule, lazy deferral, and heap hygiene."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim import Simulator, Timer
+
+
+class TestTimerBasics:
+    def test_fires_with_constructor_args(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, fired.append, "x")
+        timer.arm(1.0)
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 1.0
+
+    def test_arm_args_replace_constructor_args(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, fired.append, "x")
+        timer.arm(1.0, "y")
+        sim.run()
+        assert fired == ["y"]
+
+    def test_cancel_disarms(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, fired.append, 1)
+        timer.arm(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert not timer.armed
+
+    def test_cancel_idempotent(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.cancel()
+        timer.arm(1.0)
+        timer.cancel()
+        timer.cancel()
+        assert not timer.armed
+
+    def test_armed_and_deadline(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        assert timer.deadline != timer.deadline  # NaN when disarmed
+        timer.arm(2.5)
+        assert timer.armed
+        assert timer.deadline == 2.5
+
+    def test_rearm_after_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(1.0)
+        sim.run()
+        timer.arm(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+    def test_validation(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        with pytest.raises(SchedulingError):
+            timer.arm(-0.1)
+        with pytest.raises(SchedulingError):
+            timer.arm(float("inf"))
+        with pytest.raises(SchedulingError):
+            timer.arm(float("nan"))
+        with pytest.raises(SchedulingError):
+            timer.arm_at(float("nan"))
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            timer.arm_at(0.5)  # in the past
+
+
+class TestLazyDeferral:
+    def test_rearm_later_updates_in_place(self):
+        """The RTO-restart pattern: re-arm to a later deadline reuses
+        the pending event instead of pushing a new heap entry."""
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.arm(1.0)
+        event = timer._event
+        assert sim.heap_size == 1
+        for i in range(100):
+            timer.arm(1.0 + i * 0.01)
+        assert timer._event is event  # same heap entry throughout
+        assert sim.heap_size == 1
+        assert timer.deadline == pytest.approx(1.99)
+
+    def test_deferred_timer_fires_at_final_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(1.0)
+        timer.arm(3.0)  # deferred in place; heap key still says 1.0
+        sim.run()
+        assert fired == [3.0]
+
+    def test_rearm_earlier_falls_back_to_cancel_and_push(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(5.0)
+        first = timer._event
+        timer.arm(1.0)
+        assert timer._event is not first
+        assert first.cancelled
+        sim.run()
+        assert fired == [1.0]
+
+    def test_rekey_not_counted_as_dispatch(self):
+        """Surfacing a deferred entry re-keys it without touching the
+        event counter, so optimized and unoptimized runs report the
+        same events_processed."""
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.arm(1.0)
+        timer.arm(2.0)  # stale heap key at t=1.0
+        sim.schedule(1.5, lambda: None)
+        sim.run()
+        # Three heap pops happened (stale key, filler, real deadline)
+        # but only two callbacks ran.
+        assert sim.events_processed == 2
+
+    def test_lazy_timers_off_matches_historical_behaviour(self):
+        sim = Simulator(lazy_timers=False)
+        timer = Timer(sim, lambda: None)
+        timer.arm(1.0)
+        first = timer._event
+        timer.arm(2.0)
+        assert timer._event is not first  # cancel + push every re-arm
+        assert first.cancelled
+
+    def test_same_firing_times_with_and_without_lazy_timers(self):
+        def run(lazy):
+            sim = Simulator(lazy_timers=lazy)
+            fired = []
+            timer = Timer(sim, lambda: fired.append(sim.now))
+            # Churn: re-arm from inside a competing event stream.
+            for i in range(10):
+                sim.schedule(0.1 * i, timer.arm, 0.35)
+            sim.run()
+            return fired
+
+        assert run(True) == run(False)
+
+    def test_deferral_keeps_clock_monotonic_under_churn(self):
+        sim = Simulator()
+        times = []
+        timer = Timer(sim, lambda: times.append(sim.now))
+        timer.arm(0.5)
+        for i in range(50):
+            sim.schedule(0.02 * i, timer.arm, 0.5)
+        sim.run()
+        assert times == sorted(times)

@@ -161,3 +161,37 @@ class TestProbe:
         sim = Simulator()
         with pytest.raises(ConfigurationError):
             Probe(sim, lambda: 0.0, period=0.0)
+
+    def test_probe_stops_at_horizon_when_run_reentered(self):
+        """Regression: a probe whose next tick was queued past a
+        run(until=) pause must not resume sampling when the loop is
+        re-entered for a later phase."""
+        sim = Simulator()
+        probe = Probe(sim, lambda: 1.0, period=1.0)
+        probe.start(t_end=4.0)
+        sim.run(until=4.0)
+        assert probe.series.times == [0.0, 1.0, 2.0, 3.0, 4.0]
+        # Second phase: the tick pending at t=5 surfaces, sees the
+        # horizon, and shuts the probe down without recording.
+        sim.run(until=20.0)
+        assert probe.series.times == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert probe._event is None  # no further ticks queued
+
+    def test_null_probe_schedules_nothing(self):
+        """fn=None is the untraced fast path: zero sampling events."""
+        sim = Simulator()
+        probe = Probe(sim, None, period=0.5)
+        probe.start()
+        assert sim.pending() == 0
+        sim.run(until=10.0)
+        assert len(probe.series) == 0
+        assert sim.events_processed == 0
+
+    def test_append_unchecked_matches_append(self):
+        checked = TimeSeries("a")
+        fast = TimeSeries("b")
+        for t, v in [(0.0, 1.0), (1.0, 2.0), (1.0, 3.0), (2.5, 4.0)]:
+            checked.append(t, v)
+            fast.append_unchecked(t, v)
+        assert checked.times == fast.times
+        assert checked.values == fast.values
