@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench report examples clean
+.PHONY: install test bench report examples clean lint
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -16,6 +16,21 @@ bench:
 
 bench-log:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Static analysis: the stdlib-only simulation-correctness linter always
+# runs; ruff and mypy run when installed (pip install -e '.[lint]').
+lint:
+	PYTHONPATH=src python -m repro.cli lint src/repro
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed, skipping (pip install -e '.[lint]')"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed, skipping (pip install -e '.[lint]')"; \
+	fi
 
 # Regenerate EXPERIMENTS.md (scales: quick / default / paper).
 report:

@@ -1,0 +1,49 @@
+"""Simulation-correctness static analysis.
+
+The reproduction's headline claims rest on *bit-identical*,
+seed-deterministic simulation: the same master seed must produce the
+same packet trace on every run, every platform, and — critically —
+before and after every performance PR.  This package machine-checks the
+coding rules that make that true, instead of trusting review to catch
+violations:
+
+* **Determinism** (``REPRO1xx``) — no process-global RNG state, no
+  unseeded ``random.Random()``, no wall-clock reads, and no event
+  scheduling driven by unordered-set iteration inside the simulation
+  packages.
+* **Fast-path drift** (``REPRO2xx``) — the hand-inlined hot-path copies
+  introduced by the engine-optimization PR (``Simulator.schedule`` at
+  the link scheduling sites, ``Queue.enqueue`` inside
+  ``Interface.enqueue``, ``Node.forward`` inside ``Link._deliver``)
+  are compared against their canonical definitions via normalized-AST
+  comparison, so an edit to either side that forgets the other fails CI
+  instead of silently diverging.
+* **Slots hygiene** (``REPRO3xx``) — ``__slots__`` classes on the packet
+  hot chain neither shadow parent slots nor assign undeclared
+  attributes.
+* **Sim-time safety** (``REPRO4xx``) — no float ``==``/``!=`` on
+  simulation-time expressions, no statically-negative scheduling delays.
+* **Pool safety** (``REPRO5xx``) — no use of a packet variable after
+  ``release()`` returned it to the free list.
+
+Entry points: the :class:`LintEngine` (``repro lint`` in the CLI), the
+rule registry in :mod:`repro.analysis.registry`, and per-line
+suppression with ``# repro: noqa(RULE)`` comments.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import LintEngine, lint_paths
+from repro.analysis.registry import Rule, all_rules, get_rules, register
+
+__all__ = [
+    "Diagnostic",
+    "LintEngine",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rules",
+    "lint_paths",
+    "register",
+]

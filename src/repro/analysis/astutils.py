@@ -1,0 +1,157 @@
+"""Shared AST helpers: name resolution, alias tracking, normalization.
+
+The drift checkers compare hand-inlined hot-path code against canonical
+definitions.  Hand-inlining renames variables (``self`` becomes
+``queue``, ``self._heap`` becomes a cached ``heap`` local), so raw AST
+equality is useless; :func:`normalized_dump` compares structure after
+alpha-renaming the names the caller declares equivalent.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains as a string; None for anything else."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_func_dotted(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call target (``sim.schedule`` for ``sim.schedule(...)``)."""
+    return dotted_name(node.func)
+
+
+def module_aliases(tree: ast.Module, module: str) -> Set[str]:
+    """Names by which ``module`` is importable in this file.
+
+    Covers ``import random``, ``import random as rnd`` and — for
+    submodule imports like ``import time as _wallclock`` — the bound
+    alias.  ``from x import y`` bindings are *not* module aliases; use
+    :func:`imported_names` for those.
+    """
+    aliases: Set[str] = set()
+    for stmt in ast.walk(tree):
+        if isinstance(stmt, ast.Import):
+            for item in stmt.names:
+                if item.name == module or item.name.startswith(module + "."):
+                    if item.asname is not None:
+                        aliases.add(item.asname)
+                    else:
+                        aliases.add(item.name.split(".")[0])
+    return aliases
+
+
+def imported_names(tree: ast.Module, module: str) -> Dict[str, str]:
+    """Local-name -> original-name map of ``from module import ...`` bindings."""
+    bound: Dict[str, str] = {}
+    for stmt in ast.walk(tree):
+        if isinstance(stmt, ast.ImportFrom) and stmt.module == module:
+            for item in stmt.names:
+                bound[item.asname or item.name] = item.name
+    return bound
+
+
+def iter_functions(tree: ast.Module) -> Iterator[Tuple[Optional[ast.ClassDef], ast.FunctionDef]]:
+    """Yield ``(owning_class_or_None, function)`` for every def in the module."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield None, node  # type: ignore[misc]
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield node, sub  # type: ignore[misc]
+
+
+def find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    """Top-level class definition named ``name``, or None."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def find_method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    """Method ``name`` directly on ``cls``, or None."""
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+class _Renamer(ast.NodeTransformer):
+    """Alpha-rename ``Name`` identifiers according to a mapping."""
+
+    def __init__(self, rename: Dict[str, str]):
+        self._rename = rename
+
+    def visit_Name(self, node: ast.Name) -> ast.AST:
+        new = self._rename.get(node.id)
+        if new is not None:
+            return ast.copy_location(ast.Name(id=new, ctx=node.ctx), node)
+        return node
+
+
+def normalized_dump(nodes: List[ast.stmt], rename: Optional[Dict[str, str]] = None) -> str:
+    """Structural fingerprint of a statement list.
+
+    Names in ``rename`` are alpha-renamed first (so ``self`` and the
+    inlined ``queue`` local compare equal), docstring-position constants
+    are left alone (statement lists passed here never start with one),
+    and :func:`ast.dump` omits positions by default — the result depends
+    only on code structure.
+    """
+    mapping = rename or {}
+    dumps: List[str] = []
+    for stmt in nodes:
+        clone = _Renamer(dict(mapping)).visit(copy.deepcopy(stmt))
+        ast.fix_missing_locations(clone)
+        dumps.append(ast.dump(clone))
+    return "; ".join(dumps)
+
+
+def assign_targets(stmt: ast.stmt) -> List[ast.expr]:
+    """Assignment targets of Assign/AugAssign/AnnAssign (empty otherwise)."""
+    if isinstance(stmt, ast.Assign):
+        return list(stmt.targets)
+    if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        return [stmt.target]
+    return []
+
+
+def is_self_attr_store(target: ast.expr, owner: str = "self") -> Optional[str]:
+    """Attribute name when ``target`` is ``<owner>.<attr>``, else None."""
+    if (isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == owner):
+        return target.attr
+    return None
+
+
+def literal_str_tuple(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """Evaluate a tuple/list of string literals (``__slots__`` values).
+
+    Returns None when the expression is anything else (dynamic slots are
+    out of scope for static checking).  A single string is one slot.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return (node.value,)
+    if isinstance(node, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                names.append(elt.value)
+            else:
+                return None
+        return tuple(names)
+    return None

@@ -1,0 +1,122 @@
+"""Parsed-file and project context handed to lint rules."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+#: ``# repro: noqa`` (suppress everything on the line) or
+#: ``# repro: noqa(REPRO101)`` / ``# repro: noqa(REPRO101, REPRO205)``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\(\s*(?P<rules>[A-Z0-9_,\s]+?)\s*\))?", re.IGNORECASE)
+
+#: Packages whose modules run inside the simulation event loop; several
+#: rules only apply there (wall-clock reads are fine in the bench
+#: harness, fatal inside the simulator).
+SIM_SCOPE_PACKAGES: Tuple[str, ...] = ("sim", "net", "tcp", "traffic", "faults")
+
+
+class FileContext:
+    """One parsed source file plus the metadata rules need.
+
+    Attributes
+    ----------
+    path:
+        The path as it should appear in diagnostics (relative when the
+        engine was given a relative root).
+    source, lines:
+        Raw text and its ``splitlines()`` view.
+    tree:
+        The parsed :mod:`ast` module, or ``None`` when parsing failed
+        (the engine emits ``REPRO001`` and rules skip the file).
+    """
+
+    def __init__(self, path: str, source: str, tree: Optional[ast.Module]):
+        self.path = path
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree = tree
+        self._noqa: Optional[Dict[int, Optional[FrozenSet[str]]]] = None
+
+    # ------------------------------------------------------------------
+    # Scoping
+    # ------------------------------------------------------------------
+    @property
+    def module_parts(self) -> Tuple[str, ...]:
+        """Path components, normalized to forward slashes."""
+        return tuple(self.path.replace("\\", "/").split("/"))
+
+    def in_packages(self, packages: Tuple[str, ...]) -> bool:
+        """True when the file lives under ``repro/<pkg>/`` for any ``pkg``.
+
+        Matching is positional — the component right after a ``repro``
+        directory — so fixture trees that mirror the layout (used by the
+        drift tests) scope identically to the real source tree.
+        """
+        parts = self.module_parts
+        for i, part in enumerate(parts[:-1]):
+            if part == "repro" and parts[i + 1] in packages:
+                return True
+        return False
+
+    @property
+    def in_sim_scope(self) -> bool:
+        """Whether this file belongs to the simulation hot packages."""
+        return self.in_packages(SIM_SCOPE_PACKAGES)
+
+    # ------------------------------------------------------------------
+    # Suppressions
+    # ------------------------------------------------------------------
+    def noqa_for_line(self, line: int) -> Optional[FrozenSet[str]]:
+        """Suppression on ``line``: ``None`` = no comment, empty set = all rules."""
+        if self._noqa is None:
+            self._noqa = self._scan_noqa()
+        return self._noqa.get(line)
+
+    def suppresses(self, line: int, rule_id: str) -> bool:
+        """Whether a ``# repro: noqa`` comment on ``line`` covers ``rule_id``."""
+        rules = self.noqa_for_line(line)
+        if rules is None:
+            return False
+        return not rules or rule_id.upper() in rules
+
+    def _scan_noqa(self) -> Dict[int, Optional[FrozenSet[str]]]:
+        table: Dict[int, Optional[FrozenSet[str]]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            if "noqa" not in text:
+                continue
+            match = _NOQA_RE.search(text)
+            if match is None:
+                continue
+            listed = match.group("rules")
+            if listed is None:
+                table[lineno] = frozenset()
+            else:
+                table[lineno] = frozenset(
+                    token.strip().upper()
+                    for token in listed.split(",") if token.strip())
+        return table
+
+
+class Project:
+    """The full set of files under analysis (cross-file rules need it)."""
+
+    def __init__(self, files: List[FileContext]):
+        self.files = files
+
+    def find(self, suffix: str) -> Optional[FileContext]:
+        """Locate a parsed file whose path ends with ``suffix``.
+
+        Suffix lookup lets the drift rules address "the module that is
+        ``repro/sim/engine.py``" both in the real tree and in mirrored
+        fixture trees used by the tests.
+        """
+        normalized = suffix.replace("\\", "/")
+        for ctx in self.files:
+            if ctx.tree is None:
+                continue
+            path = ctx.path.replace("\\", "/")
+            if path == normalized or path.endswith("/" + normalized):
+                return ctx
+        return None

@@ -1,0 +1,16 @@
+"""Built-in simulator-correctness rules.
+
+Importing this package registers every rule family:
+
+* ``determinism`` — REPRO101..REPRO105
+* ``drift``       — REPRO201..REPRO203
+* ``slots``       — REPRO301..REPRO302
+* ``simtime``     — REPRO401..REPRO402
+* ``pool``        — REPRO501
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import determinism, drift, pool, simtime, slots
+
+__all__ = ["determinism", "drift", "pool", "simtime", "slots"]

@@ -1,0 +1,527 @@
+"""Fast-path drift rules (REPRO2xx).
+
+The engine-optimization PR hand-inlined three canonical routines into
+the packet hot chain:
+
+* ``Simulator.schedule`` — expanded at the link scheduling sites
+  (``Link.transmit``, twice in ``Link._end_serialization``) and the
+  cut-through site in ``Interface.enqueue``;
+* ``Queue.enqueue``'s admitted path — copied into ``Interface.enqueue``;
+* ``Node.forward`` — folded into ``Link._deliver``.
+
+Each copy is correct *today* because it was derived from the canonical
+code and verified by the bit-identical equivalence tests.  It stays
+correct only if every future edit touches both sides.  These rules
+enforce that mechanically: each inline site is reduced to a normalized
+AST form (alpha-renamed locals, operand holes for the site-specific
+expressions) and compared against the same reduction of the canonical
+definition.  Any asymmetric edit — a new field on ``Event``, a changed
+accounting statement, a different hop-guard — produces an
+error-severity diagnostic, which fails ``repro lint`` and CI.
+
+The rules run only when both the canonical module and the inline module
+are part of the linted file set (so ``repro lint tests/`` stays quiet);
+``repro lint src/repro`` always covers both.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, NamedTuple, Optional, Tuple
+
+from repro.analysis.astutils import (
+    dotted_name,
+    find_class,
+    find_method,
+    normalized_dump,
+)
+from repro.analysis.context import FileContext, Project
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import Rule, register
+
+_ENGINE_PY = "repro/sim/engine.py"
+_LINK_PY = "repro/net/link.py"
+_IFACE_PY = "repro/net/interface.py"
+_QUEUES_PY = "repro/net/queues.py"
+_NODE_PY = "repro/net/node.py"
+
+
+# ----------------------------------------------------------------------
+# Shared extraction: the "schedule skeleton"
+# ----------------------------------------------------------------------
+class ScheduleSkeleton(NamedTuple):
+    """Normalized form of one inline event-construction sequence.
+
+    ``fields`` is the ordered tuple of attributes stored on the fresh
+    ``Event``; the flags record the bookkeeping statements that must
+    accompany every push (heap key shape, live-event accounting, peak
+    tracking).  Site-specific operands (the deadline expression, the
+    callback, the args tuple) are holes — they legitimately differ
+    between sites.
+    """
+
+    fields: Tuple[str, ...]
+    key_shape: Tuple[str, ...]
+    live_increment: bool
+    peak_update: bool
+
+    def describe_difference(self, other: "ScheduleSkeleton") -> str:
+        parts: List[str] = []
+        if self.fields != other.fields:
+            parts.append(f"event fields {list(self.fields)} != "
+                         f"canonical {list(other.fields)}")
+        if self.key_shape != other.key_shape:
+            parts.append(f"heap key shape {list(self.key_shape)} != "
+                         f"canonical {list(other.key_shape)}")
+        if self.live_increment != other.live_increment:
+            parts.append("live-event increment missing"
+                         if not self.live_increment else
+                         "live-event increment not in canonical form")
+        if self.peak_update != other.peak_update:
+            parts.append("peak-heap-size update missing"
+                         if not self.peak_update else
+                         "peak-heap-size update not in canonical form")
+        return "; ".join(parts) or "structural mismatch"
+
+
+def _is_new_event_assign(stmt: ast.stmt) -> Optional[str]:
+    """Bound name when ``stmt`` is ``<name> = _new_event(Event)``."""
+    if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)):
+        call = stmt.value
+        func_name = dotted_name(call.func)
+        if (func_name is not None and func_name.split(".")[-1] == "_new_event"
+                and len(call.args) == 1
+                and isinstance(call.args[0], ast.Name)
+                and call.args[0].id == "Event"):
+            return stmt.targets[0].id
+    return None
+
+
+def _event_field_of(stmt: ast.stmt, event_var: str) -> Optional[str]:
+    """Field name when ``stmt`` stores an attribute on ``event_var``.
+
+    Accepts both ``event.time = expr`` and the chained
+    ``event.time = time = expr`` form the inline sites use.
+    """
+    if not isinstance(stmt, ast.Assign):
+        return None
+    for target in stmt.targets:
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == event_var):
+            return target.attr
+    return None
+
+
+def _heappush_key_shape(stmt: ast.stmt, event_var: str) -> Optional[Tuple[str, ...]]:
+    """Normalized heap-key tuple for a ``heappush(heap, (...))`` statement."""
+    if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
+        return None
+    call = stmt.value
+    func_name = dotted_name(call.func)
+    if func_name is None or func_name.split(".")[-1] not in ("_heappush", "heappush"):
+        return None
+    if len(call.args) != 2 or not isinstance(call.args[1], ast.Tuple):
+        return None
+    shape: List[str] = []
+    for elt in call.args[1].elts:
+        if isinstance(elt, ast.Name) and elt.id == event_var:
+            shape.append("event")
+        elif (isinstance(elt, ast.Call) and isinstance(elt.func, ast.Name)
+              and elt.func.id == "next"):
+            seq_arg = elt.args[0] if elt.args else None
+            seq_name = dotted_name(seq_arg) if seq_arg is not None else None
+            if seq_name is not None and seq_name.split(".")[-1] in ("_seq", "seq"):
+                shape.append("seq")
+            else:
+                shape.append("next(?)")
+        elif isinstance(elt, ast.Name):
+            shape.append("time")
+        else:
+            shape.append("?")
+    return tuple(shape)
+
+
+def _is_live_increment(stmt: ast.stmt) -> bool:
+    return (isinstance(stmt, ast.AugAssign)
+            and isinstance(stmt.op, ast.Add)
+            and isinstance(stmt.target, ast.Attribute)
+            and stmt.target.attr == "_live"
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value == 1)
+
+
+def _is_peak_update(prev: Optional[ast.stmt], stmt: ast.stmt) -> bool:
+    """``n = len(heap)`` followed by ``if n > X.peak_heap_size: ... = n``."""
+    if not isinstance(stmt, ast.If) or stmt.orelse:
+        return False
+    test = stmt.test
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Gt)
+            and isinstance(test.comparators[0], ast.Attribute)
+            and test.comparators[0].attr == "peak_heap_size"):
+        return False
+    if len(stmt.body) != 1 or not isinstance(stmt.body[0], ast.Assign):
+        return False
+    target = stmt.body[0].targets[0]
+    if not (isinstance(target, ast.Attribute)
+            and target.attr == "peak_heap_size"):
+        return False
+    # The guard variable must be a fresh len() of the heap.
+    if not (isinstance(prev, ast.Assign)
+            and isinstance(prev.value, ast.Call)
+            and isinstance(prev.value.func, ast.Name)
+            and prev.value.func.id == "len"):
+        return False
+    return True
+
+
+def _extract_skeletons(body: List[ast.stmt]) -> List[Tuple[int, ScheduleSkeleton]]:
+    """Every schedule skeleton (with its line) in a statement tree."""
+    found: List[Tuple[int, ScheduleSkeleton]] = []
+
+    def scan(stmts: List[ast.stmt]) -> None:
+        for index, stmt in enumerate(stmts):
+            event_var = _is_new_event_assign(stmt)
+            if event_var is not None:
+                skeleton = _skeleton_after(stmts, index, event_var)
+                found.append((stmt.lineno, skeleton))
+        for stmt in stmts:
+            for attr in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, attr, None)
+                if isinstance(inner, list) and inner and isinstance(inner[0], ast.stmt):
+                    scan(inner)
+            for handler in getattr(stmt, "handlers", []) or []:
+                scan(handler.body)
+
+    scan(body)
+    return found
+
+
+def _skeleton_after(stmts: List[ast.stmt], index: int,
+                    event_var: str) -> ScheduleSkeleton:
+    fields: List[str] = []
+    key_shape: Tuple[str, ...] = ()
+    live = False
+    peak = False
+    prev: Optional[ast.stmt] = None
+    window = stmts[index + 1: index + 14]
+    collecting_fields = True
+    for stmt in window:
+        field = _event_field_of(stmt, event_var)
+        if field is not None and collecting_fields:
+            fields.append(field)
+            prev = stmt
+            continue
+        collecting_fields = False
+        shape = _heappush_key_shape(stmt, event_var)
+        if shape is not None:
+            key_shape = shape
+        elif _is_live_increment(stmt):
+            live = True
+        elif _is_peak_update(prev, stmt):
+            peak = True
+        prev = stmt
+    return ScheduleSkeleton(tuple(fields), key_shape, live, peak)
+
+
+def _canonical_schedule_skeleton(
+        engine_ctx: FileContext) -> Optional[Tuple[int, ScheduleSkeleton]]:
+    assert engine_ctx.tree is not None
+    sim_cls = find_class(engine_ctx.tree, "Simulator")
+    if sim_cls is None:
+        return None
+    schedule = find_method(sim_cls, "schedule")
+    if schedule is None:
+        return None
+    skeletons = _extract_skeletons(list(schedule.body))
+    if len(skeletons) != 1:
+        return None
+    return skeletons[0]
+
+
+@register
+class ScheduleInlineDriftRule(Rule):
+    """REPRO201: inline ``Simulator.schedule`` copies drifted."""
+
+    id = "REPRO201"
+    summary = ("hand-inlined Simulator.schedule at a link/interface hot "
+               "site no longer matches the canonical definition")
+    severity = Severity.ERROR
+
+    #: Inline sites: (module suffix, minimum expected skeleton count).
+    SITES = ((_LINK_PY, 3), (_IFACE_PY, 1))
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        engine_ctx = project.find(_ENGINE_PY)
+        site_ctxs = [(project.find(suffix), suffix, minimum)
+                     for suffix, minimum in self.SITES]
+        if engine_ctx is None and all(ctx is None for ctx, _, _ in site_ctxs):
+            return ()
+        out: List[Diagnostic] = []
+        if engine_ctx is None:
+            for ctx, _, _ in site_ctxs:
+                if ctx is not None:
+                    out.append(self.diag(
+                        ctx, 1, 0,
+                        f"cannot verify inline Simulator.schedule copies: "
+                        f"canonical module {_ENGINE_PY} is not in the "
+                        f"linted file set"))
+            return out
+        canonical = _canonical_schedule_skeleton(engine_ctx)
+        if canonical is None:
+            out.append(self.diag(
+                engine_ctx, 1, 0,
+                "cannot extract the canonical Simulator.schedule event-"
+                "construction skeleton — the drift checker needs updating "
+                "alongside the engine"))
+            return out
+        _, canonical_skel = canonical
+        for ctx, suffix, minimum in site_ctxs:
+            if ctx is None:
+                continue
+            assert ctx.tree is not None
+            skeletons = _extract_skeletons(list(ctx.tree.body))
+            if len(skeletons) < minimum:
+                out.append(self.diag(
+                    ctx, 1, 0,
+                    f"expected at least {minimum} inline "
+                    f"Simulator.schedule site(s) in {suffix}, found "
+                    f"{len(skeletons)} — if the inlining was removed, "
+                    f"update the drift checker"))
+                continue
+            for lineno, skeleton in skeletons:
+                if skeleton != canonical_skel:
+                    out.append(self.diag(
+                        ctx, lineno, 0,
+                        f"inline Simulator.schedule copy drifted from the "
+                        f"canonical definition: "
+                        f"{skeleton.describe_difference(canonical_skel)} — "
+                        f"update both sides together (and re-run the "
+                        f"bit-identical equivalence tests)"))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Queue.enqueue admitted path inlined in Interface.enqueue
+# ----------------------------------------------------------------------
+def _admitted_region(func: ast.FunctionDef,
+                     owner: str) -> Optional[Tuple[int, List[ast.stmt]]]:
+    """Body of ``if <owner>._admit(packet):`` minus the trailing return."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if (isinstance(test, ast.Call)
+                and isinstance(test.func, ast.Attribute)
+                and test.func.attr == "_admit"
+                and isinstance(test.func.value, ast.Name)
+                and test.func.value.id == owner):
+            body = list(node.body)
+            while body and isinstance(body[-1], ast.Return):
+                body.pop()
+            return node.lineno, body
+    return None
+
+
+@register
+class QueueEnqueueDriftRule(Rule):
+    """REPRO202: ``Queue.enqueue`` inline copy in ``Interface.enqueue`` drifted."""
+
+    id = "REPRO202"
+    summary = ("the Queue.enqueue admitted-path copy inside "
+               "Interface.enqueue no longer matches the canonical code")
+    severity = Severity.ERROR
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        queues_ctx = project.find(_QUEUES_PY)
+        iface_ctx = project.find(_IFACE_PY)
+        if queues_ctx is None or iface_ctx is None:
+            if iface_ctx is not None:
+                return [self.diag(
+                    iface_ctx, 1, 0,
+                    f"cannot verify the inline Queue.enqueue copy: "
+                    f"canonical module {_QUEUES_PY} is not in the linted "
+                    f"file set")]
+            return ()
+        assert queues_ctx.tree is not None and iface_ctx.tree is not None
+
+        queue_cls = find_class(queues_ctx.tree, "Queue")
+        iface_cls = find_class(iface_ctx.tree, "Interface")
+        canonical_fn = find_method(queue_cls, "enqueue") if queue_cls else None
+        inline_fn = find_method(iface_cls, "enqueue") if iface_cls else None
+        if canonical_fn is None or inline_fn is None:
+            missing = _QUEUES_PY if canonical_fn is None else _IFACE_PY
+            ctx = queues_ctx if canonical_fn is None else iface_ctx
+            return [self.diag(
+                ctx, 1, 0,
+                f"drift anchor missing: could not locate the enqueue "
+                f"method in {missing} — update the drift checker if it "
+                f"moved")]
+
+        canonical = _admitted_region(canonical_fn, "self")
+        inline = _admitted_region(inline_fn, "queue")
+        if canonical is None:
+            return [self.diag(
+                queues_ctx, canonical_fn.lineno, 0,
+                "cannot extract the canonical admitted-path region from "
+                "Queue.enqueue (no `if self._admit(packet):` block)")]
+        if inline is None:
+            return [self.diag(
+                iface_ctx, inline_fn.lineno, 0,
+                "cannot find the inlined `if queue._admit(packet):` fast "
+                "path in Interface.enqueue — if it was removed, update "
+                "the drift checker")]
+
+        _, canonical_body = canonical
+        inline_line, inline_body = inline
+        # The inline copy appends the link pump after the copied
+        # statements, so the canonical body must be a *prefix* of it.
+        rename_canonical = {"self": "$OWNER"}
+        rename_inline = {"queue": "$OWNER"}
+        canonical_dump = normalized_dump(canonical_body, rename_canonical)
+        inline_prefix = inline_body[:len(canonical_body)]
+        inline_dump = normalized_dump(inline_prefix, rename_inline)
+        if canonical_dump != inline_dump:
+            return [self.diag(
+                iface_ctx, inline_line, 0,
+                "the Queue.enqueue admitted-path copy inside "
+                "Interface.enqueue differs from the canonical statements "
+                "in Queue.enqueue (normalized-AST mismatch) — apply the "
+                "same edit to both sides, or re-derive the inline copy")]
+        return ()
+
+
+# ----------------------------------------------------------------------
+# Node.forward inlined in Link._deliver
+# ----------------------------------------------------------------------
+class ForwardSummary(NamedTuple):
+    """Semantic fingerprint of the forwarding decision.
+
+    ``hop_guard``: comparison operator and bound used for the routing-
+    loop check; ``lookup``: the route-table probe; ``dispatch``: how a
+    resolved interface receives the packet.
+    """
+
+    hop_guard: Tuple[str, str, str]
+    lookup: Tuple[str, str]
+    dispatch: Tuple[str, str]
+
+    def describe_difference(self, other: "ForwardSummary") -> str:
+        parts: List[str] = []
+        if self.hop_guard != other.hop_guard:
+            parts.append(f"hop guard {self.hop_guard} != canonical "
+                         f"{other.hop_guard}")
+        if self.lookup != other.lookup:
+            parts.append(f"route lookup {self.lookup} != canonical "
+                         f"{other.lookup}")
+        if self.dispatch != other.dispatch:
+            parts.append(f"dispatch {self.dispatch} != canonical "
+                         f"{other.dispatch}")
+        return "; ".join(parts) or "structural mismatch"
+
+
+_CMPOP_NAMES = {
+    ast.Gt: ">", ast.GtE: ">=", ast.Lt: "<", ast.LtE: "<=",
+    ast.Eq: "==", ast.NotEq: "!=",
+}
+
+
+def _forward_summary(func: ast.FunctionDef) -> Optional[ForwardSummary]:
+    hop_guard: Optional[Tuple[str, str, str]] = None
+    lookup: Optional[Tuple[str, str]] = None
+    dispatch: Optional[Tuple[str, str]] = None
+    for node in ast.walk(func):
+        if (isinstance(node, ast.If) and hop_guard is None
+                and isinstance(node.test, ast.Compare)
+                and len(node.test.ops) == 1):
+            comparator = node.test.comparators[0]
+            bound = dotted_name(comparator)
+            if bound is not None and bound.split(".")[-1] == "MAX_HOPS":
+                raised = ""
+                for sub in node.body:
+                    if isinstance(sub, ast.Raise) and sub.exc is not None:
+                        exc = sub.exc
+                        if isinstance(exc, ast.Call):
+                            raised = dotted_name(exc.func) or ""
+                        else:
+                            raised = dotted_name(exc) or ""
+                op_name = _CMPOP_NAMES.get(type(node.test.ops[0]), "?")
+                hop_guard = (op_name, "MAX_HOPS", raised.split(".")[-1])
+        if (isinstance(node, ast.Call) and lookup is None
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and isinstance(node.func.value, ast.Attribute)
+                and node.func.value.attr == "_routes"
+                and len(node.args) >= 1):
+            key = dotted_name(node.args[0]) or "?"
+            key_tail = ".".join(key.split(".")[-2:])
+            lookup = ("_routes.get", key_tail)
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "enqueue"
+                and isinstance(node.func.value, ast.Name)
+                and len(node.args) == 1):
+            arg = dotted_name(node.args[0]) or "?"
+            dispatch = ("enqueue", arg.split(".")[-1])
+    if hop_guard is None or lookup is None or dispatch is None:
+        return None
+    return ForwardSummary(hop_guard, lookup, dispatch)
+
+
+@register
+class ForwardInlineDriftRule(Rule):
+    """REPRO203: ``Node.forward`` inline copy in ``Link._deliver`` drifted."""
+
+    id = "REPRO203"
+    summary = ("the Node.forward logic inlined into Link._deliver no "
+               "longer matches the canonical forwarding semantics")
+    severity = Severity.ERROR
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        node_ctx = project.find(_NODE_PY)
+        link_ctx = project.find(_LINK_PY)
+        if node_ctx is None or link_ctx is None:
+            if link_ctx is not None:
+                return [self.diag(
+                    link_ctx, 1, 0,
+                    f"cannot verify the inline Node.forward copy: "
+                    f"canonical module {_NODE_PY} is not in the linted "
+                    f"file set")]
+            return ()
+        assert node_ctx.tree is not None and link_ctx.tree is not None
+
+        node_cls = find_class(node_ctx.tree, "Node")
+        link_cls = find_class(link_ctx.tree, "Link")
+        forward_fn = find_method(node_cls, "forward") if node_cls else None
+        deliver_fn = find_method(link_cls, "_deliver") if link_cls else None
+        if forward_fn is None or deliver_fn is None:
+            ctx = node_ctx if forward_fn is None else link_ctx
+            where = "Node.forward" if forward_fn is None else "Link._deliver"
+            return [self.diag(
+                ctx, 1, 0,
+                f"drift anchor missing: could not locate {where} — update "
+                f"the drift checker if it moved")]
+
+        canonical = _forward_summary(forward_fn)
+        inline = _forward_summary(deliver_fn)
+        if canonical is None:
+            return [self.diag(
+                node_ctx, forward_fn.lineno, 0,
+                "cannot extract the canonical forwarding summary from "
+                "Node.forward (hop guard / route lookup / dispatch)")]
+        if inline is None:
+            return [self.diag(
+                link_ctx, deliver_fn.lineno, 0,
+                "cannot find the inlined forwarding logic (hop guard / "
+                "route lookup / dispatch) in Link._deliver — if the "
+                "inlining was removed, update the drift checker")]
+        if canonical != inline:
+            return [self.diag(
+                link_ctx, deliver_fn.lineno, 0,
+                f"inline Node.forward copy in Link._deliver drifted: "
+                f"{inline.describe_difference(canonical)} — apply the "
+                f"same change to both sides")]
+        return ()

@@ -1,0 +1,161 @@
+"""Packet-pool safety rule (REPRO5xx).
+
+``Packet.release()`` returns the object to a process-wide free list;
+any later read through the same variable observes recycled (or, in
+debug mode, poisoned) state.  The runtime only catches this with
+``configure_pool(debug=True)`` — this rule catches the straight-line
+cases statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.context import FileContext, Project
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import Rule, register
+
+
+def _released_name(stmt: ast.stmt) -> Optional[str]:
+    """Variable name when ``stmt`` is exactly ``<name>.release()``."""
+    if (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+            and stmt.value.func.attr == "release"
+            and isinstance(stmt.value.func.value, ast.Name)
+            and not stmt.value.args and not stmt.value.keywords):
+        return stmt.value.func.value.id
+    return None
+
+
+def _assigned_names(stmt: ast.stmt) -> Set[str]:
+    """Plain names (re)bound by this statement (resets 'released' state)."""
+    names: Set[str] = set()
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets = [stmt.target]
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+    # Walrus targets anywhere in the statement's expressions.
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def _loads(expr: ast.AST) -> Iterable[ast.Name]:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            yield node
+
+
+_TERMINATORS = (ast.Return, ast.Raise, ast.Continue, ast.Break)
+
+
+@register
+class UseAfterReleaseRule(Rule):
+    """REPRO501: read of a packet variable after ``release()``."""
+
+    id = "REPRO501"
+    summary = ("use of a packet variable after .release() returned it to "
+               "the pool — recycled state, poisoned under debug")
+    severity = Severity.ERROR
+
+    def check_file(self, ctx: FileContext, project: Project) -> Iterable[Diagnostic]:
+        tree = ctx.tree
+        assert tree is not None
+        out: List[Diagnostic] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_block(ctx, list(node.body), set(), out)
+        return out
+
+    def _scan_block(self, ctx: FileContext, stmts: List[ast.stmt],
+                    released: Set[str], out: List[Diagnostic]) -> Optional[Set[str]]:
+        """Walk one statement list, tracking released names.
+
+        Returns the released set at fall-through, or ``None`` when the
+        block always terminates (return/raise/continue/break) — callers
+        then know nothing escapes that branch.
+        """
+        for stmt in stmts:
+            name = _released_name(stmt)
+            if name is not None:
+                released.add(name)
+                continue
+
+            # Report reads of released names inside this statement
+            # (skipping bodies of nested compounds, handled below).
+            for expr in self._immediate_exprs(stmt):
+                for load in _loads(expr):
+                    if load.id in released:
+                        out.append(self.diag(
+                            ctx, load.lineno, load.col_offset,
+                            f"{load.id!r} is read after {load.id}.release() "
+                            f"returned it to the packet pool; the object "
+                            f"may already be recycled (poisoned under "
+                            f"debug pooling)"))
+                        released.discard(load.id)  # one report per release
+
+            released -= _assigned_names(stmt)
+
+            if isinstance(stmt, _TERMINATORS):
+                return None
+
+            if isinstance(stmt, (ast.If,)):
+                body_out = self._scan_block(ctx, list(stmt.body),
+                                            set(released), out)
+                else_out = (self._scan_block(ctx, list(stmt.orelse),
+                                             set(released), out)
+                            if stmt.orelse else set(released))
+                # A name survives as "released" only when every branch
+                # that can fall through agrees.
+                flows = [s for s in (body_out, else_out) if s is not None]
+                if not flows:
+                    return None
+                released = set.intersection(*flows)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                # Analyze the body for intra-iteration bugs, but do not
+                # let releases escape: the next iteration usually
+                # rebinds, and claiming otherwise would false-positive.
+                self._scan_block(ctx, list(stmt.body), set(released), out)
+                if stmt.orelse:
+                    self._scan_block(ctx, list(stmt.orelse),
+                                     set(released), out)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = self._scan_block(ctx, list(stmt.body),
+                                         set(released), out)
+                released = inner if inner is not None else released
+            elif isinstance(stmt, ast.Try):
+                self._scan_block(ctx, list(stmt.body), set(released), out)
+                for handler in stmt.handlers:
+                    self._scan_block(ctx, list(handler.body),
+                                     set(released), out)
+                if stmt.orelse:
+                    self._scan_block(ctx, list(stmt.orelse),
+                                     set(released), out)
+                if stmt.finalbody:
+                    self._scan_block(ctx, list(stmt.finalbody),
+                                     set(released), out)
+        return released
+
+    @staticmethod
+    def _immediate_exprs(stmt: ast.stmt) -> List[ast.AST]:
+        """Expressions evaluated by ``stmt`` itself (not nested bodies)."""
+        if isinstance(stmt, (ast.If, ast.While)):
+            return [stmt.test]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return [item.context_expr for item in stmt.items]
+        if isinstance(stmt, ast.Try):
+            return []
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return []
+        return [stmt]

@@ -1,0 +1,122 @@
+"""Sim-time safety rules (REPRO4xx).
+
+Virtual time is a float accumulated by repeated addition, so two
+"simultaneous" times are rarely bit-equal — ordering must use ``<=`` /
+``>=`` (or the heap).  And a negative relative delay is always a bug:
+the engine raises at runtime, but a statically-visible negative literal
+should never survive review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.context import FileContext, Project
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import Rule, register
+
+#: Attribute names that denote simulation-time values in this codebase.
+_TIME_ATTRS = {
+    "now", "_now", "time", "deadline", "created_at",
+    "_occ_time", "_occ_start", "_busy_since", "_down_since",
+    "_idle_since", "_t_end",
+}
+
+#: Bare variable names treated as time-valued in comparisons.
+_TIME_NAMES = {"now", "deadline", "t_start", "t_end", "timestamp"}
+
+#: Methods taking a *relative* delay as their first argument.
+_DELAY_METHODS = {"schedule", "arm"}
+
+
+def _is_time_expr(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in _TIME_ATTRS
+    if isinstance(expr, ast.Name):
+        return expr.id in _TIME_NAMES
+    return False
+
+
+@register
+class FloatTimeEqualityRule(Rule):
+    """REPRO401: ``==``/``!=`` on simulation-time expressions."""
+
+    id = "REPRO401"
+    summary = ("float ==/!= on a simulation-time expression — times are "
+               "accumulated floats, compare with <=/>= or a tolerance")
+    severity = Severity.ERROR
+
+    def check_file(self, ctx: FileContext, project: Project) -> Iterable[Diagnostic]:
+        if not ctx.in_sim_scope:
+            return ()
+        tree = ctx.tree
+        assert tree is not None
+        out: List[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                # `x == None` style is an identity test, not a float
+                # comparison; and comparing against integer-literal zero
+                # start times is excluded only when explicit `is` is
+                # used, so `t == 0.0` still flags.
+                if any(isinstance(side, ast.Constant) and side.value is None
+                       for side in (left, right)):
+                    continue
+                if _is_time_expr(left) or _is_time_expr(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    out.append(self.diag(
+                        ctx, node.lineno, node.col_offset,
+                        f"{symbol} on a simulation-time value: virtual "
+                        f"times are floats built by repeated addition and "
+                        f"are rarely bit-equal; use ordering comparisons "
+                        f"or an explicit tolerance"))
+                    break
+        return out
+
+
+@register
+class NegativeDelayRule(Rule):
+    """REPRO402: statically-negative relative delay in a scheduling call."""
+
+    id = "REPRO402"
+    summary = ("scheduling call with a negative literal delay — the "
+               "engine raises SchedulingError at runtime")
+    severity = Severity.ERROR
+
+    def check_file(self, ctx: FileContext, project: Project) -> Iterable[Diagnostic]:
+        tree = ctx.tree
+        assert tree is not None
+        out: List[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr in _DELAY_METHODS):
+                continue
+            delay = node.args[0]
+            value = _negative_literal(delay)
+            if value is not None:
+                out.append(self.diag(
+                    ctx, node.lineno, node.col_offset,
+                    f".{func.attr}({value!r}, ...) schedules into the past; "
+                    f"delays must be >= 0 (the engine raises "
+                    f"SchedulingError at runtime)"))
+        return out
+
+
+def _negative_literal(expr: ast.expr):
+    """The negative number when ``expr`` is a negative literal, else None."""
+    if (isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub)
+            and isinstance(expr.operand, ast.Constant)
+            and isinstance(expr.operand.value, (int, float))):
+        return -expr.operand.value
+    if (isinstance(expr, ast.Constant)
+            and isinstance(expr.value, (int, float)) and expr.value < 0):
+        return expr.value
+    return None

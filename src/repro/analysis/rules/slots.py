@@ -1,0 +1,184 @@
+"""Slots-hygiene rules (REPRO3xx).
+
+The packet hot chain (``Packet``, ``Event``, ``Queue``, ``Link``,
+``Interface``…) is slotted for attribute-access speed.  Two mistakes
+silently undo or break that:
+
+* redeclaring a parent's slot in a subclass (wastes a descriptor and
+  shadows the parent's — a classic ``__slots__`` footgun);
+* assigning an attribute that no slot declares (an ``AttributeError``
+  at runtime, but only on the code path that assigns it — exactly the
+  kind of bug that hides in a rarely-taken branch).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.astutils import (
+    assign_targets,
+    is_self_attr_store,
+    literal_str_tuple,
+)
+from repro.analysis.context import FileContext, Project
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import Rule, register
+
+
+class _ClassInfo:
+    """Statically-known facts about one class definition."""
+
+    def __init__(self, node: ast.ClassDef, ctx: FileContext):
+        self.node = node
+        self.ctx = ctx
+        self.name = node.name
+        self.bases: List[str] = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                self.bases.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                self.bases.append(base.attr)
+            else:
+                self.bases.append("?")
+        self.slots: Optional[Tuple[str, ...]] = None
+        #: True when ``__slots__`` exists but is not a literal we can read.
+        self.dynamic_slots = False
+        self.slots_lineno = node.lineno
+        self.class_level_names: Set[str] = set()
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.class_level_names.add(stmt.name)
+            for target in assign_targets(stmt):
+                if isinstance(target, ast.Name):
+                    self.class_level_names.add(target.id)
+                    if target.id == "__slots__" and isinstance(
+                            stmt, (ast.Assign, ast.AnnAssign)):
+                        value = stmt.value
+                        self.slots_lineno = stmt.lineno
+                        names = (literal_str_tuple(value)
+                                 if value is not None else None)
+                        if names is None:
+                            self.dynamic_slots = True
+                        else:
+                            self.slots = names
+
+
+def _index_classes(project: Project) -> Dict[str, _ClassInfo]:
+    """Class name -> info across the scanned file set.
+
+    Names are assumed unique across the project (true for this
+    codebase); on a collision the first definition wins and the
+    resolver degrades to "unknown base", which only *relaxes* checks.
+    """
+    index: Dict[str, _ClassInfo] = {}
+    for ctx in project.files:
+        if ctx.tree is None:
+            continue
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name not in index:
+                index[node.name] = _ClassInfo(node, ctx)
+    return index
+
+
+def _resolve_chain(info: _ClassInfo, index: Dict[str, _ClassInfo],
+                   _depth: int = 0) -> Optional[List[_ClassInfo]]:
+    """Ancestor chain (closest first), or None when any base is unknown.
+
+    ``object`` terminates a chain; anything else unresolvable makes the
+    whole chain unknown, and callers skip the strict checks.
+    """
+    if _depth > 16:  # defensive: cyclic or pathological hierarchies
+        return None
+    chain: List[_ClassInfo] = []
+    for base in info.bases:
+        if base == "object":
+            continue
+        parent = index.get(base)
+        if parent is None:
+            return None
+        parent_chain = _resolve_chain(parent, index, _depth + 1)
+        if parent_chain is None:
+            return None
+        chain.append(parent)
+        chain.extend(parent_chain)
+    return chain
+
+
+@register
+class SlotShadowRule(Rule):
+    """REPRO301: subclass ``__slots__`` redeclares a parent slot."""
+
+    id = "REPRO301"
+    summary = ("__slots__ entry shadows a slot already declared by a "
+               "parent class (duplicate descriptor, wasted memory)")
+    severity = Severity.ERROR
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        index = _index_classes(project)
+        out: List[Diagnostic] = []
+        for info in index.values():
+            if info.slots is None:
+                continue
+            chain = _resolve_chain(info, index)
+            if chain is None:
+                continue
+            inherited: Dict[str, str] = {}
+            for ancestor in chain:
+                for slot in (ancestor.slots or ()):
+                    inherited.setdefault(slot, ancestor.name)
+            for slot in info.slots:
+                if slot in inherited:
+                    out.append(self.diag(
+                        info.ctx, info.slots_lineno, info.node.col_offset,
+                        f"class {info.name}: slot {slot!r} shadows the slot "
+                        f"already declared by parent {inherited[slot]}"))
+        return out
+
+
+@register
+class UndeclaredSlotAssignRule(Rule):
+    """REPRO302: assignment to an attribute no ``__slots__`` declares."""
+
+    id = "REPRO302"
+    summary = ("self.<attr> assignment with no matching __slots__ entry "
+               "in a fully-slotted class (AttributeError at runtime)")
+    severity = Severity.ERROR
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        index = _index_classes(project)
+        out: List[Diagnostic] = []
+        for info in index.values():
+            if info.slots is None or info.dynamic_slots:
+                continue
+            chain = _resolve_chain(info, index)
+            if chain is None:
+                continue
+            # Any unslotted (or dynamically-slotted) ancestor grants a
+            # __dict__, making arbitrary assignment legal — skip.
+            if any(a.slots is None or a.dynamic_slots for a in chain):
+                continue
+            allowed: Set[str] = set(info.slots)
+            allowed |= info.class_level_names
+            for ancestor in chain:
+                allowed |= set(ancestor.slots or ())
+                allowed |= ancestor.class_level_names
+            for method in info.node.body:
+                if not isinstance(method, ast.FunctionDef):
+                    continue
+                if not method.args.args:
+                    continue
+                self_name = method.args.args[0].arg
+                if self_name in ("cls",):
+                    continue
+                for node in ast.walk(method):
+                    for target in assign_targets(node):
+                        attr = is_self_attr_store(target, owner=self_name)
+                        if attr is not None and attr not in allowed:
+                            out.append(self.diag(
+                                info.ctx, node.lineno, node.col_offset,
+                                f"class {info.name}: assignment to "
+                                f"self.{attr} but no __slots__ entry "
+                                f"declares it — this raises AttributeError "
+                                f"at runtime"))
+        return out

@@ -15,7 +15,7 @@ from repro.errors import (
     ReproError,
     SimulationStalledError,
 )
-from repro.units import format_bandwidth, format_size, parse_bandwidth, parse_time
+from repro.units import format_bandwidth, format_size, parse_time
 
 __all__ = [
     "cmd_size",
@@ -30,6 +30,7 @@ __all__ = [
     "cmd_sweep",
     "cmd_bench",
     "cmd_profile",
+    "cmd_lint",
 ]
 
 
@@ -513,3 +514,46 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"parallel results vs serial: {verdict}")
     print(f"artifact: {args.output}")
     return 0 if record["identical_results"] else 3
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: run the simulation-correctness static analysis.
+
+    Exit codes: 0 clean (or warnings only), 1 at least one
+    error-severity diagnostic, 2 bad arguments — mirroring the
+    conventions of ruff/flake8 so CI and editors can consume it.
+    """
+    import json as _json
+
+    from repro.analysis.engine import iter_rule_descriptions, lint_paths
+
+    if args.list_rules:
+        for rule_id, severity, summary in iter_rule_descriptions():
+            print(f"{rule_id}  [{severity:>7}]  {summary}")
+        return 0
+
+    paths = args.paths or ["src/repro"]
+    try:
+        result = lint_paths(paths, select=args.select)
+    except ReproError as exc:
+        return _fail(str(exc))
+
+    if args.format == "json":
+        payload = {
+            "files_scanned": result.files_scanned,
+            "suppressed": result.suppressed,
+            "diagnostics": [diag.to_dict() for diag in result.diagnostics],
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return result.exit_code
+
+    for diag in result.diagnostics:
+        print(diag.format())
+    errors, warnings, infos = result.counts()
+    tally = f"{errors} error(s), {warnings} warning(s)"
+    if infos:
+        tally += f", {infos} info(s)"
+    if result.suppressed:
+        tally += f", {result.suppressed} suppressed"
+    print(f"{result.files_scanned} file(s) scanned: {tally}")
+    return result.exit_code

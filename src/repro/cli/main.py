@@ -211,6 +211,22 @@ def build_parser() -> argparse.ArgumentParser:
                            help="profile sort key (default tottime)")
     p_profile.set_defaults(func=commands.cmd_profile)
 
+    p_lint = sub.add_parser(
+        "lint", help="simulation-correctness static analysis "
+                     "(determinism, fast-path drift, slots, sim-time, "
+                     "pool safety)")
+    p_lint.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files/directories to lint (default: src/repro)")
+    p_lint.add_argument("--select", action="append", default=None,
+                        metavar="RULE",
+                        help="rule id or prefix to run (repeatable), "
+                             'e.g. --select REPRO2 for the drift checkers')
+    p_lint.add_argument("--format", default="text", choices=["text", "json"],
+                        help="diagnostic output format (default text)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    p_lint.set_defaults(func=commands.cmd_lint)
+
     return parser
 
 

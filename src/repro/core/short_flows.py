@@ -16,7 +16,6 @@ analytically:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Union
 

@@ -20,10 +20,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro.experiments.common import (
-    LongFlowResult,
     run_long_flow_experiment,
     run_short_flow_experiment,
 )

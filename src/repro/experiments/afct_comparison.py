@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.common import MSS, rtt_for_pipe

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.faults import FaultSchedule, targets_for_dumbbell
@@ -37,7 +37,6 @@ from repro.metrics.windows import GaussianFit
 from repro.net import REDQueue, build_dumbbell
 from repro.net.packet import TCP_HEADER_BYTES, pooled_packets
 from repro.net.queues import DropTailQueue
-from repro.net.topology import DumbbellNetwork
 from repro.runner.invariants import InvariantMonitor, verify_network
 from repro.sim import RngStreams, Simulator
 from repro.traffic import LongLivedWorkload, ShortFlowWorkload

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from repro.errors import ConfigurationError
 from repro.metrics import UtilizationMonitor, jain_index

@@ -19,9 +19,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
-from repro.experiments.common import rtt_for_pipe
 from repro.metrics import FctCollector, UtilizationMonitor
 from repro.net import build_dumbbell
 from repro.net.packet import TCP_HEADER_BYTES
@@ -126,7 +125,7 @@ def production_table(
             short.arrival_rate *= tcp_load / 0.99
         short.start()
         # Unresponsive CBR component.
-        udp_sink = UdpSink(sim, net.receivers[n_long], port=9)
+        _udp_sink = UdpSink(sim, net.receivers[n_long], port=9)
         udp = UdpSource(
             sim, net.senders[n_long], dst_address=net.receivers[n_long].address,
             dport=9, rate=rate_bps * udp_fraction, payload=MSS,

@@ -18,7 +18,6 @@ import math
 import sys
 from typing import Dict, List, Optional
 
-from repro.core import ShortFlowModel, predicted_utilization
 from repro.experiments.afct_comparison import compare_buffers
 from repro.experiments.ablations import (
     access_speed_ablation,

@@ -11,9 +11,8 @@ closed form.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core import SingleFlowModel
 from repro.errors import ConfigurationError

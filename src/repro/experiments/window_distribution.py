@@ -12,10 +12,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.ascii_plot import histogram_plot
-from repro.experiments.common import LongFlowResult, run_long_flow_experiment
+from repro.experiments.common import run_long_flow_experiment
 from repro.metrics.windows import GaussianFit
 
 __all__ = ["WindowDistributionResult", "run_window_distribution", "sync_vs_n", "main"]

@@ -16,8 +16,8 @@ their metrics.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.errors import FaultError
 from repro.faults.injectors import RandomCorruption, RandomLoss

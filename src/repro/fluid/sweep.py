@@ -10,8 +10,7 @@ regardless of n; desynchronized fluid tracks the sqrt(n) rule.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.errors import ModelError
 from repro.fluid.model import FluidAimdModel

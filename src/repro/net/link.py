@@ -23,7 +23,7 @@ and every packet propagating on the wire are lost (counted in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 from heapq import heappush as _heappush
 

@@ -16,7 +16,6 @@ which is how the experiment defaults were chosen.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -27,7 +26,7 @@ from repro.core import (
     small_buffer_packets,
 )
 from repro.errors import ConfigurationError
-from repro.units import Quantity, format_bandwidth, parse_bandwidth, parse_time
+from repro.units import format_bandwidth, parse_bandwidth, parse_time
 
 __all__ = [
     "LinkProfile",

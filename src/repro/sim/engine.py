@@ -46,7 +46,9 @@ from repro.errors import (
 __all__ = ["Event", "Simulator", "Timer"]
 
 _INF = math.inf
-_new_event = object.__new__
+# Typed as Any-returning so the hand-inlined constructions below can
+# assign slot attributes without a cast at every site.
+_new_event: Callable[[Any], Any] = object.__new__
 _heappush = heapq.heappush
 
 
@@ -66,8 +68,9 @@ class Event:
 
     __slots__ = ("time", "callback", "args", "_sim", "_cancelled")
 
-    def __init__(self, time: float, callback: Optional[Callable], args: Tuple,
-                 sim: Optional["Simulator"] = None):
+    def __init__(self, time: float, callback: Optional[Callable[..., Any]],
+                 args: Tuple[Any, ...],
+                 sim: Optional["Simulator"] = None) -> None:
         self.time = time
         self.callback = callback
         self.args = args
@@ -157,7 +160,8 @@ class Timer:
 
     __slots__ = ("sim", "callback", "args", "_event")
 
-    def __init__(self, sim: "Simulator", callback: Callable, *args: Any):
+    def __init__(self, sim: "Simulator", callback: Callable[..., Any],
+                 *args: Any) -> None:
         self.sim = sim
         self.callback = callback
         self.args = args
@@ -270,7 +274,7 @@ class Simulator:
     """
 
     def __init__(self, start_time: float = 0.0, *, lazy_timers: bool = True,
-                 compaction: bool = True, compact_min: int = 512):
+                 compaction: bool = True, compact_min: int = 512) -> None:
         self._now = float(start_time)
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
@@ -301,7 +305,8 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, callback: Callable, *args: Any) -> Event:
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
 
         Returns the :class:`Event` handle.  ``delay`` must be finite and
@@ -338,7 +343,8 @@ class Simulator:
             self.peak_heap_size = n
         return event
 
-    def call_at(self, time: float, callback: Callable, *args: Any) -> Event:
+    def call_at(self, time: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute virtual time ``time``.
 
         ``time`` must be finite and must not lie strictly before the
@@ -359,7 +365,7 @@ class Simulator:
             self.peak_heap_size = n
         return event
 
-    def timer(self, callback: Callable, *args: Any) -> Timer:
+    def timer(self, callback: Callable[..., Any], *args: Any) -> Timer:
         """Create a (disarmed) :class:`Timer` bound to this simulator."""
         return Timer(self, callback, *args)
 

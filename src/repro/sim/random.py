@@ -37,7 +37,7 @@ class RngStreams:
         The single integer controlling the whole experiment.
     """
 
-    def __init__(self, master_seed: int = 0):
+    def __init__(self, master_seed: int = 0) -> None:
         self.master_seed = int(master_seed)
         self._streams: Dict[str, random.Random] = {}
 

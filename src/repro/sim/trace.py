@@ -15,9 +15,12 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # import cycle: engine only needed for annotations
+    from repro.sim.engine import Event, Simulator
 
 __all__ = ["TimeSeries", "TimeWeightedStat", "Probe"]
 
@@ -31,7 +34,7 @@ class TimeSeries:
 
     __slots__ = ("times", "values", "name")
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self.times: List[float] = []
         self.values: List[float] = []
@@ -60,7 +63,7 @@ class TimeSeries:
     def __len__(self) -> int:
         return len(self.values)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
         return iter(zip(self.times, self.values))
 
     # ------------------------------------------------------------------
@@ -171,7 +174,7 @@ class TimeWeightedStat:
 
     __slots__ = ("_last_time", "_last_value", "_area", "_span", "_started")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._last_time = 0.0
         self._last_value = 0.0
         self._area = 0.0
@@ -228,15 +231,16 @@ class Probe:
         Optional existing series to append into.
     """
 
-    def __init__(self, sim, fn: Optional[Callable[[], float]], period: float,
-                 series: Optional[TimeSeries] = None, name: str = ""):
+    def __init__(self, sim: "Simulator", fn: Optional[Callable[[], float]],
+                 period: float, series: Optional[TimeSeries] = None,
+                 name: str = "") -> None:
         if period <= 0:
             raise ConfigurationError("probe period must be positive")
         self.sim = sim
         self.fn = fn
         self.period = period
         self.series = series if series is not None else TimeSeries(name)
-        self._event = None
+        self._event: Optional["Event"] = None
         self._active = False
         self._t_end: Optional[float] = None
         self._append_time = self.series.times.append
@@ -269,7 +273,8 @@ class Probe:
             self._event = None
 
     def _tick(self) -> None:
-        if not self._active:
+        fn = self.fn
+        if not self._active or fn is None:
             return
         now = self.sim._now
         t_end = self._t_end
@@ -283,5 +288,5 @@ class Probe:
         # TimeSeries.append is redundant here — append directly through
         # the cached bound methods (release-mode fast path).
         self._append_time(now)
-        self._append_value(float(self.fn()))
+        self._append_value(float(fn()))
         self._event = self.sim.schedule(self.period, self._tick)

@@ -15,9 +15,8 @@ rate; :meth:`ShortFlowWorkload.for_load` computes the rate for a target
 
 from __future__ import annotations
 
-import math
 import random
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.net.packet import TCP_HEADER_BYTES

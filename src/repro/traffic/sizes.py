@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping, Optional
 
 from repro.errors import ConfigurationError
 
@@ -48,12 +48,17 @@ class FlowSizeDistribution:
     def mean(self) -> float:
         raise NotImplementedError
 
-    def probability_map(self, cap: int = 10_000) -> Dict[int, float]:
+    def probability_map(self, cap: int = 10_000,
+                        rng: Optional[random.Random] = None) -> Dict[int, float]:
         """``{size: probability}`` discretization for analytic models.
 
         The default implementation samples; exact subclasses override.
+        Pass a seeded ``rng`` to control the sampling stream; the
+        fallback is a fixed-seed stream so the discretization is
+        reproducible run to run rather than entropy-seeded.
         """
-        rng = random.Random(0xC0FFEE)
+        if rng is None:
+            rng = random.Random(0xC0FFEE)
         counts: Dict[int, float] = {}
         n = 20_000
         for _ in range(n):
@@ -76,7 +81,8 @@ class FixedSize(FlowSizeDistribution):
     def mean(self) -> float:
         return float(self.packets)
 
-    def probability_map(self, cap: int = 10_000) -> Dict[int, float]:
+    def probability_map(self, cap: int = 10_000,
+                        rng: Optional[random.Random] = None) -> Dict[int, float]:
         return {min(self.packets, cap): 1.0}
 
     def __repr__(self) -> str:
@@ -98,7 +104,8 @@ class UniformSize(FlowSizeDistribution):
     def mean(self) -> float:
         return (self.low + self.high) / 2.0
 
-    def probability_map(self, cap: int = 10_000) -> Dict[int, float]:
+    def probability_map(self, cap: int = 10_000,
+                        rng: Optional[random.Random] = None) -> Dict[int, float]:
         n = self.high - self.low + 1
         return {min(size, cap): 1.0 / n for size in range(self.low, self.high + 1)}
 
@@ -177,9 +184,9 @@ class EmpiricalMix(FlowSizeDistribution):
                 raise ConfigurationError(f"flow size {size} < 1 packet")
             if weight < 0:
                 raise ConfigurationError("weights must be non-negative")
-        self._sizes = sorted(weights)
-        self._probs = [weights[s] / total for s in self._sizes]
-        self._cdf = []
+        self._sizes: List[int] = sorted(weights)
+        self._probs: List[float] = [weights[s] / total for s in self._sizes]
+        self._cdf: List[float] = []
         acc = 0.0
         for p in self._probs:
             acc += p
@@ -195,7 +202,8 @@ class EmpiricalMix(FlowSizeDistribution):
     def mean(self) -> float:
         return sum(s * p for s, p in zip(self._sizes, self._probs))
 
-    def probability_map(self, cap: int = 10_000) -> Dict[int, float]:
+    def probability_map(self, cap: int = 10_000,
+                        rng: Optional[random.Random] = None) -> Dict[int, float]:
         return {min(s, cap): p for s, p in zip(self._sizes, self._probs)}
 
     def to_dict(self) -> Dict[str, object]:

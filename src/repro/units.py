@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Union
+from typing import Sequence, Tuple, Union
 
 from repro.errors import UnitError
 
@@ -193,7 +193,8 @@ def bytes_(nbits: float) -> float:
     return nbits / 8.0
 
 
-def _format_engineering(value: float, unit: str, factors) -> str:
+def _format_engineering(value: float, unit: str,
+                        factors: Sequence[Tuple[float, str]]) -> str:
     for threshold, suffix in factors:
         if value >= threshold:
             scaled = value / threshold

@@ -1,0 +1,132 @@
+"""Engine-level behaviour: collection, noqa, selection, output shape."""
+
+import os
+
+import pytest
+
+from repro.analysis import Severity, lint_paths
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import collect_files
+from repro.analysis.registry import all_rules, get_rules
+from repro.errors import ConfigurationError
+
+from tests.analysis.conftest import rule_ids
+
+BAD_WALLCLOCK = """\
+import time
+
+
+def stamp():
+    return time.time()
+"""
+
+
+class TestCollection:
+    def test_directory_walk_finds_python_files(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "b.py").write_text("y = 2\n")
+        (sub / "notes.txt").write_text("not python\n")
+        files = collect_files([str(tmp_path)])
+        assert [os.path.basename(f) for f in files] == ["a.py", "b.py"]
+
+    def test_skips_cache_dirs(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.py").write_text("x = 1\n")
+        (tmp_path / "real.py").write_text("x = 1\n")
+        files = collect_files([str(tmp_path)])
+        assert [os.path.basename(f) for f in files] == ["real.py"]
+
+    def test_missing_path_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            collect_files([str(tmp_path / "nope")])
+
+    def test_non_python_file_rejected(self, tmp_path):
+        other = tmp_path / "data.json"
+        other.write_text("{}")
+        with pytest.raises(ConfigurationError):
+            collect_files([str(other)])
+
+
+class TestSyntaxErrors:
+    def test_unparseable_file_reports_repro001(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        result = lint_paths([str(tmp_path)])
+        assert rule_ids(result) == {"REPRO001"}
+        assert result.exit_code == 1
+
+
+class TestNoqa:
+    def test_bare_noqa_suppresses(self, lint_source):
+        clean = BAD_WALLCLOCK.replace(
+            "time.time()", "time.time()  # repro: noqa")
+        result = lint_source(clean)
+        assert result.diagnostics == []
+        assert result.suppressed == 1
+
+    def test_rule_list_noqa_suppresses_named_rule(self, lint_source):
+        clean = BAD_WALLCLOCK.replace(
+            "time.time()", "time.time()  # repro: noqa(REPRO103)")
+        result = lint_source(clean)
+        assert result.diagnostics == []
+        assert result.suppressed == 1
+
+    def test_rule_list_noqa_ignores_other_rules(self, lint_source):
+        miss = BAD_WALLCLOCK.replace(
+            "time.time()", "time.time()  # repro: noqa(REPRO101)")
+        result = lint_source(miss)
+        assert rule_ids(result) == {"REPRO103"}
+        assert result.suppressed == 0
+
+
+class TestSelection:
+    def test_select_prefix(self, lint_source):
+        result = lint_source(BAD_WALLCLOCK, select=["REPRO4"])
+        assert result.diagnostics == []  # REPRO103 not selected
+
+    def test_select_exact_id(self, lint_source):
+        result = lint_source(BAD_WALLCLOCK, select=["REPRO103"])
+        assert rule_ids(result) == {"REPRO103"}
+
+    def test_unknown_selector_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_rules(["REPRO999"])
+
+    def test_all_rules_have_unique_ids(self):
+        rules = all_rules()
+        ids = [r.id for r in rules]
+        assert len(ids) == len(set(ids))
+        assert len(rules) >= 12
+
+
+class TestDiagnostics:
+    def test_format_line(self):
+        diag = Diagnostic(path="a/b.py", line=3, col=7, rule_id="REPRO101",
+                          severity=Severity.ERROR, message="boom")
+        assert diag.format() == "a/b.py:3:7 REPRO101 error: boom"
+
+    def test_sorted_by_location(self, lint_source):
+        source = """\
+        import time
+
+
+        def f():
+            x = time.time()
+            return time.time(), x
+        """
+        result = lint_source(source)
+        lines = [d.line for d in result.diagnostics]
+        assert lines == sorted(lines)
+
+    def test_counts_and_exit_code(self, lint_source):
+        result = lint_source(BAD_WALLCLOCK)
+        errors, warnings, infos = result.counts()
+        assert (errors, warnings, infos) == (1, 0, 0)
+        assert result.exit_code == 1
+        assert result.files_scanned == 1
+
+    def test_clean_tree_exits_zero(self, lint_source):
+        result = lint_source("x = 1\n")
+        assert result.exit_code == 0

@@ -1,0 +1,127 @@
+"""Determinism rules: REPRO101-REPRO104 (positive + negative per rule)."""
+
+from tests.analysis.conftest import rule_ids
+
+
+class TestGlobalRandom:
+    def test_flags_module_global_random(self, lint_source):
+        result = lint_source("""\
+        import random
+
+
+        def jitter():
+            return random.uniform(0.0, 1.0)
+        """)
+        assert "REPRO101" in rule_ids(result)
+
+    def test_flags_from_import(self, lint_source):
+        result = lint_source("""\
+        from random import shuffle
+
+
+        def mix(items):
+            shuffle(items)
+        """)
+        assert "REPRO101" in rule_ids(result)
+
+    def test_injected_stream_is_clean(self, lint_source):
+        result = lint_source("""\
+        import random
+
+
+        def jitter(rng: random.Random):
+            return rng.uniform(0.0, 1.0)
+        """)
+        assert "REPRO101" not in rule_ids(result)
+
+
+class TestUnseededRandom:
+    def test_flags_unseeded_constructor(self, lint_source):
+        result = lint_source("""\
+        import random
+
+
+        def make():
+            return random.Random()
+        """)
+        assert "REPRO102" in rule_ids(result)
+
+    def test_seeded_constructor_is_clean(self, lint_source):
+        result = lint_source("""\
+        import random
+
+
+        def make(seed):
+            return random.Random(seed)
+        """)
+        assert "REPRO102" not in rule_ids(result)
+
+
+class TestWallClock:
+    def test_flags_time_time_in_sim_scope(self, lint_source):
+        result = lint_source("""\
+        import time
+
+
+        def stamp():
+            return time.time()
+        """)
+        assert "REPRO103" in rule_ids(result)
+
+    def test_flags_datetime_now(self, lint_source):
+        result = lint_source("""\
+        from datetime import datetime
+
+
+        def stamp():
+            return datetime.now()
+        """)
+        assert "REPRO103" in rule_ids(result)
+
+    def test_monotonic_watchdog_allowed(self, lint_source):
+        result = lint_source("""\
+        import time
+
+
+        def elapsed(start):
+            return time.monotonic() - start
+        """)
+        assert "REPRO103" not in rule_ids(result)
+
+    def test_outside_sim_scope_not_flagged(self, lint_source):
+        result = lint_source("""\
+        import time
+
+
+        def stamp():
+            return time.time()
+        """, rel="cli/fixture.py")
+        assert "REPRO103" not in rule_ids(result)
+
+
+class TestSetIterationScheduling:
+    def test_flags_schedule_inside_set_loop(self, lint_source):
+        result = lint_source("""\
+        def fanout(sim, peers):
+            for peer in set(peers):
+                sim.schedule(0.0, peer.start)
+        """)
+        assert "REPRO104" in rule_ids(result)
+
+    def test_sorted_view_is_clean(self, lint_source):
+        result = lint_source("""\
+        def fanout(sim, peers):
+            for peer in sorted(set(peers)):
+                sim.schedule(0.0, peer.start)
+        """)
+        assert "REPRO104" not in rule_ids(result)
+
+    def test_set_loop_without_scheduling_is_clean(self, lint_source):
+        result = lint_source("""\
+        def total(sizes):
+            acc = 0
+            for size in set(sizes):
+                acc += size
+            return acc
+        """)
+        assert "REPRO104" not in rule_ids(result)

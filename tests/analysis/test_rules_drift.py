@@ -1,0 +1,97 @@
+"""Fast-path drift rules: the inline hot-path copies in link.py /
+interface.py must stay equivalent to their canonical definitions.
+
+Each test copies the real source files into a ``repro/{sim,net}``
+mirror under tmp_path, applies (or doesn't) a deliberate mutation to
+one side, and asserts the drift checkers respond.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+import repro.net.link
+import repro.sim.engine
+from repro.analysis import lint_paths
+
+from tests.analysis.conftest import rule_ids
+
+_SRC = Path(repro.sim.engine.__file__).resolve().parents[2]
+
+_MIRROR = (
+    ("repro/sim/engine.py", "sim/engine.py"),
+    ("repro/net/link.py", "net/link.py"),
+    ("repro/net/interface.py", "net/interface.py"),
+    ("repro/net/queues.py", "net/queues.py"),
+    ("repro/net/node.py", "net/node.py"),
+)
+
+
+@pytest.fixture
+def mirror(tmp_path):
+    """Copy the real hot-path modules into a repro/ mirror tree."""
+    root = tmp_path / "mirror"
+    for rel, dest in _MIRROR:
+        target = root / "repro" / dest
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(_SRC / rel, target)
+    return root
+
+
+def mutate(root, rel, old, new, count=1):
+    path = root / "repro" / rel
+    source = path.read_text()
+    assert old in source, f"mutation anchor not found in {rel}: {old!r}"
+    path.write_text(source.replace(old, new, count))
+
+
+class TestDriftCheckers:
+    def test_unmutated_mirror_is_clean(self, mirror):
+        result = lint_paths([str(mirror)], select=["REPRO2"])
+        assert result.diagnostics == []
+        assert result.exit_code == 0
+
+    def test_missing_live_increment_caught(self, mirror):
+        mutate(mirror, "net/link.py",
+               "        _heappush(heap, (time, next(sim._seq), event))\n"
+               "        sim._live += 1\n",
+               "        _heappush(heap, (time, next(sim._seq), event))\n")
+        result = lint_paths([str(mirror)], select=["REPRO201"])
+        assert rule_ids(result) == {"REPRO201"}
+        assert any("live-event increment" in d.message
+                   for d in result.diagnostics)
+
+    def test_changed_canonical_schedule_caught(self, mirror):
+        # Mutating the *canonical* side must also trip the checker:
+        # equivalence is symmetric.
+        mutate(mirror, "sim/engine.py",
+               "self._live += 1", "self._live += 2")
+        result = lint_paths([str(mirror)], select=["REPRO201"])
+        assert rule_ids(result) == {"REPRO201"}
+
+    def test_enqueue_copy_drift_caught(self, mirror):
+        mutate(mirror, "net/interface.py",
+               "bytes_now = queue._bytes = queue._bytes + size",
+               "bytes_now = queue._bytes = queue._bytes + size + 1")
+        result = lint_paths([str(mirror)], select=["REPRO202"])
+        assert rule_ids(result) == {"REPRO202"}
+
+    def test_forward_hop_guard_drift_caught(self, mirror):
+        mutate(mirror, "net/link.py", "hops > MAX_HOPS", "hops >= MAX_HOPS")
+        result = lint_paths([str(mirror)], select=["REPRO203"])
+        assert rule_ids(result) == {"REPRO203"}
+        assert any("hop guard" in d.message for d in result.diagnostics)
+
+    def test_real_tree_is_clean(self):
+        result = lint_paths([str(_SRC / "repro")], select=["REPRO2"])
+        assert result.diagnostics == []
+
+    def test_rules_inert_without_hot_path_files(self, tmp_path):
+        # A scan set that contains neither side of a pair must not
+        # fabricate drift errors (e.g. linting a single unrelated file).
+        plain = tmp_path / "repro" / "sim" / "other.py"
+        plain.parent.mkdir(parents=True)
+        plain.write_text("x = 1\n")
+        result = lint_paths([str(tmp_path)], select=["REPRO2"])
+        assert result.diagnostics == []

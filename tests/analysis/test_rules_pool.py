@@ -1,0 +1,78 @@
+"""Pool-safety rule: REPRO501 use-after-release dataflow."""
+
+from tests.analysis.conftest import rule_ids
+
+
+class TestUseAfterRelease:
+    def test_flags_straight_line_use_after_release(self, lint_source):
+        result = lint_source("""\
+        def drop(pkt, stats):
+            pkt.release()
+            stats.bytes += pkt.size
+        """)
+        assert "REPRO501" in rule_ids(result)
+
+    def test_use_before_release_is_clean(self, lint_source):
+        result = lint_source("""\
+        def drop(pkt, stats):
+            stats.bytes += pkt.size
+            pkt.release()
+        """)
+        assert "REPRO501" not in rule_ids(result)
+
+    def test_rebinding_clears_state(self, lint_source):
+        result = lint_source("""\
+        def recycle(pkt, pool):
+            pkt.release()
+            pkt = pool.acquire()
+            return pkt.size
+        """)
+        assert "REPRO501" not in rule_ids(result)
+
+    def test_release_in_terminating_branch_is_clean(self, lint_source):
+        result = lint_source("""\
+        def maybe_drop(pkt, full):
+            if full:
+                pkt.release()
+                return None
+            return pkt.size
+        """)
+        assert "REPRO501" not in rule_ids(result)
+
+    def test_release_on_every_branch_flags_fallthrough(self, lint_source):
+        result = lint_source("""\
+        def drop(pkt, full):
+            if full:
+                pkt.release()
+            else:
+                pkt.release()
+            return pkt.size
+        """)
+        assert "REPRO501" in rule_ids(result)
+
+    def test_release_on_one_branch_only_is_clean(self, lint_source):
+        result = lint_source("""\
+        def maybe_drop(pkt, full):
+            if full:
+                pkt.release()
+            return pkt.size
+        """)
+        assert "REPRO501" not in rule_ids(result)
+
+    def test_loop_release_does_not_leak_across_iterations(self, lint_source):
+        result = lint_source("""\
+        def drain(queue):
+            for pkt in queue:
+                pkt.size
+                pkt.release()
+        """)
+        assert "REPRO501" not in rule_ids(result)
+
+    def test_use_after_release_inside_loop_body(self, lint_source):
+        result = lint_source("""\
+        def drain(queue, stats):
+            for pkt in queue:
+                pkt.release()
+                stats.bytes += pkt.size
+        """)
+        assert "REPRO501" in rule_ids(result)

@@ -1,0 +1,73 @@
+"""Sim-time safety rules: REPRO401 (float ==), REPRO402 (negative delay)."""
+
+from tests.analysis.conftest import rule_ids
+
+
+class TestFloatTimeEquality:
+    def test_flags_equality_on_now(self, lint_source):
+        result = lint_source("""\
+        def fire(sim, deadline):
+            if sim.now == deadline:
+                return True
+            return False
+        """)
+        assert "REPRO401" in rule_ids(result)
+
+    def test_flags_inequality_on_deadline(self, lint_source):
+        result = lint_source("""\
+        def pending(timer):
+            return timer.deadline != 0.0
+        """)
+        assert "REPRO401" in rule_ids(result)
+
+    def test_ordering_comparison_is_clean(self, lint_source):
+        result = lint_source("""\
+        def expired(sim, deadline):
+            return sim.now >= deadline
+        """)
+        assert "REPRO401" not in rule_ids(result)
+
+    def test_none_identity_test_is_clean(self, lint_source):
+        result = lint_source("""\
+        def armed(timer):
+            return timer.deadline == None
+        """)
+        assert "REPRO401" not in rule_ids(result)
+
+    def test_outside_sim_scope_not_flagged(self, lint_source):
+        result = lint_source("""\
+        def fire(sim, deadline):
+            return sim.now == deadline
+        """, rel="cli/fixture.py")
+        assert "REPRO401" not in rule_ids(result)
+
+
+class TestNegativeDelay:
+    def test_flags_negative_literal(self, lint_source):
+        result = lint_source("""\
+        def oops(sim, cb):
+            sim.schedule(-1.0, cb)
+        """)
+        assert "REPRO402" in rule_ids(result)
+
+    def test_flags_negative_timer_arm(self, lint_source):
+        result = lint_source("""\
+        def oops(timer):
+            timer.arm(-0.5)
+        """)
+        assert "REPRO402" in rule_ids(result)
+
+    def test_zero_and_positive_are_clean(self, lint_source):
+        result = lint_source("""\
+        def fine(sim, cb):
+            sim.schedule(0.0, cb)
+            sim.schedule(2.5, cb)
+        """)
+        assert "REPRO402" not in rule_ids(result)
+
+    def test_variable_delay_not_flagged(self, lint_source):
+        result = lint_source("""\
+        def fine(sim, cb, delay):
+            sim.schedule(delay, cb)
+        """)
+        assert "REPRO402" not in rule_ids(result)

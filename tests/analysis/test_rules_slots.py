@@ -1,0 +1,85 @@
+"""Slots-hygiene rules: REPRO301 (shadowed slot), REPRO302 (undeclared)."""
+
+from tests.analysis.conftest import rule_ids
+
+
+class TestSlotShadow:
+    def test_flags_redeclared_parent_slot(self, lint_source):
+        result = lint_source("""\
+        class Base:
+            __slots__ = ("size", "dst")
+
+
+        class Child(Base):
+            __slots__ = ("size", "flow")
+        """)
+        assert "REPRO301" in rule_ids(result)
+
+    def test_disjoint_slots_are_clean(self, lint_source):
+        result = lint_source("""\
+        class Base:
+            __slots__ = ("size", "dst")
+
+
+        class Child(Base):
+            __slots__ = ("flow",)
+        """)
+        assert "REPRO301" not in rule_ids(result)
+
+
+class TestUndeclaredSlotAssign:
+    def test_flags_assignment_outside_slots(self, lint_source):
+        result = lint_source("""\
+        class Packet:
+            __slots__ = ("size", "dst")
+
+            def __init__(self, size, dst):
+                self.size = size
+                self.dst = dst
+                self.retries = 0
+        """)
+        diags = [d for d in result.diagnostics if d.rule_id == "REPRO302"]
+        assert len(diags) == 1
+        assert "retries" in diags[0].message
+
+    def test_inherited_slots_are_allowed(self, lint_source):
+        result = lint_source("""\
+        class Base:
+            __slots__ = ("size",)
+
+
+        class Child(Base):
+            __slots__ = ("flow",)
+
+            def __init__(self):
+                self.size = 0
+                self.flow = None
+        """)
+        assert "REPRO302" not in rule_ids(result)
+
+    def test_unslotted_ancestor_relaxes_check(self, lint_source):
+        result = lint_source("""\
+        class Loose:
+            pass
+
+
+        class Child(Loose):
+            __slots__ = ("flow",)
+
+            def __init__(self):
+                self.anything = 1
+        """)
+        assert "REPRO302" not in rule_ids(result)
+
+    def test_unknown_base_relaxes_check(self, lint_source):
+        result = lint_source("""\
+        from collections import UserDict
+
+
+        class Child(UserDict):
+            __slots__ = ("flow",)
+
+            def __init__(self):
+                self.anything = 1
+        """)
+        assert "REPRO302" not in rule_ids(result)

@@ -1,6 +1,5 @@
 """Tests for the loss-rate models (Section 5.1.1)."""
 
-import math
 
 import pytest
 

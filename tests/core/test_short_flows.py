@@ -1,6 +1,5 @@
 """Tests for the short-flow sizing and AFCT models (Section 4)."""
 
-import math
 
 import pytest
 

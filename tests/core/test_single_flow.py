@@ -1,6 +1,5 @@
 """Tests for the Section 2 single-flow AIMD model."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -1,6 +1,5 @@
 """Tests for utilization prediction and inversion."""
 
-import math
 
 import pytest
 

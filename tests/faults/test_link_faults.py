@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import ConfigurationError
 from repro.net import DropTailQueue
 from repro.net.interface import Interface
 from repro.net.link import Link

@@ -6,7 +6,6 @@ invariant the whole study rests on: every byte eventually arrives,
 exactly once, in order.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.net import build_dumbbell
@@ -22,7 +21,7 @@ class TestPacketConservation:
         sim = Simulator()
         net = build_dumbbell(sim, n_pairs=4, bottleneck_rate="10Mbps",
                              buffer_packets=20, rtts=["40ms"])
-        flows = [TcpFlow(sim, s, r, size_packets=None)
+        _flows = [TcpFlow(sim, s, r, size_packets=None)
                  for s, r in net.flow_pairs()]
         sim.run(until=10.0)
         queue = net.bottleneck_queue

@@ -10,7 +10,6 @@ import math
 
 import pytest
 
-from repro.core import SingleFlowModel
 from repro.experiments.afct_comparison import compare_buffers
 from repro.experiments.common import run_long_flow_experiment, run_short_flow_experiment
 from repro.experiments.single_flow import run_single_flow

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.metrics import FctCollector, QueueMonitor, UtilizationMonitor, WindowTracker
-from repro.net import DropTailQueue, Network, Packet
+from repro.net import DropTailQueue, Packet
 from repro.net.link import Link
 from repro.sim import Simulator
 from repro.tcp.flow import FlowRecord

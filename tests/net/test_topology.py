@@ -107,7 +107,7 @@ class TestNetworkRouting:
         b = net.add_host("b", proc_jitter=lambda: 0.5)
         net.connect(a, b, rate="10Mbps", delay="1ms")
         net.compute_routes()
-        rec = Recorder()
+        _rec = Recorder()
         times = []
         b.bind(5, type("T", (), {"deliver": lambda self, p: times.append(sim.now)})())
         a.inject(Packet(src=a.address, dst=b.address, payload=960, dport=5))

@@ -82,7 +82,7 @@ class TestInvariantMonitor:
         sim = Simulator()
         net = build_dumbbell(sim, n_pairs=2, bottleneck_rate="5Mbps",
                              buffer_packets=15, rtts=["40ms"])
-        flows = [TcpFlow(sim, s, r, size_packets=10_000)
+        _flows = [TcpFlow(sim, s, r, size_packets=10_000)
                  for s, r in net.flow_pairs()]
         monitor = InvariantMonitor(sim, net, period=0.5, t_stop=3.0)
         sim.run(until=3.0)
@@ -92,7 +92,7 @@ class TestInvariantMonitor:
         sim = Simulator()
         net = build_dumbbell(sim, n_pairs=2, bottleneck_rate="5Mbps",
                              buffer_packets=15, rtts=["40ms"])
-        flows = [TcpFlow(sim, s, r, size_packets=10_000)
+        _flows = [TcpFlow(sim, s, r, size_packets=10_000)
                  for s, r in net.flow_pairs()]
         InvariantMonitor(sim, net, period=0.5)
         # Corrupt a counter partway through; the next audit must catch

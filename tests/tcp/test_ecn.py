@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.net import Network, Packet, PacketFlags, REDQueue
 from repro.sim import Simulator
@@ -31,7 +30,7 @@ class TestMarking:
     def test_red_marks_ect_packets_instead_of_dropping(self):
         sim = Simulator()
         a, b, queue = build_ecn_path(sim)
-        flow = TcpFlow(sim, a, b, size_packets=None, ecn=True)
+        _flow = TcpFlow(sim, a, b, size_packets=None, ecn=True)
         sim.run(until=20.0)
         assert queue.ecn_marks > 0
         assert queue.early_drops == 0  # everything ECT was marked
@@ -40,7 +39,7 @@ class TestMarking:
         """A non-ECN sender through the same queue gets dropped."""
         sim = Simulator()
         a, b, queue = build_ecn_path(sim)
-        flow = TcpFlow(sim, a, b, size_packets=None, ecn=False)
+        _flow = TcpFlow(sim, a, b, size_packets=None, ecn=False)
         sim.run(until=20.0)
         assert queue.ecn_marks == 0
         assert queue.early_drops > 0
@@ -50,7 +49,7 @@ class TestMarking:
         sim = Simulator()
         a, b, queue = build_ecn_path(sim, capacity=12, min_thresh=4,
                                      max_thresh=8)
-        flow = TcpFlow(sim, a, b, size_packets=None, ecn=True)
+        _flow = TcpFlow(sim, a, b, size_packets=None, ecn=True)
         sim.run(until=20.0)
         assert queue.drops >= 0  # bounded buffer can overflow
         assert len(queue) <= 12

@@ -39,8 +39,8 @@ class TestPacedTransfer:
             sim = Simulator()
             a, b, queue = build_path(sim, buffer_packets=1000,
                                      rate="10Mbps", delay="20ms")
-            flow = TcpFlow(sim, a, b, size_packets=None, pacing=pacing,
-                           max_window=40)
+            _flow = TcpFlow(sim, a, b, size_packets=None, pacing=pacing,
+                            max_window=40)
             # With max_window 40 < pipe, no drops: measure the burst-built
             # queue directly.
             sim.run(until=10.0)

@@ -1,6 +1,5 @@
 """Tests for SACK: receiver blocks and the scoreboard sender."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.sim import Simulator

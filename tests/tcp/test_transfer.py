@@ -1,6 +1,5 @@
 """End-to-end TCP transfer tests over a scriptable lossy path."""
 
-import math
 
 import pytest
 

@@ -8,7 +8,6 @@ from repro.scenarios import (
     OC48,
     OC192,
     PROFILES,
-    LinkProfile,
     scaled_to_pipe,
 )
 

@@ -1,6 +1,5 @@
 """Tests for repro.units: parsing and formatting of quantities."""
 
-import math
 
 import pytest
 

@@ -147,6 +147,19 @@ class TestGenericProbabilityMap:
         mean = sum(size * prob for size, prob in pmap.items())
         assert mean == pytest.approx(dist.mean(), rel=0.05)
 
+    def test_default_map_is_deterministic(self):
+        dist = FlowSizeDistributionProxy(UniformSize(1, 50))
+        assert dist.probability_map() == dist.probability_map()
+
+    def test_injected_rng_controls_sampling(self):
+        import random
+        dist = FlowSizeDistributionProxy(UniformSize(1, 50))
+        a = dist.probability_map(rng=random.Random(7))
+        b = dist.probability_map(rng=random.Random(7))
+        c = dist.probability_map(rng=random.Random(8))
+        assert a == b
+        assert a != c
+
 
 class FlowSizeDistributionProxy:
     """Wrap a distribution but force the generic sampling probability_map."""
@@ -157,6 +170,6 @@ class FlowSizeDistributionProxy:
     def sample(self, rng):
         return self.inner.sample(rng)
 
-    def probability_map(self, cap=10_000):
+    def probability_map(self, cap=10_000, rng=None):
         from repro.traffic.sizes import FlowSizeDistribution
-        return FlowSizeDistribution.probability_map(self, cap)
+        return FlowSizeDistribution.probability_map(self, cap, rng)
