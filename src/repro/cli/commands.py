@@ -29,6 +29,8 @@ __all__ = [
     "cmd_ablations",
     "cmd_sweep",
     "cmd_bench",
+    "cmd_trace",
+    "cmd_obs_report",
     "cmd_profile",
     "cmd_lint",
 ]
@@ -385,6 +387,134 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_traced_scenario(args: argparse.Namespace):
+    """Run the ``repro trace`` scenario (obs already enabled)."""
+    from repro.experiments.common import (
+        run_long_flow_experiment,
+        run_short_flow_experiment,
+    )
+    from repro.traffic.sizes import FixedSize
+
+    if args.scenario == "long":
+        if args.buffer_packets is not None:
+            buffer_packets = args.buffer_packets
+        else:
+            buffer_packets = max(2, round(
+                args.buffer_factor * args.pipe / math.sqrt(args.flows)))
+        return run_long_flow_experiment(
+            n_flows=args.flows,
+            buffer_packets=buffer_packets,
+            pipe_packets=args.pipe,
+            bottleneck_rate=args.rate,
+            warmup=args.warmup,
+            duration=args.duration,
+            seed=args.seed,
+            faults=_parse_faults(args),
+            max_events=args.max_events,
+            max_wall_seconds=args.timeout,
+        )
+    return run_short_flow_experiment(
+        load=args.load,
+        buffer_packets=args.buffer_packets,
+        sizes=FixedSize(args.flow_packets),
+        bottleneck_rate=args.rate,
+        rtt=args.rtt,
+        duration=args.duration,
+        seed=args.seed,
+        max_events=args.max_events,
+        max_wall_seconds=args.timeout,
+    )
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: run one scenario with the flight recorder on.
+
+    Records structured events (enqueue/drop/mark, cwnd changes, RTOs,
+    fault and link transitions) into the bounded ring buffer and dumps
+    them to ``--out`` as JSONL, followed by a per-kind tally and the
+    headline counters of the final metrics snapshot.  If the run aborts
+    (watchdog or invariant), the events captured so far are still
+    dumped to the same path — that crash dump is the point of a flight
+    recorder.
+    """
+    from repro import obs
+
+    kinds = None
+    if args.kinds:
+        kinds = {k.strip() for k in args.kinds.split(",") if k.strip()}
+        unknown = sorted(kinds - obs.EVENT_KINDS)
+        if unknown:
+            return _fail(f"unknown event kind(s): {', '.join(unknown)} "
+                         f"(valid: {', '.join(sorted(obs.EVENT_KINDS))})")
+    capacity = args.capacity if args.capacity is not None else obs.DEFAULT_CAPACITY
+    if capacity < 1:
+        return _fail(f"--capacity must be >= 1, got {capacity}")
+
+    obs.enable(capacity=capacity, kinds=kinds, crash_dump_path=args.out)
+    try:
+        try:
+            result = _run_traced_scenario(args)
+        except (SimulationStalledError, InvariantViolation) as exc:
+            # The experiment runner already crash-dumped the recorder.
+            if len(obs.recorder()):
+                print(f"flight recorder dump: {args.out}")
+            return _abort(exc)
+        except ReproError as exc:
+            return _fail(str(exc))
+        recorder = obs.recorder()
+        try:
+            written = recorder.dump_jsonl(args.out)
+        except OSError as exc:
+            return _fail(f"cannot write {args.out!r}: {exc}")
+        recorded = recorder.recorded
+        counts = recorder.counts_by_kind()
+        snapshot = result.metrics or {}
+    finally:
+        obs.disable()
+
+    print(f"traced {args.scenario} scenario (seed {args.seed}): "
+          f"{recorded} event(s) recorded")
+    if recorded > written:
+        print(f"  ring buffer kept the last {written} "
+              f"(--capacity {capacity}; oldest evicted)")
+    for kind in sorted(counts):
+        print(f"  {kind:<10} {counts[kind]}")
+    counters = snapshot.get("counters", {})
+    for name in ("queue.drops", "tcp.retransmits", "timer.lazy_deferrals"):
+        if name in counters:
+            print(f"  {name:<22} {counters[name]}")
+    print(f"wrote {written} event(s) to {args.out}")
+    print(f"next: repro obs report {args.out}")
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    """``repro obs report``: summarize a trace or metrics snapshot.
+
+    Accepts a JSONL event trace (from ``repro trace`` or a crash dump),
+    a bare metrics-snapshot JSON, or any result/checkpoint JSON with an
+    embedded ``metrics`` dict.  ``--validate`` additionally checks every
+    trace event against the schema before summarizing.
+    """
+    from repro.errors import ObsError
+    from repro.obs import load_report_source, render_report, validate_events
+
+    try:
+        if args.validate:
+            shape, source = load_report_source(args.file)
+            if shape == "trace":
+                validate_events(source)
+                print(f"{len(source)} event(s) validated against the schema")
+        print(render_report(args.file))
+    except ObsError as exc:
+        return _fail(str(exc))
+    except BrokenPipeError:
+        raise  # closed stdout (e.g. `| head`), not a file problem
+    except OSError as exc:
+        return _fail(f"cannot read {args.file!r}: {exc}")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """``repro profile``: cProfile + engine statistics for one scenario.
 
@@ -470,6 +600,103 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
     return 0 if ok else 3
 
 
+def _cmd_bench_obs(args: argparse.Namespace) -> int:
+    """``repro bench --obs``: A/B observability overhead on Figure 1.
+
+    Times the engine scenario with observability fully off and again
+    with full tracing (every event kind, default ring capacity),
+    interleaved best-of-N like the engine mode, and checks that the two
+    runs produced bit-identical experiment results (ignoring the
+    attached metrics snapshot, which only the traced run carries).
+    Exit 3 when tracing costs more than 2x the disabled path or the
+    results diverge.
+    """
+    import dataclasses
+    import json as _json
+    import time as _time
+
+    from repro import obs
+    from repro.experiments.common import run_long_flow_experiment
+    from repro.runner.bench import DEFAULT_ENGINE_PARAMS, _append_to_artifact
+
+    if args.repeats < 1:
+        return _fail(f"--repeats must be >= 1, got {args.repeats}")
+    params = dict(DEFAULT_ENGINE_PARAMS)
+    best = {"disabled": math.inf, "traced": math.inf}
+    fingerprints = {}
+    trace_stats = {"recorded": 0, "buffered": 0}
+
+    def run_once(traced: bool):
+        if traced:
+            obs.enable()
+        try:
+            started = _time.perf_counter()
+            result = run_long_flow_experiment(
+                max_events=getattr(args, "max_events", None),
+                max_wall_seconds=getattr(args, "timeout", None),
+                **params)
+            elapsed = _time.perf_counter() - started
+            if traced:
+                recorder = obs.recorder()
+                trace_stats["recorded"] = recorder.recorded
+                trace_stats["buffered"] = len(recorder)
+        finally:
+            if traced:
+                obs.disable()
+        # Identical-results check: everything but the metrics snapshot,
+        # which by design is only present on the traced run.
+        payload = dataclasses.asdict(result)
+        payload.pop("metrics", None)
+        return elapsed, _json.dumps(payload, sort_keys=True, default=repr)
+
+    try:
+        for traced in (False, True):
+            run_once(traced)  # discarded warmup per mode
+        for _ in range(args.repeats):
+            for traced in (False, True):
+                label = "traced" if traced else "disabled"
+                elapsed, fingerprint = run_once(traced)
+                best[label] = min(best[label], elapsed)
+                fingerprints[label] = fingerprint
+    except (SimulationStalledError, InvariantViolation) as exc:
+        return _abort(exc)
+    except ReproError as exc:
+        return _fail(str(exc))
+
+    ratio = (best["traced"] / best["disabled"]
+             if best["disabled"] > 0 else math.nan)
+    identical = fingerprints["disabled"] == fingerprints["traced"]
+    record = {
+        "benchmark": "obs",
+        "created_at": _time.strftime("%Y-%m-%dT%H:%M:%SZ", _time.gmtime()),
+        "scenario": "long-lived flows (Figure 1)",
+        "params": params,
+        "repeats": args.repeats,
+        "disabled_seconds": best["disabled"],
+        "traced_seconds": best["traced"],
+        "overhead_ratio": ratio,
+        "overhead_budget": 2.0,
+        "events_recorded": trace_stats["recorded"],
+        "events_buffered": trace_stats["buffered"],
+        "identical_results": identical,
+        "within_budget": bool(ratio <= 2.0),
+    }
+    output = args.output
+    if output == "BENCH_sweep.json":
+        output = "BENCH_obs.json"  # obs mode gets its own artifact
+    _append_to_artifact(output, record)
+    print(f"observability benchmark: {record['scenario']}, "
+          f"best of {args.repeats} (interleaved)")
+    print(f"  obs disabled: {best['disabled']:.3f}s")
+    print(f"  full tracing: {best['traced']:.3f}s  "
+          f"({trace_stats['recorded']} events recorded)")
+    print(f"  overhead:     {ratio:.2f}x (budget {record['overhead_budget']}x)")
+    verdict = "identical" if identical else "DIVERGED"
+    print(f"  traced results vs disabled: {verdict}")
+    print(f"artifact: {output}")
+    return 0 if identical and record["within_budget"] else 3
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench``: serial-vs-parallel sweep timing + JSON artifact.
 
@@ -477,12 +704,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
     every parallel level reproduced the serial results bit-for-bit, and
     appends the timings to the ``--output`` perf-trajectory artifact.
     ``--engine`` switches to the single-run engine-throughput mode
-    (optimized vs unoptimized hot path, ``BENCH_engine.json``).
+    (optimized vs unoptimized hot path, ``BENCH_engine.json``);
+    ``--obs`` to the observability-overhead A/B mode
+    (``BENCH_obs.json``).
     """
     from repro.runner.bench import build_sweep_grid, run_sweep_benchmark
 
+    if getattr(args, "engine", False) and getattr(args, "obs", False):
+        return _fail("--engine and --obs are mutually exclusive")
     if getattr(args, "engine", False):
         return _cmd_bench_engine(args)
+    if getattr(args, "obs", False):
+        return _cmd_bench_obs(args)
 
     try:
         jobs = [int(x) for x in args.jobs.split(",")]

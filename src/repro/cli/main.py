@@ -188,8 +188,70 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSON file with an events_per_second floor "
                               "(e.g. ci/engine-baseline.json); exit 3 if "
                               "throughput drops >30%% below it (--engine only)")
+    p_bench.add_argument("--obs", action="store_true",
+                         help="A/B observability-overhead mode: time the "
+                              "Figure-1 scenario with tracing fully on vs "
+                              "off; exit 3 if tracing costs more than 2x "
+                              "(BENCH_obs.json)")
     _add_watchdog_args(p_bench)
     p_bench.set_defaults(func=commands.cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a scenario with the flight recorder on and "
+                      "dump the event stream to JSONL")
+    p_trace.add_argument("scenario", nargs="?", default="long",
+                         choices=["long", "short"],
+                         help="scenario to trace (default: long)")
+    p_trace.add_argument("--flows", type=int, default=16,
+                         help="long-lived flow count (long scenario)")
+    p_trace.add_argument("--buffer-factor", type=float, default=1.0,
+                         help="buffer in units of RTTxC/sqrt(n) (default 1.0)")
+    p_trace.add_argument("--buffer-packets", type=int, default=None,
+                         help="absolute buffer in packets (overrides factor; "
+                              "short scenario default: unbounded)")
+    p_trace.add_argument("--pipe", type=float, default=80.0,
+                         help="bandwidth-delay product in packets (default 80)")
+    p_trace.add_argument("--rate", default="10Mbps")
+    p_trace.add_argument("--rtt", default="80ms",
+                         help="round-trip time (short scenario)")
+    p_trace.add_argument("--load", type=float, default=0.8,
+                         help="offered load (short scenario)")
+    p_trace.add_argument("--flow-packets", type=int, default=14,
+                         help="packets per short flow (short scenario)")
+    p_trace.add_argument("--warmup", type=float, default=2.0)
+    p_trace.add_argument("--duration", type=float, default=6.0)
+    p_trace.add_argument("--seed", type=int, default=1)
+    p_trace.add_argument("--out", default="trace.jsonl", metavar="FILE",
+                         help="JSONL output path (default trace.jsonl); also "
+                              "the crash-dump path if the run aborts")
+    p_trace.add_argument("--kinds", default=None, metavar="K1,K2,...",
+                         help="record only these event kinds (default: all); "
+                              'e.g. "drop,cwnd,rto" to skip per-packet '
+                              "enqueues")
+    p_trace.add_argument("--capacity", type=int, default=None, metavar="N",
+                         help="flight-recorder ring size in events "
+                              "(default 65536; oldest events are evicted)")
+    p_trace.add_argument("--flap", default=None, metavar="AT,DURATION",
+                         help='take the bottleneck down mid-run, e.g. "3,1" '
+                              "(long scenario)")
+    p_trace.add_argument("--loss-burst", default=None, metavar="AT,DUR,PROB",
+                         help="random loss burst on the bottleneck queue "
+                              "(long scenario)")
+    _add_watchdog_args(p_trace)
+    p_trace.set_defaults(func=commands.cmd_trace)
+
+    p_obs = sub.add_parser(
+        "obs", help="observability utilities (report on traces/snapshots)")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_report = obs_sub.add_parser(
+        "report", help="summarize a JSONL trace or metrics snapshot")
+    p_report.add_argument("file", help="trace JSONL, metrics-snapshot JSON, "
+                                       "or a result/checkpoint JSON with an "
+                                       "embedded 'metrics' dict")
+    p_report.add_argument("--validate", action="store_true",
+                          help="validate trace events against the event "
+                               "schema before summarizing")
+    p_report.set_defaults(func=commands.cmd_obs_report)
 
     p_profile = sub.add_parser(
         "profile", help="profile a scenario: cProfile hot spots + "

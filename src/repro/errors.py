@@ -22,6 +22,7 @@ __all__ = [
     "PacketPoolError",
     "FaultError",
     "ModelError",
+    "ObsError",
 ]
 
 
@@ -75,3 +76,8 @@ class FaultError(ConfigurationError):
 
 class ModelError(ReproError, ValueError):
     """An analytic model was evaluated outside its domain (e.g. load >= 1)."""
+
+
+class ObsError(ReproError, ValueError):
+    """Observability misuse: invalid metric/recorder configuration, or a
+    trace event that does not conform to the flight-recorder schema."""

@@ -36,6 +36,7 @@ from repro.metrics import (
 from repro.metrics.windows import GaussianFit
 from repro.net import REDQueue, build_dumbbell
 from repro.net.packet import TCP_HEADER_BYTES, pooled_packets
+from repro.obs import runtime as _obs
 from repro.net.queues import DropTailQueue
 from repro.runner.invariants import InvariantMonitor, verify_network
 from repro.sim import RngStreams, Simulator
@@ -87,6 +88,10 @@ class LongFlowResult:
     events_processed: int = 0
     fault_log: Optional[List[Tuple[float, str]]] = None
     window_utilizations: Optional[List[Tuple[float, float]]] = None
+    #: Observability snapshot (repro.obs), None unless obs was enabled.
+    #: Always last and defaulted, so results stay bit-identical (and
+    #: old checkpoints rehydratable) with observability off.
+    metrics: Optional[dict] = None
 
     @property
     def buffer_in_sqrt_units(self) -> float:
@@ -124,6 +129,8 @@ class ShortFlowResult:
     flows_with_loss: int
     events_processed: int = 0
     fault_log: Optional[List[Tuple[float, str]]] = None
+    #: Observability snapshot (repro.obs), None unless obs was enabled.
+    metrics: Optional[dict] = None
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ShortFlowResult":
@@ -252,6 +259,8 @@ def run_long_flow_experiment(
         raise ConfigurationError("need warmup >= 0 and duration > 0")
     streams = RngStreams(seed)
     sim = _make_simulator(optimize, engine_opts)
+    if _obs.enabled:
+        _obs.register_sim(sim)
     rtt_mean = rtt_for_pipe(pipe_packets, bottleneck_rate)
     rtt_rng = streams.stream("rtt")
     lo, hi = rtt_spread
@@ -330,15 +339,22 @@ def run_long_flow_experiment(
                        rng=streams.stream("faults"))
     if check_invariants:
         InvariantMonitor(sim, net, period=invariant_period, t_stop=t_end)
-    with pooled_packets(enabled=optimize):
-        sim.run(until=t_end, max_events=max_events,
-                max_wall_seconds=max_wall_seconds)
-        # Inside the pool scope so an ``on_sim`` observer (profiler,
-        # benchmark) can snapshot the pool as the run actually used it.
-        if on_sim is not None:
-            on_sim(sim)
-    if check_invariants:
-        verify_network(net)
+    try:
+        with pooled_packets(enabled=optimize):
+            sim.run(until=t_end, max_events=max_events,
+                    max_wall_seconds=max_wall_seconds)
+            # Inside the pool scope so an ``on_sim`` observer (profiler,
+            # benchmark) can snapshot the pool as the run actually used it.
+            if on_sim is not None:
+                on_sim(sim)
+        if check_invariants:
+            verify_network(net)
+    except Exception:
+        # Crash/watchdog/invariant failure: flush the flight recorder so
+        # the events leading up to the death survive it.
+        if _obs.enabled:
+            _obs.crash_dump()
+        raise
 
     timeouts = sum(flow.cc.timeouts for flow in workload.flows)
     fast_rtx = sum(flow.sender.fast_retransmits for flow in workload.flows)
@@ -360,6 +376,7 @@ def run_long_flow_experiment(
         events_processed=sim.events_processed,
         fault_log=list(faults.log) if faults is not None else None,
         window_utilizations=list(probe.windows) if probe is not None else None,
+        metrics=_obs.snapshot(sim.now) if _obs.enabled else None,
     )
 
 
@@ -415,6 +432,8 @@ def run_short_flow_experiment(
         raise ConfigurationError(f"load must be in (0, 1), got {load}")
     streams = RngStreams(seed)
     sim = _make_simulator(optimize, engine_opts)
+    if _obs.enabled:
+        _obs.register_sim(sim)
     rate_bps = parse_bandwidth(bottleneck_rate)
     if buffer_packets is None:
         queue_spec = lambda: DropTailQueue(sim, unbounded=True)
@@ -447,13 +466,18 @@ def run_short_flow_experiment(
     if check_invariants:
         InvariantMonitor(sim, net, period=invariant_period, t_stop=t_drain)
     # Drain period so flows that started near t_end can complete.
-    with pooled_packets(enabled=optimize):
-        sim.run(until=t_drain, max_events=max_events,
-                max_wall_seconds=max_wall_seconds)
-        if on_sim is not None:
-            on_sim(sim)
-    if check_invariants:
-        verify_network(net)
+    try:
+        with pooled_packets(enabled=optimize):
+            sim.run(until=t_drain, max_events=max_events,
+                    max_wall_seconds=max_wall_seconds)
+            if on_sim is not None:
+                on_sim(sim)
+        if check_invariants:
+            verify_network(net)
+    except Exception:
+        if _obs.enabled:
+            _obs.crash_dump()
+        raise
 
     return ShortFlowResult(
         load=load,
@@ -466,4 +490,5 @@ def run_short_flow_experiment(
         flows_with_loss=collector.flows_with_loss,
         events_processed=sim.events_processed,
         fault_log=list(faults.log) if faults is not None else None,
+        metrics=_obs.snapshot(sim.now) if _obs.enabled else None,
     )

@@ -25,6 +25,7 @@ from repro.net.interface import Interface
 from repro.net.link import Link
 from repro.net.node import Node, Router
 from repro.net.queues import Queue
+from repro.obs import runtime as _obs
 
 __all__ = [
     "FaultEvent",
@@ -353,3 +354,5 @@ class FaultSchedule:
 
     def _record(self, sim, message: str) -> None:
         self.log.append((sim.now, message))
+        if _obs.enabled:
+            _obs.fault_event(sim, message)

@@ -18,6 +18,7 @@ from heapq import heappush as _heappush
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue, Queue
+from repro.obs import runtime as _obs
 from repro.sim.engine import Event
 
 _new_event = object.__new__
@@ -54,6 +55,9 @@ class Interface:
         # Let the link pull the next packet itself when serialization
         # ends with the queue non-empty (back-to-back fast path).
         link._feed_queue = queue
+        if _obs.enabled and self.name:
+            _obs.label(queue, self.name)
+            _obs.label(link, self.name)
 
     def enqueue(self, packet: Packet) -> bool:
         """Offer a packet for output; returns False if the queue dropped it."""
@@ -93,6 +97,9 @@ class Interface:
                 queue.peak_packets = 1
             if size > queue.peak_bytes:
                 queue.peak_bytes = size
+            if _obs.enabled:
+                # Zero residency: the packet goes straight to the wire.
+                _obs.queue_event("enqueue", queue, packet, 0)
             # Inlined Link.transmit (idle, up, and wired — all just
             # checked), including its inlined sim.schedule.
             sim = link.sim
@@ -132,6 +139,8 @@ class Interface:
                 queue.peak_packets = n
             if bytes_now > queue.peak_bytes:
                 queue.peak_bytes = bytes_now
+            if _obs.enabled:
+                _obs.queue_event("enqueue", queue, packet, n)
             if not link.busy and link.is_up:
                 head = queue.dequeue()
                 if head is not None:

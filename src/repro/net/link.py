@@ -29,6 +29,7 @@ from heapq import heappush as _heappush
 
 from repro.errors import ConfigurationError, RoutingError
 from repro.net.packet import MAX_HOPS, Packet
+from repro.obs import runtime as _obs
 from repro.sim.engine import Event
 from repro.units import parse_bandwidth, parse_time, Quantity
 
@@ -99,6 +100,8 @@ class Link:
         #: Set by the owning Interface: its output queue, so back-to-back
         #: serialization can continue without an idle round-trip.
         self._feed_queue = None
+        if _obs.enabled:
+            _obs.register_link(self)
 
     def serialization_time(self, packet: Packet) -> float:
         """Seconds needed to clock ``packet`` onto the wire."""
@@ -249,6 +252,8 @@ class Link:
         self.is_up = False
         self.down_count += 1
         self._down_since = self.sim.now
+        if _obs.enabled:
+            _obs.link_event("link_down", self)
         if self._serializing is not None:
             event = self._serializing
             packet = event.args[0]
@@ -278,12 +283,16 @@ class Link:
         if self._down_since is not None:
             self.down_time += self.sim.now - self._down_since
             self._down_since = None
+        if _obs.enabled:
+            _obs.link_event("link_up", self)
         if self.on_up is not None:
             self.on_up()
 
     def _count_fault_drop(self, packet: Packet) -> None:
         self.packets_dropped += 1
         self.bytes_dropped += packet.size
+        if _obs.enabled:
+            _obs.link_drop(self, packet)
         packet.release()
 
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ from typing import Callable, Deque, List, Optional
 
 from repro.errors import ConfigurationError, InvariantViolation, QueueError
 from repro.net.packet import Packet, PacketFlags
+from repro.obs import runtime as _obs
 
 __all__ = ["Queue", "DropTailQueue", "REDQueue"]
 
@@ -115,6 +116,8 @@ class Queue:
         # Lifetime drop count surviving reset_stats(), for network-wide
         # conservation checks (repro.runner.invariants).
         self._drops_before_reset = 0
+        if _obs.enabled:
+            _obs.register_queue(self)
 
     # ------------------------------------------------------------------
     # Public interface
@@ -170,6 +173,8 @@ class Queue:
                 self.peak_packets = n
             if bytes_now > self.peak_bytes:
                 self.peak_bytes = bytes_now
+            if _obs.enabled:
+                _obs.queue_event("enqueue", self, packet, n)
             return True
         self._drop(packet)
         return False
@@ -323,6 +328,8 @@ class Queue:
     def _drop(self, packet: Packet) -> None:
         self.drops += 1
         self.bytes_dropped += packet.size
+        if _obs.enabled:
+            _obs.queue_event("drop", self, packet, len(self._items))
         for hook in self._drop_hooks:
             hook(packet)
         # A dropped packet is dead once the hooks have seen it.
@@ -454,6 +461,8 @@ class REDQueue(Queue):
                 # Congestion signal without loss: mark and admit.
                 packet.flags |= _CE
                 self.ecn_marks += 1
+                if _obs.enabled:
+                    _obs.queue_event("mark", self, packet, len(self._items))
                 return True
             self.early_drops += 1
             return False

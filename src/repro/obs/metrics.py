@@ -1,0 +1,231 @@
+"""Typed metrics: counters, gauges, histograms, and the registry.
+
+A :class:`MetricsRegistry` holds two kinds of state:
+
+* **Explicit metrics** — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` objects created by name, for code that wants to
+  record values directly.
+* **Component readers** — ``(kind, label, object, reader)`` entries
+  registered at object construction.  A reader is a plain function
+  mapping the live object to a dict of numeric fields; nothing is
+  accumulated per packet, so registration costs nothing on the hot path
+  and a snapshot always reflects the component's own counters at the
+  moment it is taken.
+
+:meth:`MetricsRegistry.snapshot` renders both into one JSON-able dict.
+Per-component fields appear under ``components`` namespaced as
+``<kind>.<label>``; per-kind aggregates (the sum of each field across
+components of that kind) appear under ``counters`` as
+``<kind>.<field>`` — which is where the canonical names like
+``queue.drops``, ``tcp.retransmits``, ``timer.lazy_deferrals`` and
+``pool.reuse_ratio`` come from.
+
+The registry keeps strong references to registered components; it is
+scoped to one observability window (``obs.enable()`` installs a fresh
+one) so a long-lived process does not accumulate dead simulations.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ObsError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+Reader = Callable[[Any], Dict[str, Any]]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ObsError(f"counter {self.name!r} cannot decrease (inc {n})")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value: set directly or backed by a callable."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ObsError(f"gauge {self.name!r} is callable-backed; cannot set")
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+
+class Histogram:
+    """Fixed-bound bucket histogram (cumulative counts not kept).
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    overflow bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        edges = [float(b) for b in bounds]
+        if not edges or any(b <= a for b, a in zip(edges[1:], edges)):
+            raise ObsError(
+                f"histogram {name!r} needs strictly increasing bounds, "
+                f"got {list(bounds)!r}")
+        self.name = name
+        self.bounds = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "total": self.total, "sum": self.sum}
+
+
+class MetricsRegistry:
+    """Process-wide registry of metrics and component readers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        # (kind, label, component, reader) in registration order.
+        self._components: List[Tuple[str, str, Any, Reader]] = []
+        self._label_counts: Dict[str, int] = {}
+        self._labels: Dict[int, str] = {}
+        self._held: List[Any] = []  # keep labeled objects alive (id stability)
+
+    # ------------------------------------------------------------------
+    # Explicit metrics (get-or-create by name)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name, fn)
+        return metric
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, bounds)
+        return metric
+
+    # ------------------------------------------------------------------
+    # Component registration
+    # ------------------------------------------------------------------
+    def register(self, kind: str, obj: Any, reader: Reader,
+                 label: Optional[str] = None) -> str:
+        """Register a live component; returns its label.
+
+        Called from component constructors while observability is
+        enabled.  The default label is ``<kind><n>`` in registration
+        order; :meth:`relabel` upgrades it once a better name is known
+        (e.g. the owning interface's name).
+        """
+        if label is None:
+            label = self._labels.get(id(obj))
+        if label is None:
+            n = self._label_counts.get(kind, 0) + 1
+            self._label_counts[kind] = n
+            label = f"{kind}{n}"
+        self._labels[id(obj)] = label
+        self._held.append(obj)
+        self._components.append((kind, label, obj, reader))
+        return label
+
+    def next_ordinal(self, kind: str) -> int:
+        """Reserve the next per-kind ordinal.
+
+        Shares the counter behind the default ``<kind><n>`` labels, for
+        callers that want a deterministic ordered label with a nicer
+        prefix (e.g. TCP senders labeled ``flow<n>`` in registration
+        order — a sender's own flow id is a process-global counter and
+        would make labels differ between runs in one process).
+        """
+        n = self._label_counts.get(kind, 0) + 1
+        self._label_counts[kind] = n
+        return n
+
+    def relabel(self, obj: Any, label: str) -> None:
+        """Rename a component (no-op for objects never registered)."""
+        key = id(obj)
+        if key not in self._labels:
+            return
+        self._labels[key] = label
+        self._components = [
+            (kind, label if component is obj else old, component, reader)
+            for kind, old, component, reader in self._components
+        ]
+
+    def label_of(self, obj: Any) -> str:
+        """The component's label, assigning an anonymous one on demand."""
+        label = self._labels.get(id(obj))
+        if label is None:
+            kind = type(obj).__name__.lower()
+            n = self._label_counts.get(kind, 0) + 1
+            self._label_counts[kind] = n
+            label = f"{kind}{n}"
+            self._labels[id(obj)] = label
+            self._held.append(obj)
+        return label
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Render everything into one JSON-able dict.
+
+        ``counters`` holds explicit counters/gauges plus the per-kind
+        aggregates summed across components; ``components`` holds each
+        component's full field dict under ``<kind>.<label>``.
+        """
+        components: Dict[str, Dict[str, Any]] = {}
+        aggregates: Dict[str, float] = {}
+        for kind, label, obj, reader in self._components:
+            fields = reader(obj)
+            components[f"{kind}.{label}"] = fields
+            for field, value in fields.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                name = f"{kind}.{field}"
+                aggregates[name] = aggregates.get(name, 0) + value
+        counters: Dict[str, Any] = dict(sorted(aggregates.items()))
+        for name, counter in self._counters.items():
+            counters[name] = counter.value
+        for name, gauge in self._gauges.items():
+            counters[name] = gauge.value
+        return {
+            "version": 1,
+            "time": now,
+            "counters": counters,
+            "components": components,
+            "histograms": {name: h.to_dict()
+                           for name, h in self._histograms.items()},
+        }

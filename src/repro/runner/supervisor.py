@@ -35,11 +35,13 @@ without taking the sweep down.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import inspect
 import json
 import multiprocessing
 import os
 import pickle
+import subprocess
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -143,6 +145,21 @@ def _checkpoint_default(value: Any) -> Any:
     if callable(to_dict):
         return to_dict()
     return repr(value)
+
+
+def _git_sha() -> Optional[str]:
+    """HEAD of the repository this code runs from, or None outside git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)))
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    sha = proc.stdout.strip()
+    return sha or None
 
 
 def _attempt_cell(fn: Callable[..., Any], params: Dict[str, Any],
@@ -268,10 +285,39 @@ class SweepSupervisor:
                 f"{payload.get('version')!r}")
         return dict(payload.get("cells", {}))
 
+    def _checkpoint_meta(self) -> Dict[str, Any]:
+        """Audit metadata embedded in every checkpoint write.
+
+        Records which code (git SHA) and which supervisor configuration
+        (content hash) produced the cells, plus the current
+        observability snapshot when ``repro.obs`` is enabled.  The field
+        is additive: version stays 1 and :meth:`_load_checkpoint`
+        ignores it, so checkpoints remain loadable in both directions.
+        """
+        from repro.obs import runtime as _obs
+        spec = {
+            "fn": f"{getattr(self.fn, '__module__', '?')}."
+                  f"{getattr(self.fn, '__qualname__', repr(self.fn))}",
+            "max_retries": self.max_retries,
+            "max_events": self.max_events,
+            "max_wall_seconds": self.max_wall_seconds,
+        }
+        config_hash = hashlib.sha256(
+            json.dumps(spec, sort_keys=True).encode("utf-8")).hexdigest()[:16]
+        return {
+            "git_sha": _git_sha(),
+            "config_hash": config_hash,
+            "supervisor": spec,
+            "metrics": _obs.snapshot(),
+            "written_at": time.time(),
+            "written_cells": len(self._cells),
+        }
+
     def _write_checkpoint(self) -> None:
         if not self.checkpoint_path:
             return
-        payload = {"version": 1, "cells": self._cells}
+        payload = {"version": 1, "meta": self._checkpoint_meta(),
+                   "cells": self._cells}
         directory = os.path.dirname(os.path.abspath(self.checkpoint_path))
         # Atomic replace: a sweep killed mid-write never corrupts the
         # checkpoint it would later resume from.

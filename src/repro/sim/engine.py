@@ -202,6 +202,7 @@ class Timer:
         if (sim._lazy_timers and event is not None
                 and event.callback is not None and deadline >= event.time):
             event.time = deadline
+            sim.lazy_deferrals += 1
             return
         if event is not None:
             event.cancel()
@@ -224,6 +225,7 @@ class Timer:
                 # In-place reschedule: the heap entry keyed at (or before)
                 # the old deadline re-keys itself when popped.
                 event.time = deadline
+                sim.lazy_deferrals += 1
                 return
         if event is not None:
             event.cancel()
@@ -289,6 +291,9 @@ class Simulator:
         #: Pending (scheduled, neither cancelled nor dispatched) events.
         self._live = 0
         self.events_processed = 0
+        #: Timer re-arms satisfied by an in-place deadline move (no heap
+        #: push).  Read by repro.obs as ``timer.lazy_deferrals``.
+        self.lazy_deferrals = 0
         #: Largest heap length ever observed (dead entries included).
         self.peak_heap_size = 0
         #: Number of dead-entry compaction passes performed.

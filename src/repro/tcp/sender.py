@@ -19,6 +19,7 @@ from typing import Callable, Dict, Optional, Set
 from repro.errors import ConfigurationError
 from repro.net.node import Host
 from repro.net.packet import Packet, PacketFlags, TCP_HEADER_BYTES
+from repro.obs import runtime as _obs
 from repro.sim.engine import Timer
 from repro.tcp.congestion import CongestionControl, RenoCC
 from repro.tcp.rto import RtoEstimator
@@ -141,6 +142,8 @@ class TcpSender:
         self.fast_retransmits = 0
 
         host.bind(sport, self)
+        if _obs.enabled:
+            _obs.register_sender(self)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -310,9 +313,12 @@ class TcpSender:
         self._ecn_recover = self.snd_nxt
         self._cwr_pending = True
         self.ecn_reductions += 1
+        if _obs.enabled:
+            _obs.cwnd_event(self, self.cc.cwnd, "ecn")
 
     def _handle_new_ack(self, ackno: int) -> None:
         newly_acked = ackno - self.snd_una
+        cwnd_before = self.cc.cwnd if _obs.enabled else -1.0
         self._sample_rtt(ackno)
         self._forget_acked(ackno)
         self.snd_una = ackno
@@ -336,6 +342,11 @@ class TcpSender:
             self.dup_acks = 0
             self.cc.on_ack(newly_acked)
 
+        if cwnd_before >= 0.0 and int(self.cc.cwnd) != int(cwnd_before):
+            # Only whole-packet changes are recorded: per-ACK fractional
+            # congestion-avoidance growth would flood the ring buffer.
+            _obs.cwnd_event(self, self.cc.cwnd, "new_ack")
+
         if self.snd_nxt == self.snd_una:  # flight_size == 0, inlined
             self._cancel_rto()
         else:
@@ -356,16 +367,22 @@ class TcpSender:
             return
         # Third duplicate ACK: loss detected.
         self.fast_retransmits += 1
+        if _obs.enabled:
+            _obs.fast_retx_event(self)
         if self.cc.has_fast_recovery:
             self.in_recovery = True
             self.recover = self.snd_nxt
             self.cc.enter_recovery(self.flight_size)
+            if _obs.enabled:
+                _obs.cwnd_event(self, self.cc.cwnd, "fast_recovery")
             self._retransmit_head()
             self._arm_rto()
             self._try_send()
         else:
             # Tahoe: collapse to slow start and go back to the hole.
             self.cc.on_tahoe_loss(self.flight_size)
+            if _obs.enabled:
+                _obs.cwnd_event(self, self.cc.cwnd, "tahoe_loss")
             self.dup_acks = 0
             self.snd_nxt = self.snd_una
             self._try_send()
@@ -408,6 +425,9 @@ class TcpSender:
         self.dup_acks = 0
         self.cc.on_timeout(self.flight_size)
         self.rto.on_timeout()
+        if _obs.enabled:
+            _obs.rto_event(self)
+            _obs.cwnd_event(self, self.cc.cwnd, "timeout")
         # Go-back-N: treat everything outstanding as lost and resume from
         # the hole.  Cumulative ACKs jump over segments the receiver
         # already buffered, so little is actually resent twice.

@@ -83,6 +83,37 @@ class TestDriftCheckers:
         assert rule_ids(result) == {"REPRO203"}
         assert any("hop guard" in d.message for d in result.diagnostics)
 
+    def test_unmirrored_obs_guard_removal_caught(self, mirror):
+        # The observability guard is part of the mirrored admitted-path
+        # region: deleting it from the inline copy in Interface.enqueue
+        # without touching the canonical Queue.enqueue is exactly the
+        # kind of un-mirrored edit REPRO202 exists to catch.
+        mutate(mirror, "net/interface.py",
+               "            if _obs.enabled:\n"
+               "                _obs.queue_event(\"enqueue\", queue, packet, n)\n",
+               "")
+        result = lint_paths([str(mirror)], select=["REPRO202"])
+        assert rule_ids(result) == {"REPRO202"}
+
+    def test_unmirrored_obs_guard_edit_caught(self, mirror):
+        # Changing the recorded event in one copy only must also trip.
+        mutate(mirror, "net/interface.py",
+               '_obs.queue_event("enqueue", queue, packet, n)',
+               '_obs.queue_event("drop", queue, packet, n)')
+        result = lint_paths([str(mirror)], select=["REPRO202"])
+        assert rule_ids(result) == {"REPRO202"}
+
+    def test_mirrored_obs_guard_edit_is_clean(self, mirror):
+        # The same edit applied to BOTH sides keeps the pair equivalent
+        # — the rule checks mirroring, not the guard's content.
+        for rel, owner in (("net/queues.py", "self"),
+                           ("net/interface.py", "queue")):
+            mutate(mirror, rel,
+                   f'_obs.queue_event("enqueue", {owner}, packet, n)',
+                   f'_obs.queue_event("mark", {owner}, packet, n)')
+        result = lint_paths([str(mirror)], select=["REPRO202"])
+        assert result.diagnostics == []
+
     def test_real_tree_is_clean(self):
         result = lint_paths([str(_SRC / "repro")], select=["REPRO2"])
         assert result.diagnostics == []

@@ -317,3 +317,95 @@ class TestEngineBenchCommand:
         assert "speedup" in out
         assert "identical" in out
         assert out_path.exists()
+
+
+class TestTraceCommand:
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "short", "--kinds", "drop,cwnd", "--capacity", "128",
+             "--out", "t.jsonl", "--seed", "9"])
+        assert args.scenario == "short"
+        assert args.kinds == "drop,cwnd"
+        assert args.capacity == 128
+        assert args.out == "t.jsonl"
+        assert args.seed == 9
+
+    def test_scenario_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "medium"])
+
+    def test_trace_long_smoke(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.jsonl"
+        code, out = run_cli(capsys, "trace", "long", "--flows", "2",
+                            "--pipe", "20", "--buffer-packets", "10",
+                            "--warmup", "0.5", "--duration", "1",
+                            "--out", str(out_path))
+        assert code == 0
+        assert "event(s) recorded" in out
+        assert f"wrote" in out and str(out_path) in out
+        assert out_path.exists()
+        # Observability is off again once the command returns.
+        from repro.obs import runtime
+        assert not runtime.enabled
+
+    def test_unknown_kind_rejected(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "trace", "--kinds", "drop,warp",
+                            "--out", str(tmp_path / "t.jsonl"))
+        assert code == 2
+        assert "warp" in out
+        assert "enqueue" in out  # the valid-kinds list is printed
+
+    def test_bad_capacity_rejected(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "trace", "--capacity", "0",
+                            "--out", str(tmp_path / "t.jsonl"))
+        assert code == 2
+
+
+class TestObsReportCommand:
+    def trace(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.jsonl"
+        code, _ = run_cli(capsys, "trace", "long", "--flows", "2",
+                          "--pipe", "20", "--buffer-packets", "6",
+                          "--warmup", "0.5", "--duration", "1",
+                          "--out", str(out_path))
+        assert code == 0
+        return out_path
+
+    def test_report_on_trace(self, capsys, tmp_path):
+        path = self.trace(capsys, tmp_path)
+        code, out = run_cli(capsys, "obs", "report", str(path))
+        assert code == 0
+        assert "events by kind" in out
+
+    def test_validate_flag(self, capsys, tmp_path):
+        path = self.trace(capsys, tmp_path)
+        code, out = run_cli(capsys, "obs", "report", str(path), "--validate")
+        assert code == 0
+        assert "validated against the schema" in out
+
+    def test_missing_file_is_error(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "obs", "report",
+                            str(tmp_path / "nope.jsonl"))
+        assert code == 2
+
+    def test_garbage_file_is_error(self, capsys, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        code, out = run_cli(capsys, "obs", "report", str(path))
+        assert code == 2
+
+
+class TestObsBenchCommand:
+    def test_parser_flag(self):
+        args = build_parser().parse_args(["bench", "--obs", "--repeats", "1"])
+        assert args.obs
+        assert not args.engine
+
+    def test_engine_and_obs_mutually_exclusive(self, capsys):
+        code, out = run_cli(capsys, "bench", "--engine", "--obs")
+        assert code == 2
+        assert "mutually exclusive" in out
+
+    def test_repeats_validated(self, capsys):
+        code, out = run_cli(capsys, "bench", "--obs", "--repeats", "0")
+        assert code == 2

@@ -1,0 +1,18 @@
+"""Shared fixtures for the observability suite."""
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Observability must be off before and after every test here.
+
+    The module-level flag is process-wide state; a test that enables it
+    and dies mid-way must not leak an active recorder into its
+    neighbours (or into the rest of the tier-1 suite).
+    """
+    runtime.disable()
+    yield
+    runtime.disable()

@@ -1,0 +1,137 @@
+"""Unit tests for repro.obs.metrics: typed metrics and the registry."""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError, ReproError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("drops")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_cannot_decrease(self):
+        c = Counter("drops")
+        with pytest.raises(ObsError, match="cannot decrease"):
+            c.inc(-1)
+        assert c.value == 0
+
+    def test_obs_error_is_a_repro_error(self):
+        # CLI/experiment error handling catches ReproError; obs faults
+        # must flow through the same funnel.
+        assert issubclass(ObsError, ReproError)
+
+
+class TestGauge:
+    def test_settable(self):
+        g = Gauge("depth")
+        assert g.value == 0.0
+        g.set(7.5)
+        assert g.value == 7.5
+
+    def test_callable_backed(self):
+        box = {"v": 1.0}
+        g = Gauge("depth", fn=lambda: box["v"])
+        assert g.value == 1.0
+        box["v"] = 3.0
+        assert g.value == 3.0
+
+    def test_callable_backed_rejects_set(self):
+        g = Gauge("depth", fn=lambda: 1.0)
+        with pytest.raises(ObsError, match="callable-backed"):
+            g.set(2.0)
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        h = Histogram("queue_depth", bounds=[1.0, 10.0, 100.0])
+        for value in (0.5, 1.0, 5.0, 50.0, 1000.0):
+            h.observe(value)
+        # Upper edges are inclusive: a value equal to a bound lands in
+        # that bound's bucket.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.total == 5
+        assert h.sum == pytest.approx(1056.5)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ObsError, match="strictly increasing"):
+            Histogram("bad", bounds=[1.0, 1.0, 2.0])
+        with pytest.raises(ObsError, match="strictly increasing"):
+            Histogram("bad", bounds=[])
+
+    def test_to_dict_roundtrips_json(self):
+        h = Histogram("h", bounds=[1.0, 2.0])
+        h.observe(1.5)
+        payload = json.loads(json.dumps(h.to_dict()))
+        assert payload["counts"] == [0, 1, 0]
+        assert payload["total"] == 1
+
+
+class FakeQueue:
+    """Stand-in component with the counter fields a reader reports."""
+
+    def __init__(self, drops=0, arrivals=0):
+        self.drops = drops
+        self.arrivals = arrivals
+
+
+def fake_reader(q):
+    return {"drops": q.drops, "arrivals": q.arrivals, "completed": False}
+
+
+class TestMetricsRegistry:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        reg.counter("x").inc(3)
+        assert reg.snapshot()["counters"]["x"] == 3
+
+    def test_component_aggregation_sums_per_kind(self):
+        reg = MetricsRegistry()
+        reg.register("queue", FakeQueue(drops=2, arrivals=10), fake_reader)
+        reg.register("queue", FakeQueue(drops=3, arrivals=20), fake_reader)
+        snap = reg.snapshot(now=1.5)
+        assert snap["time"] == 1.5
+        assert snap["counters"]["queue.drops"] == 5
+        assert snap["counters"]["queue.arrivals"] == 30
+        # Booleans are not counters; they stay per-component only.
+        assert "queue.completed" not in snap["counters"]
+        assert snap["components"]["queue.queue1"]["drops"] == 2
+        assert snap["components"]["queue.queue2"]["drops"] == 3
+
+    def test_explicit_label_and_relabel(self):
+        reg = MetricsRegistry()
+        q = FakeQueue()
+        reg.register("queue", q, fake_reader, label="bottleneck")
+        assert "queue.bottleneck" in reg.snapshot()["components"]
+        reg.relabel(q, "bn:fwd")
+        assert "queue.bn:fwd" in reg.snapshot()["components"]
+        assert reg.label_of(q) == "bn:fwd"
+
+    def test_relabel_unregistered_object_is_noop(self):
+        reg = MetricsRegistry()
+        reg.relabel(FakeQueue(), "ghost")
+        assert reg.snapshot()["components"] == {}
+
+    def test_label_of_assigns_anonymous_labels(self):
+        reg = MetricsRegistry()
+        a, b = FakeQueue(), FakeQueue()
+        first, second = reg.label_of(a), reg.label_of(b)
+        assert first != second
+        assert reg.label_of(a) == first  # stable on repeat lookups
+
+    def test_snapshot_is_json_able(self):
+        reg = MetricsRegistry()
+        reg.register("queue", FakeQueue(drops=1), fake_reader)
+        reg.counter("tcp.retransmits").inc(2)
+        reg.histogram("depth", bounds=[1.0, 10.0]).observe(3.0)
+        snap = json.loads(json.dumps(reg.snapshot(now=0.0)))
+        assert snap["version"] == 1
+        assert snap["counters"]["tcp.retransmits"] == 2
+        assert snap["histograms"]["depth"]["total"] == 1

@@ -1,0 +1,72 @@
+"""The zero-cost contract: observability must never change results.
+
+Identical seeds must produce bit-identical experiment results with
+observability on or off — the instrumentation draws no randomness and
+schedules no simulator events, and the only result-visible difference
+is the attached ``metrics`` snapshot itself.
+"""
+
+import dataclasses
+
+from repro import obs
+from repro.experiments.common import (
+    run_long_flow_experiment,
+    run_short_flow_experiment,
+)
+from repro.faults import FaultSchedule, LinkFlap, LossBurst
+from repro.traffic.sizes import FixedSize
+
+LONG = dict(n_flows=6, buffer_packets=8, pipe_packets=40.0,
+            bottleneck_rate="10Mbps", warmup=1.0, duration=3.0, seed=11)
+
+
+def strip_metrics(result):
+    payload = dataclasses.asdict(result)
+    metrics = payload.pop("metrics")
+    return payload, metrics
+
+
+class TestBitIdenticalResults:
+    def test_long_flows(self):
+        baseline, none = strip_metrics(run_long_flow_experiment(**LONG))
+        with obs.observed():
+            observed, metrics = strip_metrics(run_long_flow_experiment(**LONG))
+        assert none is None
+        assert metrics is not None
+        assert observed == baseline
+
+    def test_long_flows_with_faults(self):
+        # Fault emits share the sim's rng-free record path; a faulted
+        # run must stay identical too.
+        faults = dict(LONG)
+
+        def run():
+            schedule = FaultSchedule([
+                LinkFlap(at=1.5, duration=0.3),
+                LossBurst(at=2.5, duration=0.5, probability=0.05),
+            ])
+            return run_long_flow_experiment(faults=schedule, **faults)
+
+        baseline, _ = strip_metrics(run())
+        with obs.observed():
+            observed, _ = strip_metrics(run())
+        assert observed == baseline
+
+    def test_short_flows(self):
+        params = dict(load=0.6, buffer_packets=15, sizes=FixedSize(10),
+                      bottleneck_rate="10Mbps", rtt="40ms",
+                      warmup=1.0, duration=3.0, seed=4)
+        baseline, _ = strip_metrics(run_short_flow_experiment(**params))
+        with obs.observed():
+            observed, _ = strip_metrics(run_short_flow_experiment(**params))
+        assert observed == baseline
+
+    def test_unoptimized_engine_also_identical(self):
+        # The obs guards sit inside the hand-inlined fast paths; the
+        # unoptimized reference engine must agree with itself under
+        # observation just the same.
+        params = dict(LONG, optimize=False)
+        baseline, _ = strip_metrics(run_long_flow_experiment(**params))
+        with obs.observed():
+            observed, _ = strip_metrics(run_long_flow_experiment(**params))
+        assert observed == baseline

@@ -306,3 +306,84 @@ class TestCheckpointing:
         assert outcome.from_checkpoint
         assert isinstance(outcome.result, ShortFlowResult)
         assert outcome.result.utilization == 0.9
+
+
+def double(x):
+    return {"value": x * 2}
+
+
+class TestCheckpointMeta:
+    """The ``meta`` block embedded in every checkpoint write."""
+
+    @staticmethod
+    def read(path):
+        return json.loads((path).read_text())
+
+    def test_meta_records_provenance(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        supervisor = SweepSupervisor(double, checkpoint_path=str(path),
+                                     max_retries=1, max_events=500)
+        supervisor.run(grid=[{"x": 1}, {"x": 2}])
+        payload = self.read(path)
+        assert payload["version"] == 1
+        meta = payload["meta"]
+        spec = meta["supervisor"]
+        assert spec["fn"].endswith(".double")
+        assert spec["max_retries"] == 1
+        assert spec["max_events"] == 500
+        assert spec["max_wall_seconds"] is None
+        # Content hash of the spec: 16 hex chars, stable across writes.
+        assert len(meta["config_hash"]) == 16
+        int(meta["config_hash"], 16)
+        sha = meta["git_sha"]
+        assert sha is None or (len(sha) == 40 and int(sha, 16) >= 0)
+        assert meta["written_cells"] == 2
+        assert meta["written_at"] > 0
+
+    def test_config_hash_tracks_supervisor_spec(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        c = tmp_path / "c.json"
+        SweepSupervisor(double, checkpoint_path=str(a)).run_cell(x=1)
+        SweepSupervisor(double, checkpoint_path=str(b)).run_cell(x=1)
+        SweepSupervisor(double, checkpoint_path=str(c),
+                        max_retries=5).run_cell(x=1)
+        hash_a = self.read(a)["meta"]["config_hash"]
+        assert hash_a == self.read(b)["meta"]["config_hash"]
+        assert hash_a != self.read(c)["meta"]["config_hash"]
+
+    def test_metrics_snapshot_embedded_when_obs_enabled(self, tmp_path):
+        from repro import obs
+
+        path = tmp_path / "sweep.json"
+        supervisor = SweepSupervisor(double, checkpoint_path=str(path))
+        try:
+            with obs.observed():
+                obs.runtime.registry().counter("sweep.test_marker").inc(7)
+                supervisor.run_cell(x=1)
+                metrics = self.read(path)["meta"]["metrics"]
+        finally:
+            obs.disable()
+        assert metrics is not None
+        assert metrics["version"] == 1
+        assert metrics["counters"]["sweep.test_marker"] == 7
+
+    def test_metrics_null_when_obs_disabled(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        SweepSupervisor(double, checkpoint_path=str(path)).run_cell(x=1)
+        assert self.read(path)["meta"]["metrics"] is None
+
+    def test_legacy_checkpoint_without_meta_loads(self, tmp_path):
+        """Pre-meta checkpoints ({version, cells}) must keep resuming."""
+        path = tmp_path / "sweep.json"
+        writer = SweepSupervisor(double, checkpoint_path=str(path))
+        writer.run_cell(x=1)
+        payload = self.read(path)
+        del payload["meta"]
+        path.write_text(json.dumps(payload))
+
+        resumed = SweepSupervisor(double, checkpoint_path=str(path))
+        assert resumed.completed_cells == 1
+        outcome = resumed.run_cell(x=1)
+        assert outcome.from_checkpoint
+        assert outcome.result == {"value": 2}
