@@ -16,6 +16,12 @@ _NOQA_RE = re.compile(
 #: harness, fatal inside the simulator).
 SIM_SCOPE_PACKAGES: Tuple[str, ...] = ("sim", "net", "tcp", "traffic", "faults")
 
+#: Packages implementing the distributed sweep fabric.  Lease expiry and
+#: record identity there must never read the wall clock (REPRO105): an
+#: NTP step would expire every lease at once, and timestamps in records
+#: would break content-addressed identity.
+FABRIC_SCOPE_PACKAGES: Tuple[str, ...] = ("fabric",)
+
 
 class FileContext:
     """One parsed source file plus the metadata rules need.
@@ -64,6 +70,11 @@ class FileContext:
     def in_sim_scope(self) -> bool:
         """Whether this file belongs to the simulation hot packages."""
         return self.in_packages(SIM_SCOPE_PACKAGES)
+
+    @property
+    def in_fabric_scope(self) -> bool:
+        """Whether this file belongs to the distributed sweep fabric."""
+        return self.in_packages(FABRIC_SCOPE_PACKAGES)
 
     # ------------------------------------------------------------------
     # Suppressions

@@ -191,6 +191,67 @@ class WallClockRule(Rule):
 
 
 @register
+class FabricWallClockRule(Rule):
+    """REPRO105: non-monotonic wall-clock read in the sweep fabric."""
+
+    id = "REPRO105"
+    summary = ("wall-clock read (time.time/datetime.now) inside the sweep "
+               "fabric — lease expiry and record identity must use "
+               "time.monotonic()")
+    severity = Severity.ERROR
+
+    def check_file(self, ctx: FileContext, project: Project) -> Iterable[Diagnostic]:
+        if not ctx.in_fabric_scope:
+            return ()
+        tree = ctx.tree
+        assert tree is not None
+        time_aliases = module_aliases(tree, "time")
+        datetime_aliases = module_aliases(tree, "datetime")
+        from_time = {
+            local for local, orig in imported_names(tree, "time").items()
+            if orig in _WALL_CLOCK_TIME_FNS
+        }
+        datetime_classes = set(imported_names(tree, "datetime")) | {"datetime", "date"}
+        out: List[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in from_time:
+                out.append(self.diag(
+                    ctx, node.lineno, node.col_offset,
+                    f"{func.id}() reads the wall clock inside the sweep "
+                    f"fabric; an NTP step would expire every lease at once "
+                    f"— use time.monotonic()"))
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            if (isinstance(base, ast.Name) and base.id in time_aliases
+                    and func.attr in _WALL_CLOCK_TIME_FNS):
+                out.append(self.diag(
+                    ctx, node.lineno, node.col_offset,
+                    f"time.{func.attr}() reads the wall clock inside the "
+                    f"sweep fabric; lease expiry and record framing must "
+                    f"compare time.monotonic() readings, which all "
+                    f"processes on one host share and NTP cannot step"))
+                continue
+            if func.attr in _WALL_CLOCK_DATETIME_FNS:
+                chain = dotted_name(base)
+                if chain is not None:
+                    head = chain.split(".")[0]
+                    tail = chain.split(".")[-1]
+                    if (head in datetime_aliases or head in datetime_classes
+                            or tail in ("datetime", "date")):
+                        out.append(self.diag(
+                            ctx, node.lineno, node.col_offset,
+                            f"{chain}.{func.attr}() reads the wall clock "
+                            f"inside the sweep fabric; use time.monotonic() "
+                            f"for expiry and content hashes for identity"))
+        return out
+
+
+@register
 class SetIterationSchedulingRule(Rule):
     """REPRO104: event scheduling driven by unordered-set iteration."""
 

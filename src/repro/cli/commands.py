@@ -28,6 +28,7 @@ __all__ = [
     "cmd_table",
     "cmd_ablations",
     "cmd_sweep",
+    "cmd_worker",
     "cmd_bench",
     "cmd_trace",
     "cmd_obs_report",
@@ -324,7 +325,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     watchdog budgets, retry-with-reseed on transient failures, and —
     with ``--checkpoint`` — resume of a killed sweep from the last
     completed cell.  ``--jobs N`` fans the grid out over N worker
-    processes; cell results are bit-identical to the serial run.
+    processes; ``--workers N`` instead runs the grid through the
+    crash-tolerant fabric (leased work queue, work stealing, poison
+    quarantine — see ``repro worker``).  Either way, cell results are
+    bit-identical to the serial run.
     """
     import os
 
@@ -349,6 +353,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 pipe_packets=args.pipe, bottleneck_rate=args.rate,
                 warmup=args.warmup, duration=args.duration, seed=args.seed,
             ))
+
+    if getattr(args, "workers", 0):
+        return _cmd_sweep_fabric(args, grid)
 
     try:
         supervisor = SweepSupervisor(
@@ -385,6 +392,69 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"{failures} cell(s) failed after retries")
         return 3
     return 0
+
+
+def _cmd_sweep_fabric(args: argparse.Namespace, grid) -> int:
+    """``repro sweep --workers N``: the crash-tolerant fabric path."""
+    import os
+
+    from repro.errors import FabricError
+    from repro.fabric.supervisor import run_fabric_sweep
+
+    if args.workers < 1:
+        return _fail(f"--workers must be >= 1, got {args.workers}")
+    queue_dir = args.queue_dir
+    if queue_dir is None:
+        queue_dir = ((args.checkpoint + ".queue") if args.checkpoint
+                     else ".repro-queue")
+    print(f"fabric sweep: {len(grid)} cell(s), {args.workers} worker(s), "
+          f"queue {queue_dir}")
+    print(f"  attach more with: repro worker {queue_dir}")
+    print(f"{'flows':>6} {'buffer':>7} {'util%':>7} {'loss%':>7} "
+          f"{'attempts':>8}  source")
+    try:
+        outcomes = run_fabric_sweep(
+            "repro.experiments.common:run_long_flow_experiment",
+            grid,
+            queue_dir=queue_dir,
+            workers=args.workers,
+            checkpoint_path=args.checkpoint,
+            resume=not args.fresh,
+            lease_seconds=args.lease_seconds,
+            max_lease_failures=args.max_lease_failures,
+            max_retries=args.retries,
+            max_events=args.max_events,
+            max_wall_seconds=args.timeout,
+        )
+    except KeyboardInterrupt as exc:
+        print(f"interrupted: {exc}")
+        return 130
+    except (FabricError, ReproError) as exc:
+        return _fail(str(exc))
+    failures = sum(_print_sweep_row(outcome) for outcome in outcomes)
+    quarantine_dir = os.path.join(queue_dir, "quarantine")
+    if failures:
+        print(f"{failures} cell(s) failed after retries "
+              f"(poison-cell records: {quarantine_dir})")
+        return 3
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """``repro worker``: attach one detachable worker to a fabric queue.
+
+    The worker claims/steals leased cells until the queue drains, then
+    exits 0.  SIGTERM/SIGINT drain it gracefully: the in-flight cell
+    finishes and publishes before exit.  Safe to run any number of
+    these on the same queue directory, before, during, or after the
+    owning ``repro sweep --workers`` run.
+    """
+    import os
+
+    name = args.name or f"worker-{os.getpid()}"
+    from repro.fabric.worker import worker_main
+
+    return worker_main(args.queue_dir, name=name, log=print)
 
 
 def _run_traced_scenario(args: argparse.Namespace):

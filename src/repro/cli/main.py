@@ -154,8 +154,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="worker processes; results are bit-identical "
                               "to --jobs 1 (default 1, 0 = all cores)")
+    p_sweep.add_argument("--workers", type=int, default=0, metavar="N",
+                         help="run through the crash-tolerant fabric with N "
+                              "work-stealing worker processes (leased queue, "
+                              "SIGKILL-safe; default 0 = classic pool path)")
+    p_sweep.add_argument("--queue-dir", default=None, metavar="DIR",
+                         help="fabric work-queue directory (default: derived "
+                              "from --checkpoint, or .repro-queue); detached "
+                              "'repro worker' processes may attach to it")
+    p_sweep.add_argument("--lease-seconds", type=float, default=10.0,
+                         help="fabric lease expiry horizon; a worker dead "
+                              "longer than this has its cell stolen "
+                              "(default 10)")
+    p_sweep.add_argument("--max-lease-failures", type=int, default=3,
+                         help="failed leases before a cell is quarantined "
+                              "as poison (default 3)")
     _add_watchdog_args(p_sweep)
     p_sweep.set_defaults(func=commands.cmd_sweep)
+
+    p_worker = sub.add_parser(
+        "worker", help="attach one detachable work-stealing worker to a "
+                       "fabric queue directory (see repro sweep --workers)")
+    p_worker.add_argument("queue_dir", metavar="QUEUE_DIR",
+                          help="queue directory created by repro sweep "
+                               "--workers (contains spec.json)")
+    p_worker.add_argument("--name", default=None,
+                          help="worker name for leases/logs (default: "
+                               "worker-<pid>)")
+    p_worker.set_defaults(func=commands.cmd_worker)
 
     p_bench = sub.add_parser(
         "bench", help="time the standard sweep serial vs parallel and "

@@ -23,6 +23,9 @@ __all__ = [
     "FaultError",
     "ModelError",
     "ObsError",
+    "FabricError",
+    "CorruptRecordError",
+    "LeaseLostError",
 ]
 
 
@@ -81,3 +84,19 @@ class ModelError(ReproError, ValueError):
 class ObsError(ReproError, ValueError):
     """Observability misuse: invalid metric/recorder configuration, or a
     trace event that does not conform to the flight-recorder schema."""
+
+
+class FabricError(ReproError, RuntimeError):
+    """The distributed sweep fabric reached an unusable state (queue
+    protocol violation, unresolvable trial function, spec mismatch)."""
+
+
+class CorruptRecordError(FabricError):
+    """A framed fabric record failed its length/checksum validation —
+    the write was torn (crash mid-write) or the file was damaged."""
+
+
+class LeaseLostError(FabricError):
+    """A worker's lease on a cell expired (or was stolen) while the cell
+    was still executing; the worker must not publish its result as the
+    sole completion."""

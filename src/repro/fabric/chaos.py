@@ -1,0 +1,106 @@
+"""Crash injection for chaos-testing the sweep fabric.
+
+The chaos tests (and the CI distributed-sweep smoke job) must kill
+workers at *protocol-critical* points — inside a completed-cell record
+write, mid-lease-renewal — not just at random instants, and a SIGKILL
+cannot be faked in-process.  Workers therefore call
+:func:`chaos_point` at each named protocol step; when the
+``REPRO_FABRIC_CHAOS`` environment variable arms a matching trigger,
+the process SIGKILLs itself on the spot (no atexit handlers, no
+``finally`` blocks — exactly what a crashed host looks like).
+
+Trigger spec (comma-separated)::
+
+    point[:nth][@worker_index]
+
+* ``point`` — one of :data:`CHAOS_POINTS`.
+* ``nth`` — die on the Nth hit of that point (default 1).
+* ``worker_index`` — only arm for the worker with this spawn index, so
+  a supervisor-wide environment variable can kill one worker while its
+  respawned replacement (a new index) survives.
+
+Examples: ``run@0`` (worker 0 dies during its first cell),
+``complete-pre-rename:2`` (every worker dies inside its second record
+publication), ``renew@1:3`` (worker 1 dies at its third heartbeat).
+
+Production runs leave ``REPRO_FABRIC_CHAOS`` unset; the hook then costs
+one dict lookup.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CHAOS_POINTS", "ENV_VAR", "chaos_point", "parse_spec"]
+
+ENV_VAR = "REPRO_FABRIC_CHAOS"
+
+#: Protocol steps a trigger may name.
+CHAOS_POINTS = frozenset({
+    "claim",                # about to scan the queue for work
+    "run",                  # lease held, trial function about to run
+    "renew",                # heartbeat thread renewing the lease
+    "complete-pre-rename",  # result tempfile durable, not yet published
+    "complete",             # result published, lease not yet released
+})
+
+#: Per-process hit counters, keyed by point name.
+_hits: Dict[str, int] = {}
+
+
+def parse_spec(spec: str) -> List[Tuple[str, int, Optional[int]]]:
+    """Parse a trigger spec into ``(point, nth, worker_index)`` tuples."""
+    triggers = []
+    for raw in spec.split(","):
+        token = raw.strip()
+        if not token:
+            continue
+        worker: Optional[int] = None
+        if "@" in token:
+            token, worker_text = token.split("@", 1)
+            # nth may ride on either side of '@': "renew@1:3" == "renew:3@1"
+            if ":" in worker_text:
+                worker_text, nth_text = worker_text.split(":", 1)
+                token += ":" + nth_text
+            try:
+                worker = int(worker_text)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad chaos worker index in {raw!r}") from exc
+        nth = 1
+        if ":" in token:
+            token, nth_text = token.split(":", 1)
+            try:
+                nth = int(nth_text)
+            except ValueError as exc:
+                raise ConfigurationError(f"bad chaos count in {raw!r}") from exc
+        if token not in CHAOS_POINTS:
+            raise ConfigurationError(
+                f"unknown chaos point {token!r} in {raw!r} "
+                f"(valid: {', '.join(sorted(CHAOS_POINTS))})")
+        if nth < 1:
+            raise ConfigurationError(f"chaos count must be >= 1 in {raw!r}")
+        triggers.append((token, nth, worker))
+    return triggers
+
+
+def chaos_point(point: str, worker_index: Optional[int] = None) -> None:
+    """Die here (SIGKILL) if an armed trigger matches; else no-op."""
+    spec = os.environ.get(ENV_VAR)
+    if not spec:
+        return
+    count = _hits.get(point, 0) + 1
+    _hits[point] = count
+    for armed_point, nth, armed_worker in parse_spec(spec):
+        if armed_point != point:
+            continue
+        if armed_worker is not None and armed_worker != worker_index:
+            continue
+        if count == nth:
+            # SIGKILL ourselves: unconditional, no cleanup — the whole
+            # point is to leave the queue exactly as a crash would.
+            os.kill(os.getpid(), signal.SIGKILL)

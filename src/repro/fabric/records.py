@@ -1,0 +1,170 @@
+"""Framed, atomically-written JSON records for the sweep fabric.
+
+Every durable fabric artifact (queue spec, lease, completed-cell
+record, failure record, quarantine entry, crash dump) is one file in
+this format::
+
+    #repro-fabric v1 len=<payload bytes> sha256=<hex digest>\\n
+    <payload: UTF-8 JSON, exactly len bytes>
+
+The header is written in the same ``write()`` as the payload and the
+file is published by ``rename()`` after an ``fsync`` of both the file
+and its directory, so a reader sees either nothing or a fully-framed
+record.  If a record *is* torn anyway (the filesystem lost the tail on
+power loss, or a chaos test killed a writer with the unsynced tempfile
+already linked in), :func:`read_record` raises
+:class:`~repro.errors.CorruptRecordError` and the caller quarantines
+the file to ``<name>.corrupt`` with :func:`quarantine_corrupt` instead
+of trusting — or crashing on — half a record.
+
+No wall-clock reads here (REPRO105): fabric durability must not depend
+on host time, and record identity is content, not timestamps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import CorruptRecordError
+
+__all__ = [
+    "write_record",
+    "read_record",
+    "quarantine_corrupt",
+    "fsync_directory",
+    "frame",
+    "unframe",
+]
+
+_MAGIC = "#repro-fabric v1 "
+
+
+def frame(payload: Dict[str, Any]) -> bytes:
+    """Serialize ``payload`` with the length+checksum header."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    digest = hashlib.sha256(body).hexdigest()
+    header = f"{_MAGIC}len={len(body)} sha256={digest}\n".encode("ascii")
+    return header + body
+
+
+def unframe(blob: bytes, name: str = "<record>") -> Dict[str, Any]:
+    """Parse and verify a framed record; raise ``CorruptRecordError``."""
+    newline = blob.find(b"\n")
+    if newline < 0 or not blob.startswith(_MAGIC.encode("ascii")):
+        raise CorruptRecordError(f"{name}: missing fabric record header")
+    try:
+        fields = dict(
+            part.split("=", 1)
+            for part in blob[len(_MAGIC):newline].decode("ascii").split())
+        length = int(fields["len"])
+        digest = fields["sha256"]
+    except (KeyError, UnicodeDecodeError, ValueError) as exc:
+        raise CorruptRecordError(f"{name}: unparsable record header") from exc
+    body = blob[newline + 1:]
+    if len(body) != length:
+        raise CorruptRecordError(
+            f"{name}: torn record — header says {length} payload bytes, "
+            f"file holds {len(body)}")
+    actual = hashlib.sha256(body).hexdigest()
+    if actual != digest:
+        raise CorruptRecordError(
+            f"{name}: checksum mismatch — record bytes were damaged "
+            f"(expected sha256 {digest[:12]}…, got {actual[:12]}…)")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except ValueError as exc:
+        raise CorruptRecordError(
+            f"{name}: checksummed payload is not JSON") from exc
+    if not isinstance(payload, dict):
+        raise CorruptRecordError(f"{name}: record payload must be a JSON object")
+    return payload
+
+
+def fsync_directory(directory: str) -> None:
+    """Flush a directory's entry table so a just-renamed file survives
+    power loss.  Best-effort: some filesystems refuse directory fds."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_record(path: str, payload: Dict[str, Any],
+                 exclusive: bool = False,
+                 chaos: Optional[Callable[[], None]] = None) -> bool:
+    """Atomically publish ``payload`` as a framed record at ``path``.
+
+    The record is written to a tempfile in the same directory, fsynced,
+    then linked in — with ``os.link`` + ``O_EXCL`` semantics when
+    ``exclusive`` (lease claims: exactly one writer wins; returns False
+    to the losers) or ``os.rename`` otherwise (last writer wins, which
+    is safe for records whose content is deterministic).  The directory
+    is fsynced after publication so a crash immediately after this call
+    cannot un-happen the write.
+
+    ``chaos`` (tests only) runs after the tempfile is durable but
+    *before* it is published — the window a kill must hit to simulate a
+    torn completion.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".rec.tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(frame(payload))
+            fh.flush()
+            os.fsync(fh.fileno())
+        if chaos is not None:
+            chaos()
+        if exclusive:
+            try:
+                os.link(tmp_path, path)
+            except FileExistsError:
+                return False
+            finally:
+                os.unlink(tmp_path)
+        else:
+            os.replace(tmp_path, path)
+        fsync_directory(directory)
+        return True
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def read_record(path: str) -> Dict[str, Any]:
+    """Load and verify the framed record at ``path``.
+
+    Raises ``OSError`` when the file is missing/unreadable and
+    :class:`CorruptRecordError` when it fails framing validation.
+    """
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    return unframe(blob, name=os.path.basename(path))
+
+
+def quarantine_corrupt(path: str) -> Optional[str]:
+    """Move a corrupt record aside to ``<path>.corrupt`` (atomic).
+
+    Returns the quarantine path, or ``None`` when the file vanished
+    first (another process already quarantined or replaced it).
+    """
+    target = path + ".corrupt"
+    try:
+        os.replace(path, target)
+    except FileNotFoundError:
+        return None
+    fsync_directory(os.path.dirname(os.path.abspath(path)))
+    return target

@@ -55,11 +55,20 @@ def load_report_source(path: str) -> Tuple[str, ReportSource]:
         metrics = payload.get("metrics")
         if isinstance(metrics, dict) and "counters" in metrics:
             return "snapshot", metrics
+        # Sweep checkpoints nest the snapshot one level down, at
+        # meta.metrics (fabric sweeps also merge their lease counters
+        # into it there) — unwrap so `repro obs report <checkpoint>`
+        # audits a distributed run from its artifact alone.
+        meta = payload.get("meta")
+        if isinstance(meta, dict):
+            metrics = meta.get("metrics")
+            if isinstance(metrics, dict) and "counters" in metrics:
+                return "snapshot", metrics
         if "kind" in payload and "t" in payload:
             return "trace", [payload]  # single-event trace
         raise ObsError(
             f"{path}: JSON document has neither a metrics snapshot nor an "
-            f"embedded 'metrics' dict")
+            f"embedded 'metrics' dict (top-level, or under 'meta')")
     events = read_jsonl(path)
     if not events:
         raise ObsError(f"{path}: no events found")
@@ -120,6 +129,9 @@ _HEADLINE = (
     "link.fault_drops", "link.down_count",
     "timer.lazy_deferrals", "sim.events_processed",
     "pool.reuse_ratio",
+    "fabric.completions", "fabric.leases_claimed", "fabric.leases_stolen",
+    "fabric.leases_expired", "fabric.retries", "fabric.quarantined",
+    "fabric.worker_deaths",
 )
 
 

@@ -15,7 +15,9 @@ Table-10-style sweep.  This package closes both holes:
     failure, and JSON checkpointing so a killed sweep resumes from the
     last completed cell.  :meth:`SweepSupervisor.run_parallel` fans a
     grid out over a spawn-safe process pool with bit-identical results
-    and the parent as single checkpoint writer.
+    and the parent as single checkpoint writer.  For crash-tolerant
+    multi-process sweeps (workers that may attach, detach, or be
+    SIGKILLed), see the leased work-queue fabric in :mod:`repro.fabric`.
 :mod:`repro.runner.bench`
     :func:`run_sweep_benchmark` — times the standard sweep serial vs
     parallel and appends the result to a ``BENCH_sweep.json``

@@ -54,8 +54,11 @@ from repro.errors import (
     ReproError,
     SimulationStalledError,
 )
+from repro.fabric.backoff import BackoffPolicy, backoff_stream
+from repro.fabric.records import fsync_directory as _fsync_directory
 
-__all__ = ["SweepSupervisor", "TrialOutcome", "cell_key"]
+__all__ = ["SweepSupervisor", "TrialOutcome", "cell_key",
+           "accepted_params", "budgeted_call"]
 
 #: Stride between derived retry seeds; large and odd so reseeded trials
 #: never collide with neighbouring cells' base seeds.
@@ -164,22 +167,37 @@ def _git_sha() -> Optional[str]:
 
 def _attempt_cell(fn: Callable[..., Any], params: Dict[str, Any],
                   call: Dict[str, Any], max_retries: int,
+                  backoff: Optional[BackoffPolicy] = None,
+                  rng: Optional[Any] = None,
+                  sleep: Callable[[float], None] = time.sleep,
                   ) -> Tuple[Any, int, Optional[str]]:
     """One cell's retry-with-reseed loop: ``(result, attempts, error)``.
 
-    Shared by the serial path and the worker processes, so parallel
-    execution cannot drift from serial semantics.  Transient failures
-    (stalls, invariant violations) are retried under a derived seed;
-    other :class:`~repro.errors.ReproError` s propagate — configuration
-    mistakes never heal with a reseed.
+    Shared by the serial path, the pool workers, and the fabric
+    workers, so no execution mode can drift from serial semantics.
+    Transient failures (stalls, invariant violations) are retried under
+    a derived seed; other :class:`~repro.errors.ReproError` s
+    propagate — configuration mistakes never heal with a reseed.
+
+    Retries are separated by ``backoff`` (bounded exponential delays,
+    jittered by the seeded ``rng``) rather than fired back-to-back: a
+    transient failure caused by contention — a loaded host, a shared
+    queue directory — only clears if the retry waits it out.  The delay
+    never affects the result (seeding is attempt-indexed, not
+    time-based), so ``backoff=None`` in unit tests stays bit-identical.
     """
     last_error: Optional[BaseException] = None
     for attempt in range(max_retries + 1):
         this_call = dict(call)
-        if attempt and "seed" in this_call and isinstance(this_call["seed"], int):
-            # Reseed: a transient failure is usually a pathological
-            # draw; a derived seed gives an independent replicate.
-            this_call["seed"] = params["seed"] + attempt * RESEED_STRIDE
+        if attempt:
+            if backoff is not None:
+                delay = backoff.delay(attempt - 1, rng)
+                if delay > 0:
+                    sleep(delay)
+            if "seed" in this_call and isinstance(this_call["seed"], int):
+                # Reseed: a transient failure is usually a pathological
+                # draw; a derived seed gives an independent replicate.
+                this_call["seed"] = params["seed"] + attempt * RESEED_STRIDE
         try:
             return fn(**this_call), attempt + 1, None
         except TRANSIENT_ERRORS as exc:
@@ -189,6 +207,8 @@ def _attempt_cell(fn: Callable[..., Any], params: Dict[str, Any],
 
 def _run_cell_in_worker(fn: Callable[..., Any], params: Dict[str, Any],
                         call: Dict[str, Any], max_retries: int,
+                        backoff: Optional[BackoffPolicy] = None,
+                        jitter_scope: str = "",
                         ) -> Tuple[Any, int, Optional[str], float]:
     """Worker-side cell execution; module-level so it survives spawn.
 
@@ -197,8 +217,40 @@ def _run_cell_in_worker(fn: Callable[..., Any], params: Dict[str, Any],
     errors propagate through the future to the parent.
     """
     started = time.monotonic()
-    result, attempts, error = _attempt_cell(fn, params, call, max_retries)
+    rng = backoff_stream(jitter_scope) if backoff is not None else None
+    result, attempts, error = _attempt_cell(fn, params, call, max_retries,
+                                            backoff=backoff, rng=rng)
     return result, attempts, error, time.monotonic() - started
+
+
+def accepted_params(fn: Callable) -> Optional[set]:
+    """Parameter names ``fn`` accepts, or None if it takes ``**kwargs``.
+
+    Module-level so fabric workers — which resolve the trial function
+    from a queue spec, with no :class:`SweepSupervisor` in the process —
+    share the exact budget-injection rules of the serial path.
+    """
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):  # builtins, C callables
+        return None
+    for param in sig.parameters.values():
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            return None
+    return set(sig.parameters)
+
+
+def budgeted_call(params: Dict[str, Any], accepted: Optional[set],
+                  max_events: Optional[int],
+                  max_wall_seconds: Optional[float]) -> Dict[str, Any]:
+    """Inject watchdog budgets into a call dict where ``fn`` accepts them."""
+    call = dict(params)
+    for name, value in (("max_events", max_events),
+                        ("max_wall_seconds", max_wall_seconds)):
+        if value is not None and name not in call:
+            if accepted is None or name in accepted:
+                call[name] = value
+    return call
 
 
 class SweepSupervisor:
@@ -228,6 +280,19 @@ class SweepSupervisor:
     deserialize:
         Rehydrates a checkpointed result dict (default: identity, i.e.
         resumed cells yield plain dicts).
+    retry_backoff:
+        :class:`~repro.fabric.backoff.BackoffPolicy` separating the
+        retry-with-reseed attempts of a transiently-failing cell
+        (default: the standard bounded-exponential policy).  ``None``
+        restores back-to-back retries (unit tests).  Jitter draws from
+        a per-cell seeded stream, never the process-global RNG.
+    on_corrupt:
+        What to do when ``resume=True`` meets an unreadable checkpoint:
+        ``"raise"`` (default) keeps the historical loud failure;
+        ``"quarantine"`` moves the damaged file aside to
+        ``<path>.corrupt`` and starts from an empty cell table — the
+        fabric recovery path, where completed-cell records can rebuild
+        what the checkpoint lost.
     """
 
     def __init__(
@@ -240,9 +305,14 @@ class SweepSupervisor:
         max_wall_seconds: Optional[float] = None,
         serialize: Callable[[Any], Any] = _default_serialize,
         deserialize: Optional[Callable[[Any], Any]] = None,
+        retry_backoff: Optional[BackoffPolicy] = BackoffPolicy(),
+        on_corrupt: str = "raise",
     ):
         if max_retries < 0:
             raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
+        if on_corrupt not in ("raise", "quarantine"):
+            raise ConfigurationError(
+                f"on_corrupt must be 'raise' or 'quarantine', got {on_corrupt!r}")
         self.fn = fn
         self.checkpoint_path = checkpoint_path
         self.max_retries = max_retries
@@ -250,11 +320,15 @@ class SweepSupervisor:
         self.max_wall_seconds = max_wall_seconds
         self.serialize = serialize
         self.deserialize = deserialize
-        self._accepted = self._accepted_params(fn)
+        self.retry_backoff = retry_backoff
+        self.on_corrupt = on_corrupt
+        self._accepted = accepted_params(fn)
+        self._fabric_meta: Optional[Dict[str, Any]] = None
         self._cells: Dict[str, Dict[str, Any]] = {}
         if checkpoint_path:
             if resume:
-                self._cells = self._load_checkpoint(checkpoint_path)
+                self._cells = self._load_checkpoint(checkpoint_path,
+                                                    on_corrupt=on_corrupt)
             elif os.path.exists(checkpoint_path):
                 # Discard immediately: leaving the old file on disk
                 # until the first new cell completes would let a crash
@@ -270,19 +344,31 @@ class SweepSupervisor:
     # Checkpoint I/O
     # ------------------------------------------------------------------
     @staticmethod
-    def _load_checkpoint(path: str) -> Dict[str, Dict[str, Any]]:
+    def _load_checkpoint(path: str, on_corrupt: str = "raise",
+                         ) -> Dict[str, Dict[str, Any]]:
         if not os.path.exists(path):
             return {}
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
-        except (OSError, ValueError) as exc:
+            if payload.get("version") != 1:
+                raise ConfigurationError(
+                    f"checkpoint {path!r} has unsupported version "
+                    f"{payload.get('version')!r}")
+        except (OSError, ValueError, ConfigurationError) as exc:
+            if on_corrupt == "quarantine":
+                # Fabric recovery: park the damaged file (evidence for
+                # the postmortem) and resume from nothing — completed
+                # cells still exist as queue records and merge back in.
+                try:
+                    os.replace(path, path + ".corrupt")
+                except OSError:
+                    pass
+                return {}
+            if isinstance(exc, ConfigurationError):
+                raise
             raise ConfigurationError(
                 f"unreadable checkpoint {path!r}: {exc}") from exc
-        if payload.get("version") != 1:
-            raise ConfigurationError(
-                f"checkpoint {path!r} has unsupported version "
-                f"{payload.get('version')!r}")
         return dict(payload.get("cells", {}))
 
     def _checkpoint_meta(self) -> Dict[str, Any]:
@@ -304,7 +390,7 @@ class SweepSupervisor:
         }
         config_hash = hashlib.sha256(
             json.dumps(spec, sort_keys=True).encode("utf-8")).hexdigest()[:16]
-        return {
+        meta = {
             "git_sha": _git_sha(),
             "config_hash": config_hash,
             "supervisor": spec,
@@ -312,6 +398,29 @@ class SweepSupervisor:
             "written_at": time.time(),
             "written_cells": len(self._cells),
         }
+        if self._fabric_meta is not None:
+            # Distributed runs: fabric counters + quarantined cells ride
+            # in the checkpoint so `repro obs report` can audit a sweep
+            # from its artifact alone.  Additive — version stays 1.
+            meta["fabric"] = self._fabric_meta
+            if meta["metrics"] is None:
+                # Fabric counters must survive even with repro.obs
+                # disabled: synthesize the minimal snapshot shape.
+                meta["metrics"] = {
+                    "version": 1,
+                    "counters": {},
+                    "components": {},
+                    "histograms": {},
+                }
+            counters = meta["metrics"].setdefault("counters", {})
+            for name, value in self._fabric_meta.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+        return meta
+
+    def set_fabric_meta(self, meta: Optional[Dict[str, Any]]) -> None:
+        """Attach fabric audit data (counters, quarantine list) to every
+        subsequent checkpoint write.  Used by the fabric supervisor."""
+        self._fabric_meta = meta
 
     def _write_checkpoint(self) -> None:
         if not self.checkpoint_path:
@@ -320,12 +429,19 @@ class SweepSupervisor:
                    "cells": self._cells}
         directory = os.path.dirname(os.path.abspath(self.checkpoint_path))
         # Atomic replace: a sweep killed mid-write never corrupts the
-        # checkpoint it would later resume from.
+        # checkpoint it would later resume from.  fsync the temp file
+        # *before* the rename and the directory *after*: rename-over is
+        # only atomic for data already on disk — without the fsyncs a
+        # power cut can leave the new name pointing at torn bytes, or
+        # quietly undo the rename itself.
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh, default=_checkpoint_default)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp_path, self.checkpoint_path)
+            _fsync_directory(directory)
         except BaseException:
             try:
                 os.unlink(tmp_path)
@@ -361,26 +477,13 @@ class SweepSupervisor:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    @staticmethod
-    def _accepted_params(fn: Callable) -> Optional[set]:
-        """Parameter names ``fn`` accepts, or None if it takes **kwargs."""
-        try:
-            sig = inspect.signature(fn)
-        except (TypeError, ValueError):  # builtins, C callables
-            return None
-        for param in sig.parameters.values():
-            if param.kind is inspect.Parameter.VAR_KEYWORD:
-                return None
-        return set(sig.parameters)
+    # Kept as a static method for back-compat with callers/tests; the
+    # logic lives in the module-level helper shared with fabric workers.
+    _accepted_params = staticmethod(accepted_params)
 
     def _budgeted(self, params: Dict[str, Any]) -> Dict[str, Any]:
-        call = dict(params)
-        for name, value in (("max_events", self.max_events),
-                            ("max_wall_seconds", self.max_wall_seconds)):
-            if value is not None and name not in call:
-                if self._accepted is None or name in self._accepted:
-                    call[name] = value
-        return call
+        return budgeted_call(params, self._accepted,
+                             self.max_events, self.max_wall_seconds)
 
     def run_cell(self, **params: Any) -> TrialOutcome:
         """Run (or resume) one cell; checkpoint it on success."""
@@ -389,8 +492,11 @@ class SweepSupervisor:
         if cached is not None:
             return self._cached_outcome(key, params, cached)
         started = time.monotonic()
+        rng = (backoff_stream(f"cell:{key}")
+               if self.retry_backoff is not None else None)
         result, attempts, error = _attempt_cell(
-            self.fn, params, self._budgeted(params), self.max_retries)
+            self.fn, params, self._budgeted(params), self.max_retries,
+            backoff=self.retry_backoff, rng=rng)
         outcome = TrialOutcome(key=key, params=params, result=result,
                                attempts=attempts, error=error,
                                elapsed_seconds=time.monotonic() - started)
@@ -488,7 +594,8 @@ class SweepSupervisor:
             for key, indices in pending.items():
                 params = grid[indices[0]]
                 future = pool.submit(_run_cell_in_worker, self.fn, params,
-                                     self._budgeted(params), self.max_retries)
+                                     self._budgeted(params), self.max_retries,
+                                     self.retry_backoff, f"cell:{key}")
                 futures[future] = (key, indices)
             try:
                 for future in as_completed(futures):

@@ -1,4 +1,4 @@
-"""Determinism rules: REPRO101-REPRO104 (positive + negative per rule)."""
+"""Determinism rules: REPRO101-REPRO105 (positive + negative per rule)."""
 
 from tests.analysis.conftest import rule_ids
 
@@ -125,3 +125,83 @@ class TestSetIterationScheduling:
             return acc
         """)
         assert "REPRO104" not in rule_ids(result)
+
+
+class TestFabricWallClock:
+    """REPRO105: lease expiry must never read the wall clock.
+
+    The mutation-test pairs below mirror the real bug the rule guards
+    against: swap ``time.monotonic()`` for ``time.time()`` inside the
+    fabric and an NTP step silently expires (or immortalizes) leases.
+    """
+
+    def test_flags_time_time_in_fabric(self, lint_source):
+        result = lint_source("""\
+        import time
+
+
+        def lease_deadline(seconds):
+            return time.time() + seconds
+        """, rel="fabric/fixture.py")
+        assert "REPRO105" in rule_ids(result)
+
+    def test_flags_from_imported_time(self, lint_source):
+        result = lint_source("""\
+        from time import time
+
+
+        def lease_deadline(seconds):
+            return time() + seconds
+        """, rel="fabric/fixture.py")
+        assert "REPRO105" in rule_ids(result)
+
+    def test_flags_datetime_now(self, lint_source):
+        result = lint_source("""\
+        from datetime import datetime
+
+
+        def stamp():
+            return datetime.now().isoformat()
+        """, rel="fabric/fixture.py")
+        assert "REPRO105" in rule_ids(result)
+
+    def test_monotonic_is_the_sanctioned_clock(self, lint_source):
+        result = lint_source("""\
+        import time
+
+
+        def lease_deadline(seconds):
+            return time.monotonic() + seconds
+        """, rel="fabric/fixture.py")
+        assert "REPRO105" not in rule_ids(result)
+
+    def test_monotonic_ns_token_is_clean(self, lint_source):
+        result = lint_source("""\
+        import time
+
+
+        def lease_token(worker):
+            return f"{worker}:{time.monotonic_ns()}"
+        """, rel="fabric/fixture.py")
+        assert "REPRO105" not in rule_ids(result)
+
+    def test_wall_clock_outside_fabric_is_not_105(self, lint_source):
+        result = lint_source("""\
+        import time
+
+
+        def stamp():
+            return time.time()
+        """, rel="cli/fixture.py")
+        assert "REPRO105" not in rule_ids(result)
+
+    def test_real_fabric_sources_are_clean(self):
+        """The shipped fabric must satisfy its own lint rule."""
+        import os
+
+        import repro.fabric
+        from repro.analysis import lint_paths
+
+        fabric_dir = os.path.dirname(repro.fabric.__file__)
+        result = lint_paths([fabric_dir], select=["REPRO105"])
+        assert result.diagnostics == []

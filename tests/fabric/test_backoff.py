@@ -1,0 +1,55 @@
+"""Tests for the shared bounded-exponential backoff policy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.backoff import BackoffPolicy, backoff_stream
+
+
+class TestBackoffPolicy:
+    def test_geometric_growth_without_jitter(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, max_delay=100.0, jitter=0.0)
+        assert [policy.delay(a) for a in range(4)] == [0.1, 0.2, 0.4, 0.8]
+
+    def test_capped_at_max_delay(self):
+        policy = BackoffPolicy(base=1.0, factor=10.0, max_delay=5.0, jitter=0.0)
+        assert policy.delay(50) == 5.0
+
+    def test_huge_attempt_does_not_overflow(self):
+        policy = BackoffPolicy(base=1.0, factor=2.0, max_delay=3.0, jitter=0.0)
+        assert policy.delay(10_000_000) == 3.0
+
+    def test_zero_base_disables_sleeping(self):
+        policy = BackoffPolicy(base=0.0)
+        assert policy.delay(5, backoff_stream("x")) == 0.0
+
+    def test_jitter_stays_in_band(self):
+        policy = BackoffPolicy(base=1.0, factor=1.0, max_delay=1.0, jitter=0.5)
+        rng = backoff_stream("band")
+        for attempt in range(200):
+            delay = policy.delay(attempt, rng)
+            assert 0.5 <= delay <= 1.5
+
+    def test_jitter_is_reproducible_per_scope(self):
+        policy = BackoffPolicy(base=0.5, jitter=0.4)
+        a = [policy.delay(i, backoff_stream("scope-a")) for i in range(5)]
+        a2 = [policy.delay(i, backoff_stream("scope-a")) for i in range(5)]
+        b = [policy.delay(i, backoff_stream("scope-b")) for i in range(5)]
+        assert a == a2          # same scope, same schedule
+        assert a != b           # different scopes desynchronize
+
+    def test_seed_changes_schedule(self):
+        assert (backoff_stream("s", seed=1).random()
+                != backoff_stream("s", seed=2).random())
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base": -0.1}, {"factor": 0.5}, {"max_delay": -1.0},
+        {"jitter": 1.0}, {"jitter": -0.1},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(**kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy().delay(-1)

@@ -61,6 +61,26 @@ class TestLoadReportSource:
         assert shape == "snapshot"
         assert snap == SNAPSHOT
 
+    def test_checkpoint_meta_metrics_unwrapped(self, tmp_path):
+        fabric_snapshot = dict(SNAPSHOT)
+        fabric_snapshot["counters"] = dict(
+            SNAPSHOT["counters"], **{"fabric.completions": 4})
+        checkpoint = {
+            "version": 1,
+            "meta": {"git_sha": None, "metrics": fabric_snapshot},
+            "cells": {},
+        }
+        path = write(tmp_path, "ckpt.json", json.dumps(checkpoint))
+        shape, snap = load_report_source(path)
+        assert shape == "snapshot"
+        assert snap["counters"]["fabric.completions"] == 4
+
+    def test_fabric_counters_are_headline(self, tmp_path):
+        snap = dict(SNAPSHOT)
+        snap["counters"] = {"fabric.leases_stolen": 2, "custom.thing": 1}
+        text = summarize_snapshot(snap)
+        assert text.index("fabric.leases_stolen") < text.index("custom.thing")
+
     def test_empty_file_rejected(self, tmp_path):
         path = write(tmp_path, "empty.json", "  \n")
         with pytest.raises(ObsError, match="empty"):
