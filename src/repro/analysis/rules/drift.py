@@ -1,13 +1,17 @@
 """Fast-path drift rules (REPRO2xx).
 
-The engine-optimization PR hand-inlined three canonical routines into
-the packet hot chain:
+The engine-optimization PRs hand-inlined four canonical routines into
+hot loops:
 
 * ``Simulator.schedule`` — expanded at the link scheduling sites
   (``Link.transmit``, twice in ``Link._end_serialization``) and the
-  cut-through site in ``Interface.enqueue``;
+  cut-through site in ``Interface.enqueue``.  The insert itself is the
+  backend-agnostic ``sim._push(time, event)`` call, so the copies are
+  identical across scheduler backends;
 * ``Queue.enqueue``'s admitted path — copied into ``Interface.enqueue``;
-* ``Node.forward`` — folded into ``Link._deliver``.
+* ``Node.forward`` — folded into ``Link._deliver``;
+* ``_CalendarScheduler.push`` — the calendar-queue insert, copied into
+  the backend's own run loop for the lazy-timer re-key path.
 
 Each copy is correct *today* because it was derived from the canonical
 code and verified by the bit-identical equivalence tests.  It stays
@@ -16,8 +20,9 @@ enforce that mechanically: each inline site is reduced to a normalized
 AST form (alpha-renamed locals, operand holes for the site-specific
 expressions) and compared against the same reduction of the canonical
 definition.  Any asymmetric edit — a new field on ``Event``, a changed
-accounting statement, a different hop-guard — produces an
-error-severity diagnostic, which fails ``repro lint`` and CI.
+accounting statement, a different hop-guard, a bucket-index formula
+tweak — produces an error-severity diagnostic, which fails
+``repro lint`` and CI.
 
 The rules run only when both the canonical module and the inline module
 are part of the linted file set (so ``repro lint tests/`` stays quiet);
@@ -53,34 +58,31 @@ class ScheduleSkeleton(NamedTuple):
     """Normalized form of one inline event-construction sequence.
 
     ``fields`` is the ordered tuple of attributes stored on the fresh
-    ``Event``; the flags record the bookkeeping statements that must
-    accompany every push (heap key shape, live-event accounting, peak
-    tracking).  Site-specific operands (the deadline expression, the
-    callback, the args tuple) are holes — they legitimately differ
-    between sites.
+    ``Event``; ``push_shape`` is the operand shape of the backend-
+    agnostic ``_push(time, event)`` insert; ``live_increment`` records
+    the live-event accounting that must accompany every push.  Site-
+    specific operands (the deadline expression, the callback, the args
+    tuple) are holes — they legitimately differ between sites.  Seq
+    allocation and peak tracking live inside the scheduler backend now,
+    so they are no longer part of the inline contract.
     """
 
     fields: Tuple[str, ...]
-    key_shape: Tuple[str, ...]
+    push_shape: Tuple[str, ...]
     live_increment: bool
-    peak_update: bool
 
     def describe_difference(self, other: "ScheduleSkeleton") -> str:
         parts: List[str] = []
         if self.fields != other.fields:
             parts.append(f"event fields {list(self.fields)} != "
                          f"canonical {list(other.fields)}")
-        if self.key_shape != other.key_shape:
-            parts.append(f"heap key shape {list(self.key_shape)} != "
-                         f"canonical {list(other.key_shape)}")
+        if self.push_shape != other.push_shape:
+            parts.append(f"_push operand shape {list(self.push_shape)} != "
+                         f"canonical {list(other.push_shape)}")
         if self.live_increment != other.live_increment:
             parts.append("live-event increment missing"
                          if not self.live_increment else
                          "live-event increment not in canonical form")
-        if self.peak_update != other.peak_update:
-            parts.append("peak-heap-size update missing"
-                         if not self.peak_update else
-                         "peak-heap-size update not in canonical form")
         return "; ".join(parts) or "structural mismatch"
 
 
@@ -115,29 +117,26 @@ def _event_field_of(stmt: ast.stmt, event_var: str) -> Optional[str]:
     return None
 
 
-def _heappush_key_shape(stmt: ast.stmt, event_var: str) -> Optional[Tuple[str, ...]]:
-    """Normalized heap-key tuple for a ``heappush(heap, (...))`` statement."""
+def _push_call_shape(stmt: ast.stmt, event_var: str) -> Optional[Tuple[str, ...]]:
+    """Normalized operand shape of a ``<owner>._push(time, event)`` call.
+
+    The insert is the bound backend method, so the contract is the call
+    itself (two positional operands: the heap key time and the event),
+    not any particular heap layout.
+    """
     if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
         return None
     call = stmt.value
     func_name = dotted_name(call.func)
-    if func_name is None or func_name.split(".")[-1] not in ("_heappush", "heappush"):
+    if func_name is None or func_name.split(".")[-1] != "_push":
         return None
-    if len(call.args) != 2 or not isinstance(call.args[1], ast.Tuple):
-        return None
+    if call.keywords:
+        return ("kwargs?",)
     shape: List[str] = []
-    for elt in call.args[1].elts:
-        if isinstance(elt, ast.Name) and elt.id == event_var:
+    for position, arg in enumerate(call.args):
+        if isinstance(arg, ast.Name) and arg.id == event_var:
             shape.append("event")
-        elif (isinstance(elt, ast.Call) and isinstance(elt.func, ast.Name)
-              and elt.func.id == "next"):
-            seq_arg = elt.args[0] if elt.args else None
-            seq_name = dotted_name(seq_arg) if seq_arg is not None else None
-            if seq_name is not None and seq_name.split(".")[-1] in ("_seq", "seq"):
-                shape.append("seq")
-            else:
-                shape.append("next(?)")
-        elif isinstance(elt, ast.Name):
+        elif position == 0 and isinstance(arg, ast.Name):
             shape.append("time")
         else:
             shape.append("?")
@@ -151,31 +150,6 @@ def _is_live_increment(stmt: ast.stmt) -> bool:
             and stmt.target.attr == "_live"
             and isinstance(stmt.value, ast.Constant)
             and stmt.value.value == 1)
-
-
-def _is_peak_update(prev: Optional[ast.stmt], stmt: ast.stmt) -> bool:
-    """``n = len(heap)`` followed by ``if n > X.peak_heap_size: ... = n``."""
-    if not isinstance(stmt, ast.If) or stmt.orelse:
-        return False
-    test = stmt.test
-    if not (isinstance(test, ast.Compare) and len(test.ops) == 1
-            and isinstance(test.ops[0], ast.Gt)
-            and isinstance(test.comparators[0], ast.Attribute)
-            and test.comparators[0].attr == "peak_heap_size"):
-        return False
-    if len(stmt.body) != 1 or not isinstance(stmt.body[0], ast.Assign):
-        return False
-    target = stmt.body[0].targets[0]
-    if not (isinstance(target, ast.Attribute)
-            and target.attr == "peak_heap_size"):
-        return False
-    # The guard variable must be a fresh len() of the heap.
-    if not (isinstance(prev, ast.Assign)
-            and isinstance(prev.value, ast.Call)
-            and isinstance(prev.value.func, ast.Name)
-            and prev.value.func.id == "len"):
-        return False
-    return True
 
 
 def _extract_skeletons(body: List[ast.stmt]) -> List[Tuple[int, ScheduleSkeleton]]:
@@ -203,28 +177,22 @@ def _extract_skeletons(body: List[ast.stmt]) -> List[Tuple[int, ScheduleSkeleton
 def _skeleton_after(stmts: List[ast.stmt], index: int,
                     event_var: str) -> ScheduleSkeleton:
     fields: List[str] = []
-    key_shape: Tuple[str, ...] = ()
+    push_shape: Tuple[str, ...] = ()
     live = False
-    peak = False
-    prev: Optional[ast.stmt] = None
     window = stmts[index + 1: index + 14]
     collecting_fields = True
     for stmt in window:
         field = _event_field_of(stmt, event_var)
         if field is not None and collecting_fields:
             fields.append(field)
-            prev = stmt
             continue
         collecting_fields = False
-        shape = _heappush_key_shape(stmt, event_var)
+        shape = _push_call_shape(stmt, event_var)
         if shape is not None:
-            key_shape = shape
+            push_shape = shape
         elif _is_live_increment(stmt):
             live = True
-        elif _is_peak_update(prev, stmt):
-            peak = True
-        prev = stmt
-    return ScheduleSkeleton(tuple(fields), key_shape, live, peak)
+    return ScheduleSkeleton(tuple(fields), push_shape, live)
 
 
 def _canonical_schedule_skeleton(
@@ -525,3 +493,384 @@ class ForwardInlineDriftRule(Rule):
                 f"{inline.describe_difference(canonical)} — apply the "
                 f"same change to both sides")]
         return ()
+
+
+# ----------------------------------------------------------------------
+# _CalendarScheduler.push inlined in its own run loop
+# ----------------------------------------------------------------------
+class CalendarInsertSkeleton(NamedTuple):
+    """Semantic fingerprint of one calendar-queue insert sequence.
+
+    The canonical insert (``_CalendarScheduler.push``) spells operands
+    as ``self._inv_width``-style attributes while the run loop's inline
+    copy uses cached locals, so a normalized-AST prefix comparison
+    cannot work — instead both sides are reduced to the features that
+    define the insert's semantics: the bucket-index formula, the
+    overflow-ladder guard and key shape, the spill counter, the wheel
+    entry shape and cursor-bucket heap discipline, and the occupancy /
+    size accounting.
+    """
+
+    index_formula: str
+    overflow_guard: Tuple[str, str]
+    ladder_key: Tuple[str, ...]
+    spill_counter: bool
+    entry_key: Tuple[str, ...]
+    bucket_select: str
+    active_guard: Tuple[str, str]
+    wheel_increment: bool
+    occupancy_update: bool
+    size_update: bool
+    peak_size_update: bool
+
+    def describe_difference(self, other: "CalendarInsertSkeleton") -> str:
+        labels = (
+            ("index_formula", "bucket-index formula"),
+            ("overflow_guard", "overflow-ladder guard"),
+            ("ladder_key", "ladder key shape"),
+            ("spill_counter", "ladder_spills counter"),
+            ("entry_key", "wheel entry shape"),
+            ("bucket_select", "bucket selection"),
+            ("active_guard", "cursor-bucket heap discipline"),
+            ("wheel_increment", "wheel count increment"),
+            ("occupancy_update", "peak-bucket-occupancy update"),
+            ("size_update", "size increment"),
+            ("peak_size_update", "peak-size update"),
+        )
+        parts: List[str] = []
+        for field, label in labels:
+            mine = getattr(self, field)
+            theirs = getattr(other, field)
+            if mine != theirs:
+                parts.append(f"{label} {mine!r} != canonical {theirs!r}")
+        return "; ".join(parts) or "structural mismatch"
+
+
+def _key_tuple_shape(node: ast.expr) -> Tuple[str, ...]:
+    """Shape of a ``(time, next(seq), event)`` scheduler-entry tuple."""
+    if not isinstance(node, ast.Tuple):
+        return ("?",)
+    shape: List[str] = []
+    seen_name = False
+    for elt in node.elts:
+        if (isinstance(elt, ast.Call) and isinstance(elt.func, ast.Name)
+                and elt.func.id == "next"):
+            seq_arg = elt.args[0] if elt.args else None
+            seq_name = dotted_name(seq_arg) if seq_arg is not None else None
+            if seq_name is not None and seq_name.split(".")[-1] in ("_seq", "seq"):
+                shape.append("seq")
+            else:
+                shape.append("next(?)")
+        elif isinstance(elt, ast.Name):
+            shape.append("event" if seen_name else "time")
+            seen_name = True
+        else:
+            shape.append("?")
+    return tuple(shape)
+
+
+def _floor_index_target(stmt: ast.stmt) -> Optional[Tuple[str, str]]:
+    """``(index_var, formula)`` when ``stmt`` is ``idx = _floor(...)``."""
+    if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)):
+        return None
+    call = stmt.value
+    func_name = dotted_name(call.func)
+    if (func_name is None
+            or func_name.split(".")[-1] not in ("_floor", "floor")
+            or len(call.args) != 1):
+        return None
+    arg = call.args[0]
+    if (isinstance(arg, ast.BinOp) and isinstance(arg.op, ast.Mult)
+            and isinstance(arg.left, (ast.Name, ast.Attribute))
+            and isinstance(arg.right, (ast.Name, ast.Attribute))):
+        formula = "floor(time * inv_width)"
+    else:
+        formula = "floor(?)"
+    return stmt.targets[0].id, formula
+
+
+def _heappush_like(stmt: ast.stmt) -> Optional[ast.Call]:
+    """The call node when ``stmt`` is ``<heappush-alias>(target, entry)``."""
+    if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
+        return None
+    call = stmt.value
+    func_name = dotted_name(call.func)
+    if (func_name is not None
+            and func_name.split(".")[-1] in ("_heappush", "heappush", "push")
+            and len(call.args) == 2):
+        return call
+    return None
+
+
+def _is_counter_increment(stmt: ast.stmt, attr: str) -> bool:
+    return (isinstance(stmt, ast.AugAssign)
+            and isinstance(stmt.op, ast.Add)
+            and isinstance(stmt.target, ast.Attribute)
+            and stmt.target.attr == attr
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value == 1)
+
+
+def _is_peak_guard(stmt: ast.stmt, attr: str) -> bool:
+    """``if <var> > self.<attr>: self.<attr> = <var>``."""
+    if not isinstance(stmt, ast.If) or stmt.orelse:
+        return False
+    test = stmt.test
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Gt)
+            and isinstance(test.comparators[0], ast.Attribute)
+            and test.comparators[0].attr == attr):
+        return False
+    if len(stmt.body) != 1 or not isinstance(stmt.body[0], ast.Assign):
+        return False
+    target = stmt.body[0].targets[0]
+    return isinstance(target, ast.Attribute) and target.attr == attr
+
+
+def _calendar_overflow_branch(
+        body: List[ast.stmt]) -> Tuple[Tuple[str, ...], bool]:
+    ladder_key: Tuple[str, ...] = ()
+    spill = False
+    for stmt in body:
+        call = _heappush_like(stmt)
+        if call is not None:
+            heap_name = dotted_name(call.args[0])
+            if (heap_name is not None
+                    and heap_name.split(".")[-1] in ("_overflow", "overflow")):
+                ladder_key = _key_tuple_shape(call.args[1])
+        elif _is_counter_increment(stmt, "ladder_spills"):
+            spill = True
+    return ladder_key, spill
+
+
+def _calendar_wheel_branch(
+        body: List[ast.stmt],
+        index_var: str) -> Tuple[Tuple[str, ...], str, Tuple[str, str], bool, bool]:
+    entry_key: Tuple[str, ...] = ()
+    bucket_select = ""
+    active_guard: Tuple[str, str] = ("", "")
+    wheel_inc = False
+    occupancy = False
+    entry_var: Optional[str] = None
+    blen_var: Optional[str] = None
+    for stmt in body:
+        if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)):
+            target_name = stmt.targets[0].id
+            value = stmt.value
+            if isinstance(value, ast.Tuple):
+                entry_key = _key_tuple_shape(value)
+                entry_var = target_name
+            elif (isinstance(value, ast.Subscript)
+                    and isinstance(value.slice, ast.BinOp)
+                    and isinstance(value.slice.op, ast.Mod)
+                    and isinstance(value.slice.left, ast.Name)
+                    and value.slice.left.id == index_var):
+                bucket_select = "buckets[idx % nbuckets]"
+            elif (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id == "len"):
+                blen_var = target_name
+        elif isinstance(stmt, ast.If) and not _is_peak_guard(
+                stmt, "peak_bucket_occupancy"):
+            # The cursor-bucket discipline: heappush into the active
+            # (heapified) bucket, plain append everywhere else.
+            test = stmt.test
+            guard = ""
+            if (isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And)
+                    and len(test.values) == 2):
+                active = dotted_name(test.values[0])
+                compare = test.values[1]
+                if (active is not None
+                        and active.split(".")[-1] == "_active"
+                        and isinstance(compare, ast.Compare)
+                        and len(compare.ops) == 1
+                        and isinstance(compare.ops[0], ast.Eq)
+                        and isinstance(compare.comparators[0], ast.Attribute)
+                        and compare.comparators[0].attr == "_cursor"):
+                    guard = "active and idx == cursor"
+            then_action = ""
+            if (len(stmt.body) == 1
+                    and _heappush_like(stmt.body[0]) is not None):
+                call = _heappush_like(stmt.body[0])
+                assert call is not None
+                pushed = call.args[1]
+                if (entry_var is not None and isinstance(pushed, ast.Name)
+                        and pushed.id == entry_var):
+                    then_action = "heappush(bucket, entry)"
+            else_action = ""
+            orelse = stmt.orelse
+            if (len(orelse) == 1 and isinstance(orelse[0], ast.Expr)
+                    and isinstance(orelse[0].value, ast.Call)
+                    and isinstance(orelse[0].value.func, ast.Attribute)
+                    and orelse[0].value.func.attr == "append"):
+                appended = orelse[0].value.args
+                if (entry_var is not None and len(appended) == 1
+                        and isinstance(appended[0], ast.Name)
+                        and appended[0].id == entry_var):
+                    else_action = "bucket.append(entry)"
+            if guard and (then_action or else_action):
+                active_guard = (then_action or "?", else_action or "?")
+        elif _is_counter_increment(stmt, "_wheel_count"):
+            wheel_inc = True
+        elif (_is_peak_guard(stmt, "peak_bucket_occupancy")
+                and blen_var is not None
+                and isinstance(stmt.test, ast.Compare)
+                and isinstance(stmt.test.left, ast.Name)
+                and stmt.test.left.id == blen_var):
+            occupancy = True
+    return entry_key, bucket_select, active_guard, wheel_inc, occupancy
+
+
+def _is_size_increment(stmt: ast.stmt) -> bool:
+    """``size = self._size = self._size + 1`` (chained so both update)."""
+    if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 2):
+        return False
+    first, second = stmt.targets
+    if not (isinstance(first, ast.Name) and isinstance(second, ast.Attribute)
+            and second.attr == "_size"):
+        return False
+    value = stmt.value
+    return (isinstance(value, ast.BinOp) and isinstance(value.op, ast.Add)
+            and isinstance(value.left, ast.Attribute)
+            and value.left.attr == "_size"
+            and isinstance(value.right, ast.Constant)
+            and value.right.value == 1)
+
+
+def _extract_calendar_inserts(
+        body: List[ast.stmt]) -> List[Tuple[int, CalendarInsertSkeleton]]:
+    """Every calendar insert skeleton (with its line) in a statement tree.
+
+    Each sequence is rooted at the ``idx = _floor(...)`` bucket-index
+    assignment; the guard/else pair and the two trailing accounting
+    statements complete it.
+    """
+    found: List[Tuple[int, CalendarInsertSkeleton]] = []
+
+    def scan(stmts: List[ast.stmt]) -> None:
+        for index, stmt in enumerate(stmts):
+            rooted = _floor_index_target(stmt)
+            if rooted is not None:
+                index_var, formula = rooted
+                skeleton = _calendar_skeleton_after(
+                    stmts, index, index_var, formula)
+                if skeleton is not None:
+                    found.append((stmt.lineno, skeleton))
+        for stmt in stmts:
+            for attr in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, attr, None)
+                if isinstance(inner, list) and inner and isinstance(inner[0], ast.stmt):
+                    scan(inner)
+            for handler in getattr(stmt, "handlers", []) or []:
+                scan(handler.body)
+
+    scan(body)
+    return found
+
+
+def _calendar_skeleton_after(
+        stmts: List[ast.stmt], index: int, index_var: str,
+        formula: str) -> Optional[CalendarInsertSkeleton]:
+    if index + 1 >= len(stmts):
+        return None
+    guard = stmts[index + 1]
+    if not isinstance(guard, ast.If):
+        return None
+    test = guard.test
+    overflow_guard = ("?", "?")
+    if (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.left, ast.Name)
+            and test.left.id == index_var
+            and isinstance(test.comparators[0], (ast.Name, ast.Attribute))):
+        bound = dotted_name(test.comparators[0]) or "?"
+        overflow_guard = (_CMPOP_NAMES.get(type(test.ops[0]), "?"),
+                          bound.split(".")[-1])
+    else:
+        # Not the overflow guard — a _floor assignment somewhere else.
+        return None
+    ladder_key, spill = _calendar_overflow_branch(list(guard.body))
+    entry_key, bucket_select, active_guard, wheel_inc, occupancy = (
+        _calendar_wheel_branch(list(guard.orelse), index_var))
+    size_update = False
+    peak_size = False
+    for stmt in stmts[index + 2: index + 5]:
+        if _is_size_increment(stmt):
+            size_update = True
+        elif _is_peak_guard(stmt, "peak_size"):
+            peak_size = True
+    return CalendarInsertSkeleton(
+        index_formula=formula,
+        overflow_guard=overflow_guard,
+        ladder_key=ladder_key,
+        spill_counter=spill,
+        entry_key=entry_key,
+        bucket_select=bucket_select,
+        active_guard=active_guard,
+        wheel_increment=wheel_inc,
+        occupancy_update=occupancy,
+        size_update=size_update,
+        peak_size_update=peak_size,
+    )
+
+
+@register
+class CalendarInsertDriftRule(Rule):
+    """REPRO204: the calendar run loop's inline insert drifted."""
+
+    id = "REPRO204"
+    summary = ("the hand-inlined calendar-queue insert in "
+               "_CalendarScheduler.run_loop no longer matches the "
+               "canonical _CalendarScheduler.push")
+    severity = Severity.ERROR
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        engine_ctx = project.find(_ENGINE_PY)
+        if engine_ctx is None:
+            return ()
+        assert engine_ctx.tree is not None
+        cal_cls = find_class(engine_ctx.tree, "_CalendarScheduler")
+        if cal_cls is None:
+            return [self.diag(
+                engine_ctx, 1, 0,
+                "drift anchor missing: could not locate "
+                "_CalendarScheduler in repro/sim/engine.py — update the "
+                "drift checker if the backend moved or was renamed")]
+        push_fn = find_method(cal_cls, "push")
+        loop_fn = find_method(cal_cls, "run_loop")
+        if push_fn is None or loop_fn is None:
+            where = ("_CalendarScheduler.push" if push_fn is None
+                     else "_CalendarScheduler.run_loop")
+            return [self.diag(
+                engine_ctx, cal_cls.lineno, 0,
+                f"drift anchor missing: could not locate {where} — "
+                f"update the drift checker if it moved")]
+        canonical = _extract_calendar_inserts(list(push_fn.body))
+        if len(canonical) != 1:
+            return [self.diag(
+                engine_ctx, push_fn.lineno, 0,
+                f"cannot extract the canonical calendar insert skeleton "
+                f"from _CalendarScheduler.push (found {len(canonical)} "
+                f"candidate(s), expected 1) — the drift checker needs "
+                f"updating alongside the backend")]
+        _, canonical_skel = canonical[0]
+        inline = _extract_calendar_inserts(list(loop_fn.body))
+        if not inline:
+            return [self.diag(
+                engine_ctx, loop_fn.lineno, 0,
+                "cannot find the inlined calendar insert (the lazy-timer "
+                "re-key path) in _CalendarScheduler.run_loop — if the "
+                "inlining was removed, update the drift checker")]
+        out: List[Diagnostic] = []
+        for lineno, skeleton in inline:
+            if skeleton != canonical_skel:
+                out.append(self.diag(
+                    engine_ctx, lineno, 0,
+                    f"inline calendar insert in _CalendarScheduler."
+                    f"run_loop drifted from the canonical push: "
+                    f"{skeleton.describe_difference(canonical_skel)} — "
+                    f"update both sides together (and re-run the cross-"
+                    f"backend equivalence tests)"))
+        return out

@@ -77,6 +77,17 @@ def _parse_faults(args: argparse.Namespace):
     return schedule if len(schedule) else None
 
 
+def _engine_opts(args: argparse.Namespace):
+    """Engine overrides from the ``--scheduler`` flag.
+
+    Returns ``None`` for the default heap backend so the runners take
+    their usual path untouched; the calendar bucket width is derived by
+    the experiment runner from the bottleneck serialization time.
+    """
+    scheduler = getattr(args, "scheduler", "heap")
+    return {"scheduler": scheduler} if scheduler != "heap" else None
+
+
 def cmd_size(args: argparse.Namespace) -> int:
     """``repro size``: apply the paper's sizing rules to a link."""
     try:
@@ -149,6 +160,7 @@ def cmd_simulate_long(args: argparse.Namespace) -> int:
             max_events=getattr(args, "max_events", None),
             max_wall_seconds=getattr(args, "timeout", None),
             utilization_probe_period=1.0 if faults is not None else None,
+            engine_opts=_engine_opts(args),
         )
     except (SimulationStalledError, InvariantViolation) as exc:
         return _abort(exc)
@@ -193,6 +205,7 @@ def cmd_simulate_short(args: argparse.Namespace) -> int:
             seed=args.seed,
             max_events=getattr(args, "max_events", None),
             max_wall_seconds=getattr(args, "timeout", None),
+            engine_opts=_engine_opts(args),
         )
     except (SimulationStalledError, InvariantViolation) as exc:
         return _abort(exc)
@@ -603,6 +616,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
             overrides["n_flows" if key == "flows" else key] = value
     if args.scenario == "short":
         overrides.pop("n_flows", None)  # short flows arrive by load, not count
+    engine_opts = _engine_opts(args)
+    if engine_opts is not None:
+        overrides["engine_opts"] = engine_opts
     try:
         report = profile_scenario(
             scenario=args.scenario, params=overrides,
@@ -649,16 +665,27 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
         return _fail(str(exc))
     print(f"engine benchmark: {record['scenario']}, "
           f"best of {record['repeats']} (interleaved)")
-    print(f"  optimized:    {record['seconds']:.3f}s  "
-          f"{record['events_per_second']:,.0f} events/sec")
+    heap = record["schedulers"]["heap"]
+    cal = record["schedulers"]["calendar"]
     unopt = record["unoptimized"]
+    print(f"  heap:         {heap['seconds']:.3f}s  "
+          f"{heap['events_per_second']:,.0f} events/sec")
+    print(f"  calendar:     {cal['seconds']:.3f}s  "
+          f"{cal['events_per_second']:,.0f} events/sec "
+          f"({cal['speedup_vs_heap']:.2f}x heap; "
+          f"{cal['ladder_spills']} ladder spills, "
+          f"peak bucket {cal['peak_bucket_occupancy']})")
     print(f"  unoptimized:  {unopt['seconds']:.3f}s  "
           f"{unopt['events_per_second']:,.0f} events/sec")
-    print(f"  speedup:      {record['speedup_vs_unoptimized']:.2f}x")
+    print(f"  speedup:      {record['speedup_vs_unoptimized']:.2f}x "
+          f"(heap vs unoptimized)")
     print(f"  peak heap:    {record['peak_heap_size']} entries "
           f"(unoptimized: {unopt['peak_heap_size']})")
+    scenarios = record["identity_scenarios"]
     verdict = "identical" if record["identical_results"] else "DIVERGED"
-    print(f"  optimized results vs unoptimized: {verdict}")
+    detail = ", ".join(f"{name}: {'ok' if ok_ else 'DIVERGED'}"
+                       for name, ok_ in sorted(scenarios.items()))
+    print(f"  cross-arm results: {verdict} ({detail})")
     ok = record["identical_results"]
     if "meets_baseline" in record:
         status = "ok" if record["meets_baseline"] else "REGRESSED"
@@ -666,6 +693,10 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
               f"events/sec (floor {record['regression_floor']:,.0f}): "
               f"{record['speedup_vs_baseline']:.2f}x, {status}")
         ok = ok and record["meets_baseline"]
+        cal_status = "ok" if record["calendar_meets_target"] else "MISSED"
+        print(f"  calendar vs target {record['calendar_target']:,.0f} "
+              f"events/sec: {cal['events_per_second']:,.0f}, {cal_status}")
+        ok = ok and record["calendar_meets_target"]
     print(f"artifact: {output}")
     return 0 if ok else 3
 

@@ -19,6 +19,16 @@ def _add_watchdog_args(parser: argparse.ArgumentParser) -> None:
                         help="abort after this many wall-clock seconds")
 
 
+def _add_scheduler_arg(parser: argparse.ArgumentParser) -> None:
+    """Event-scheduler backend selector (results are bit-identical)."""
+    parser.add_argument("--scheduler", default="heap",
+                        choices=["heap", "calendar"],
+                        help="event-scheduler backend (default heap); "
+                             "calendar uses array-backed buckets sized to "
+                             "the bottleneck serialization time — results "
+                             "are bit-identical either way")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the full argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -80,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help='random loss burst on the bottleneck queue, '
                              'e.g. "30,5,0.02"')
     _add_watchdog_args(p_long)
+    _add_scheduler_arg(p_long)
     p_long.set_defaults(func=commands.cmd_simulate_long)
 
     p_short = sim_sub.add_parser("short-flows",
@@ -93,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_short.add_argument("--duration", type=float, default=40.0)
     p_short.add_argument("--seed", type=int, default=1)
     _add_watchdog_args(p_short)
+    _add_scheduler_arg(p_short)
     p_short.set_defaults(func=commands.cmd_simulate_short)
 
     p_single = sim_sub.add_parser("single-flow",
@@ -297,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--sort", default="tottime",
                            choices=["tottime", "cumtime", "ncalls"],
                            help="profile sort key (default tottime)")
+    _add_scheduler_arg(p_profile)
     p_profile.set_defaults(func=commands.cmd_profile)
 
     p_lint = sub.add_parser(

@@ -147,17 +147,30 @@ def _make_jitter(rng: random.Random, mean: float) -> Callable[[], float]:
     return lambda: rng.expovariate(1.0 / mean)
 
 
-def _make_simulator(optimize: bool, engine_opts: Optional[dict]) -> Simulator:
+def _make_simulator(optimize: bool, engine_opts: Optional[dict],
+                    bottleneck_rate: Optional[Quantity] = None) -> Simulator:
     """Build the experiment Simulator.
 
     ``optimize=False`` selects the unoptimized reference engine (eager
-    timer cancellation, no heap compaction) used by the equivalence
-    tests; ``engine_opts`` overrides individual engine knobs either way.
+    timer cancellation, no heap compaction, and the canonical checked
+    enqueue/transmit paths instead of the inlined fast paths) used by
+    the equivalence tests; ``engine_opts`` overrides individual engine
+    knobs either way.  When ``engine_opts`` selects the calendar
+    scheduler without fixing a bucket width, the width defaults to the
+    bottleneck serialization time of one experiment packet — the
+    natural event quantum of a packet-level run, so back-to-back
+    departures land in distinct (or at worst adjacent) buckets.
     """
     opts = {} if engine_opts is None else dict(engine_opts)
     if not optimize:
         opts.setdefault("lazy_timers", False)
         opts.setdefault("compaction", False)
+        opts.setdefault("fastpath", False)
+    if (opts.get("scheduler") == "calendar"
+            and "bucket_width" not in opts
+            and bottleneck_rate is not None):
+        opts["bucket_width"] = (
+            PACKET_BYTES * 8.0 / parse_bandwidth(bottleneck_rate))
     return Simulator(**opts)
 
 
@@ -258,7 +271,7 @@ def run_long_flow_experiment(
     if warmup < 0 or duration <= 0:
         raise ConfigurationError("need warmup >= 0 and duration > 0")
     streams = RngStreams(seed)
-    sim = _make_simulator(optimize, engine_opts)
+    sim = _make_simulator(optimize, engine_opts, bottleneck_rate)
     if _obs.enabled:
         _obs.register_sim(sim)
     rtt_mean = rtt_for_pipe(pipe_packets, bottleneck_rate)
@@ -431,7 +444,7 @@ def run_short_flow_experiment(
     if not 0.0 < load < 1.0:
         raise ConfigurationError(f"load must be in (0, 1), got {load}")
     streams = RngStreams(seed)
-    sim = _make_simulator(optimize, engine_opts)
+    sim = _make_simulator(optimize, engine_opts, bottleneck_rate)
     if _obs.enabled:
         _obs.register_sim(sim)
     rate_bps = parse_bandwidth(bottleneck_rate)

@@ -51,7 +51,10 @@ def normal_partial_expectation(a: float, mean: float, std: float) -> float:
     if std <= 0:
         raise ModelError("std must be positive")
     z = (a - mean) / std
-    return (a - mean) * normal_cdf(z) + std * normal_pdf(z)
+    # (a - X)+ is nonnegative, but far in the left tail the two closed-
+    # form terms nearly cancel and rounding can leave a tiny negative
+    # residual (~ -1e-16); clamp so callers can rely on the sign.
+    return max(0.0, (a - mean) * normal_cdf(z) + std * normal_pdf(z))
 
 
 def bisect_increasing(fn: Callable[[float], float], target: float,

@@ -13,8 +13,6 @@ utilization/occupancy/drop data in every figure of the paper.
 
 from __future__ import annotations
 
-from heapq import heappush as _heappush
-
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue, Queue
@@ -53,8 +51,12 @@ class Interface:
         # as they would in a real router whose port lost carrier.
         link.on_up = self._on_link_up
         # Let the link pull the next packet itself when serialization
-        # ends with the queue non-empty (back-to-back fast path).
-        link._feed_queue = queue
+        # ends with the queue non-empty (back-to-back fast path).  A
+        # simulator built with fastpath=False (the honest unoptimized
+        # benchmark arm) leaves this unwired, so serialization always
+        # round-trips through the idle callback and the canonical
+        # dequeue path.
+        link._feed_queue = queue if sim._fastpath else None
         if _obs.enabled and self.name:
             _obs.label(queue, self.name)
             _obs.label(link, self.name)
@@ -64,9 +66,11 @@ class Interface:
         # Inlined Queue.enqueue (never overridden — subclasses customize
         # _admit) followed by the pump: this is the hottest chain in the
         # simulator, one call per forwarded packet.  Runs with fault
-        # injectors active take the full checked path instead.
+        # injectors active — or on a fastpath=False simulator (the
+        # honest unoptimized benchmark arm) — take the full checked
+        # path through the canonical Queue.enqueue instead.
         queue = self.queue
-        if queue._injectors:
+        if queue._injectors or not self.sim._fastpath:
             accepted = queue.enqueue(packet)
             if accepted:
                 link = self.link
@@ -113,12 +117,8 @@ class Interface:
             event.args = (packet,)
             event._sim = sim
             event._cancelled = False
-            heap = sim._heap
-            _heappush(heap, (time, next(sim._seq), event))
+            sim._push(time, event)
             sim._live += 1
-            n = len(heap)
-            if n > sim.peak_heap_size:
-                sim.peak_heap_size = n
             link._serializing = event
             return True
         queue.arrivals += 1

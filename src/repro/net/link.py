@@ -25,8 +25,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from heapq import heappush as _heappush
-
 from repro.errors import ConfigurationError, RoutingError
 from repro.net.packet import MAX_HOPS, Packet
 from repro.obs import runtime as _obs
@@ -38,7 +36,9 @@ __all__ = ["Link"]
 # Nearly every event in a packet-level run is scheduled from this
 # module (serialization end, delivery); the hot sites below inline
 # Simulator.schedule — the delays are known finite and non-negative, so
-# the validation branch and the call frame both drop out.
+# the validation branch and the call frame both drop out.  The insert
+# itself goes through ``sim._push`` (the bound backend method), so the
+# inlining stays agnostic to the heap/calendar scheduler choice.
 _new_event = object.__new__
 
 
@@ -149,19 +149,13 @@ class Link:
         event.args = (packet,)
         event._sim = sim
         event._cancelled = False
-        heap = sim._heap
-        _heappush(heap, (time, next(sim._seq), event))
+        sim._push(time, event)
         sim._live += 1
-        n = len(heap)
-        if n > sim.peak_heap_size:
-            sim.peak_heap_size = n
         self._serializing = event
 
     def _end_serialization(self, packet: Packet) -> None:
         sim = self.sim
         now = sim._now
-        heap = sim._heap
-        seq = sim._seq
         # Inlined sim.schedule(self.delay, self._deliver, packet).
         event = _new_event(Event)
         event.time = time = now + self.delay
@@ -169,11 +163,8 @@ class Link:
         event.args = (packet,)
         event._sim = sim
         event._cancelled = False
-        _heappush(heap, (time, next(seq), event))
+        sim._push(time, event)
         sim._live += 1
-        n = len(heap)
-        if n > sim.peak_heap_size:
-            sim.peak_heap_size = n
         self._propagating[packet.uid] = event
         # Back-to-back fast path: under saturation the queue almost
         # always has a successor, so the transmitter never goes idle —
@@ -199,11 +190,8 @@ class Link:
                 event.args = (head,)
                 event._sim = sim
                 event._cancelled = False
-                _heappush(heap, (time, next(seq), event))
+                sim._push(time, event)
                 sim._live += 1
-                n = len(heap)
-                if n > sim.peak_heap_size:
-                    sim.peak_heap_size = n
                 self._serializing = event
                 return
         self._serializing = None

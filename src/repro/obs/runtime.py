@@ -200,12 +200,20 @@ def _sender_reader(sender: Any) -> Dict[str, Any]:
 
 
 def _sim_reader(sim: Any) -> Dict[str, Any]:
-    return {
+    stats = {
         "events_processed": sim.events_processed,
         "pending": sim.pending(),
+        "scheduler": sim.scheduler,
         "peak_heap_size": sim.peak_heap_size,
         "compactions": sim.compactions,
     }
+    if sim.scheduler == "calendar":
+        # Calendar-backend health: ladder spills say whether the bucket
+        # width matches the event horizon; peak bucket occupancy says
+        # whether events are clumping into a few buckets.
+        stats["ladder_spills"] = sim.ladder_spills
+        stats["peak_bucket_occupancy"] = sim.peak_bucket_occupancy
+    return stats
 
 
 def _timer_reader(sim: Any) -> Dict[str, Any]:

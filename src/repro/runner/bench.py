@@ -145,26 +145,90 @@ def run_sweep_benchmark(
     return record
 
 
+#: The three benchmark arms, in interleave order.  Each arm fully
+#: specifies its engine so the others' optimizations cannot leak in:
+#: ``unoptimized`` turns off lazy timers, compaction, packet pooling
+#: *and* the structural fast paths (``fastpath=False`` routes packets
+#: through the canonical ``Queue.enqueue``/idle-callback chain instead
+#: of the inlined cut-through and back-to-back shortcuts), so it times
+#: what it claims: the reference engine, not a half-optimized hybrid.
+_ENGINE_ARMS: Sequence[Any] = (
+    ("heap", dict(optimize=True, engine_opts=None)),
+    ("calendar", dict(optimize=True, engine_opts={"scheduler": "calendar"})),
+    ("unoptimized", dict(optimize=False, engine_opts=None)),
+)
+
+#: Cheap cross-backend identity scenarios run once per backend on top
+#: of the timed Figure-1 arms: a Figure-7-shaped sweep cell and a
+#: Poisson short-flow run.  Together with Figure 1 they are the
+#: bit-identical acceptance set for the calendar backend.
+_FIGURE7_IDENTITY_PARAMS: Dict[str, Any] = dict(
+    n_flows=8, buffer_packets=18, pipe_packets=50.0,
+    bottleneck_rate="10Mbps", warmup=2.0, duration=4.0, seed=1,
+)
+_SHORT_FLOW_IDENTITY_PARAMS: Dict[str, Any] = dict(
+    load=0.7, buffer_packets=64, flow_packets=14,
+    bottleneck_rate="10Mbps", rtt="40ms", warmup=2.0, duration=6.0, seed=2,
+)
+
+
+def _identity_scenarios() -> Dict[str, Any]:
+    """name -> callable(engine_opts) returning a result fingerprint."""
+    from repro.experiments.common import (
+        run_long_flow_experiment,
+        run_short_flow_experiment,
+    )
+    from repro.traffic.sizes import FixedSize
+
+    def figure7(engine_opts: Optional[Dict[str, Any]]) -> str:
+        return _result_fingerprint(run_long_flow_experiment(
+            engine_opts=engine_opts, **_FIGURE7_IDENTITY_PARAMS))
+
+    def short_flows(engine_opts: Optional[Dict[str, Any]]) -> str:
+        params = dict(_SHORT_FLOW_IDENTITY_PARAMS)
+        sizes = FixedSize(params.pop("flow_packets"))
+        return _result_fingerprint(run_short_flow_experiment(
+            sizes=sizes, engine_opts=engine_opts, **params))
+
+    return {"figure7": figure7, "short_flows": short_flows}
+
+
 def run_engine_benchmark(
     params: Optional[Dict[str, Any]] = None,
     repeats: int = 3,
     baseline_events_per_second: Optional[float] = None,
     baseline_details: Optional[Dict[str, Any]] = None,
     regression_tolerance: float = 0.3,
+    calendar_target_factor: float = 2.0,
     output_path: Optional[str] = DEFAULT_ENGINE_OUTPUT,
 ) -> Dict[str, Any]:
-    """Single-run engine throughput: optimized vs unoptimized hot path.
+    """Engine throughput: heap vs calendar backends vs the reference.
 
-    Runs the Figure-1-shaped scenario ``repeats`` times in each engine
-    mode (after one discarded warmup run per mode) and keeps the
+    Runs the Figure-1-shaped scenario ``repeats`` times in each of three
+    arms (after one discarded warmup run per arm) and keeps the
     *minimum* wall time — the measurement least disturbed by scheduler
-    noise.  The two modes must produce bit-identical results; the record
-    notes whether they did.
+    noise.  The arms are interleaved (heap, calendar, unoptimized,
+    heap, ...) so slow machine phases hit all of them equally and the
+    ratios stay honest:
 
-    ``baseline_events_per_second`` is a committed floor (see
-    ``ci/engine-baseline.json``): the benchmark is flagged as a
-    regression when optimized throughput falls more than
-    ``regression_tolerance`` (default 30%) below it.
+    * ``heap`` — the optimized engine on the binary-heap backend;
+    * ``calendar`` — the optimized engine on the calendar-queue
+      backend, bucket width derived from the bottleneck serialization
+      time;
+    * ``unoptimized`` — the reference engine with *every* optimization
+      off, including the structural fast paths (see ``_ENGINE_ARMS``).
+
+    All three arms must produce bit-identical results on Figure 1; the
+    two backends are additionally checked on a Figure-7-shaped cell and
+    a short-flow scenario (one run each).  ``identical_results`` is the
+    conjunction; ``identity_scenarios`` has the per-scenario verdicts.
+
+    ``baseline_events_per_second`` is a committed floor for the heap
+    backend (see ``ci/engine-baseline.json``): the benchmark is flagged
+    as a regression when heap throughput falls more than
+    ``regression_tolerance`` (default 30%) below it.  The calendar
+    backend is additionally held to ``calendar_target_factor`` (default
+    2x) of the same baseline — the bar the backend exists to clear.
 
     Returns the benchmark record; when ``output_path`` is set it is also
     appended to the artifact's run history (same trajectory format as
@@ -177,34 +241,35 @@ def run_engine_benchmark(
     if not 0.0 <= regression_tolerance < 1.0:
         raise ConfigurationError(
             f"regression_tolerance must be in [0, 1), got {regression_tolerance}")
+    if calendar_target_factor <= 0.0:
+        raise ConfigurationError(
+            f"calendar_target_factor must be > 0, got {calendar_target_factor}")
     params = dict(DEFAULT_ENGINE_PARAMS, **(params or {}))
 
-    # One discarded warmup per mode, then the timed repetitions
-    # *interleaved* (optimized, unoptimized, optimized, ...) so slow
-    # machine phases hit both modes equally and the speedup ratio stays
-    # honest.  Min-of-N per mode discards scheduler noise.
-    modes: Dict[str, Dict[str, Any]] = {}
-    stats_for: Dict[str, Dict[str, Any]] = {"optimized": {}, "unoptimized": {}}
-    best: Dict[str, float] = {"optimized": math.inf, "unoptimized": math.inf}
+    stats_for: Dict[str, Dict[str, Any]] = {label: {} for label, _ in _ENGINE_ARMS}
+    best: Dict[str, float] = {label: math.inf for label, _ in _ENGINE_ARMS}
     fingerprint: Dict[str, Optional[str]] = {}
-    for optimize in (True, False):
-        run_long_flow_experiment(optimize=optimize, **params)  # warmup
+    for _, arm in _ENGINE_ARMS:
+        run_long_flow_experiment(**arm, **params)  # warmup
     for _ in range(repeats):
-        for optimize in (True, False):
-            label = "optimized" if optimize else "unoptimized"
+        for label, arm in _ENGINE_ARMS:
             stats = stats_for[label]
 
             def capture(sim, stats=stats) -> None:
                 stats["events_processed"] = sim.events_processed
                 stats["peak_heap_size"] = sim.peak_heap_size
                 stats["compactions"] = sim.compactions
+                stats["ladder_spills"] = sim.ladder_spills
+                stats["peak_bucket_occupancy"] = sim.peak_bucket_occupancy
 
             started = time.perf_counter()
             result = run_long_flow_experiment(
-                optimize=optimize, on_sim=capture, **params)
+                on_sim=capture, **arm, **params)
             best[label] = min(best[label], time.perf_counter() - started)
             fingerprint[label] = _result_fingerprint(result)
-    for label in ("optimized", "unoptimized"):
+
+    modes: Dict[str, Dict[str, Any]] = {}
+    for label, _ in _ENGINE_ARMS:
         stats = stats_for[label]
         events = stats.get("events_processed", 0)
         seconds = best[label]
@@ -214,30 +279,56 @@ def run_engine_benchmark(
             "events_per_second": events / seconds if seconds > 0 else math.nan,
             "peak_heap_size": stats.get("peak_heap_size", 0),
             "compactions": stats.get("compactions", 0),
+            "ladder_spills": stats.get("ladder_spills", 0),
+            "peak_bucket_occupancy": stats.get("peak_bucket_occupancy", 0),
             "fingerprint": fingerprint.get(label),
         }
 
-    opt, unopt = modes["optimized"], modes["unoptimized"]
-    identical = (opt["fingerprint"] == unopt["fingerprint"]
-                 and opt["fingerprint"] is not None)
-    events_per_second = opt["events_per_second"]
+    heap, cal, unopt = (modes["heap"], modes["calendar"], modes["unoptimized"])
+    identity: Dict[str, bool] = {
+        "figure1": (heap["fingerprint"] is not None
+                    and heap["fingerprint"] == cal["fingerprint"]
+                    and heap["fingerprint"] == unopt["fingerprint"]),
+    }
+    # Cross-backend identity on the other acceptance scenarios (one run
+    # per backend; the engine-mode equivalence is already covered above).
+    for name, scenario in _identity_scenarios().items():
+        identity[name] = (scenario(None)
+                          == scenario({"scheduler": "calendar"}))
+    identical = all(identity.values())
+
+    events_per_second = heap["events_per_second"]
     speedup = (events_per_second / unopt["events_per_second"]
                if unopt["events_per_second"] else math.nan)
+    calendar_speedup = (cal["events_per_second"] / events_per_second
+                        if events_per_second else math.nan)
     record: Dict[str, Any] = {
         "benchmark": "engine",
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "scenario": "long-lived flows (Figure 1)",
         "params": params,
         "repeats": repeats,
-        "events_processed": opt["events_processed"],
+        "events_processed": heap["events_processed"],
         "events_per_second": events_per_second,
-        "seconds": opt["seconds"],
+        "seconds": heap["seconds"],
         "unoptimized": {k: unopt[k] for k in
                         ("seconds", "events_processed",
                          "events_per_second", "peak_heap_size")},
         "speedup_vs_unoptimized": speedup,
-        "peak_heap_size": opt["peak_heap_size"],
-        "compactions": opt["compactions"],
+        "peak_heap_size": heap["peak_heap_size"],
+        "compactions": heap["compactions"],
+        "schedulers": {
+            "heap": {k: heap[k] for k in
+                     ("seconds", "events_per_second",
+                      "peak_heap_size", "compactions")},
+            "calendar": dict(
+                {k: cal[k] for k in
+                 ("seconds", "events_per_second",
+                  "peak_heap_size", "compactions",
+                  "ladder_spills", "peak_bucket_occupancy")},
+                speedup_vs_heap=calendar_speedup),
+        },
+        "identity_scenarios": identity,
         "identical_results": identical,
     }
     if baseline_events_per_second is not None:
@@ -252,6 +343,10 @@ def run_engine_benchmark(
             record["baseline_details"] = baseline_details
         record["regression_floor"] = floor
         record["meets_baseline"] = events_per_second >= floor
+        calendar_target = baseline_events_per_second * calendar_target_factor
+        record["calendar_target"] = calendar_target
+        record["calendar_meets_target"] = (
+            cal["events_per_second"] >= calendar_target)
     if output_path:
         _append_to_artifact(output_path, record)
     return record

@@ -56,6 +56,11 @@ class ProfileReport:
     dead_fraction: float
     pool: Dict[str, Any]
     top_functions: List[Dict[str, Any]]
+    #: Scheduler backend the runs used; calendar-only counters are 0
+    #: under the heap backend.  Defaulted so older callers still build.
+    scheduler: str = "heap"
+    ladder_spills: int = 0
+    peak_bucket_occupancy: int = 0
 
     def format(self) -> str:
         """Human-readable multi-line report."""
@@ -64,11 +69,16 @@ class ProfileReport:
             f"  wall time:      {self.seconds:.3f}s (unprofiled run)",
             f"  events:         {self.events_processed}",
             f"  events/sec:     {self.events_per_second:,.0f}",
+            f"  scheduler:      {self.scheduler}",
             f"  peak heap:      {self.peak_heap_size} entries",
             f"  pending at end: {self.pending_at_end}",
             f"  compactions:    {self.compactions} "
             f"(dead fraction at end: {self.dead_fraction:.3f})",
         ]
+        if self.scheduler == "calendar":
+            lines.append(f"  ladder spills:  {self.ladder_spills} "
+                         f"(peak bucket occupancy: "
+                         f"{self.peak_bucket_occupancy})")
         pool = self.pool
         if pool.get("enabled"):
             acquired = pool.get("acquired", 0)
@@ -137,6 +147,9 @@ def profile_scenario(
         stats["pending_at_end"] = sim.pending()
         stats["compactions"] = sim.compactions
         stats["dead_fraction"] = sim.dead_fraction
+        stats["scheduler"] = sim.scheduler
+        stats["ladder_spills"] = sim.ladder_spills
+        stats["peak_bucket_occupancy"] = sim.peak_bucket_occupancy
         # Snapshot while the run's pooled_packets() scope is still
         # active; the counters are lifetime totals, diffed below.
         stats["pool"] = pool_stats()
@@ -184,4 +197,7 @@ def profile_scenario(
         dead_fraction=stats.get("dead_fraction", 0.0),
         pool=pool,
         top_functions=top_functions,
+        scheduler=stats.get("scheduler", "heap"),
+        ladder_spills=stats.get("ladder_spills", 0),
+        peak_bucket_occupancy=stats.get("peak_bucket_occupancy", 0),
     )

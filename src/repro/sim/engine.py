@@ -1,26 +1,51 @@
 """The discrete-event scheduler.
 
-A :class:`Simulator` owns a virtual clock (float seconds) and a binary
-heap of pending :class:`Event` objects.  Components schedule callbacks
-with :meth:`Simulator.schedule` / :meth:`Simulator.call_at` and the main
-loop dispatches them in timestamp order.  Ties are broken by insertion
-order (FIFO), which keeps packet processing deterministic.
+A :class:`Simulator` owns a virtual clock (float seconds) and a
+pluggable event queue backend.  Components schedule callbacks with
+:meth:`Simulator.schedule` / :meth:`Simulator.call_at` and the main loop
+dispatches them in timestamp order.  Ties are broken by insertion order
+(FIFO), which keeps packet processing deterministic.
+
+Two backends implement the queue contract:
+
+* ``scheduler="heap"`` (default) — a binary heap of ``(time, seq,
+  event)`` tuples: the reference implementation, O(log n) per
+  operation, no tuning knobs.
+* ``scheduler="calendar"`` — a calendar queue: a circular wheel of
+  array-backed buckets, each one ``bucket_width`` seconds wide, plus an
+  overflow *ladder* (a heap) for events beyond the wheel's span.  When
+  the bucket width matches the dominant inter-event quantum — the
+  bottleneck link's serialization time in this workload — inserts and
+  pops are O(1) amortized: same-quantum packet events batch into one
+  bucket append each instead of individual heap sifts.  Only the bucket
+  being drained is heap-ordered; every other bucket is a plain append
+  array.  Long-horizon timers (RTO backoff, fault schedules) spill to
+  the ladder and are redistributed into the wheel when it rotates
+  forward.
+
+Both backends maintain the same global ``(time, seq)`` total order over
+entries — the sequence counter lives in the backend but is allocated in
+identical program order — so dispatch order, including FIFO tie-breaks
+and lazy-timer re-keys, is bit-identical between them.  The equivalence
+is enforced by the cross-backend property suite and the interleaved A/B
+in ``repro bench --engine``.
 
 Design notes
 ------------
-* Cancellation is *lazy*: cancelled events stay in the heap with their
+* Cancellation is *lazy*: cancelled events stay queued with their
   callback detached and are skipped on pop.  The simulator keeps an O(1)
   live-event count, and when dead entries outnumber live ones (past a
-  minimum heap size) the heap is compacted in place.  Compaction filters
+  minimum queue size) the backend compacts in place.  Compaction filters
   entries without touching their ``(time, seq)`` keys, so the eventual
   pop order — and therefore every simulation result — is bit-identical
   with compaction on or off.
 * :class:`Timer` is the facility for the cancel/re-arm churn of TCP
   retransmission and delayed-ACK timers.  Re-arming to a *later*
-  deadline updates the deadline in place instead of pushing a new heap
+  deadline updates the deadline in place instead of pushing a new
   entry; the stale entry re-keys itself lazily when it surfaces.  A
   long-lived flow acking a thousand packets per RTO period costs one
-  heap push per RTO period instead of one per ACK.
+  push per RTO period instead of one per ACK.  This works unchanged on
+  either backend: the deferral touches only ``Event.time``.
 * The loop supports three stop conditions that may be combined: an
   explicit horizon (:meth:`run` ``until=``), event-queue exhaustion, and
   :meth:`stop` called from inside a callback.
@@ -34,9 +59,10 @@ import heapq
 import itertools
 import math
 import time as _wallclock
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 from repro.errors import (
+    ConfigurationError,
     InvariantViolation,
     SchedulingError,
     SimulationError,
@@ -46,10 +72,18 @@ from repro.errors import (
 __all__ = ["Event", "Simulator", "Timer"]
 
 _INF = math.inf
+_floor = math.floor
 # Typed as Any-returning so the hand-inlined constructions below can
 # assign slot attributes without a cast at every site.
 _new_event: Callable[[Any], Any] = object.__new__
 _heappush = heapq.heappush
+_heappop = heapq.heappop
+_heapify = heapq.heapify
+
+#: One queued entry: ``(insert-time key, seq, event)``.  The key is the
+#: deadline at insertion; a lazily-deferred timer moves ``event.time``
+#: later without re-keying the entry.
+_Entry = Tuple[float, int, "Event"]
 
 
 class Event:
@@ -57,12 +91,12 @@ class Event:
 
     Instances are created by :meth:`Simulator.schedule`; user code only
     holds them to :meth:`cancel` pending work (e.g. TCP retransmission
-    timers).  Internally the heap stores ``(time, seq, event)`` tuples
-    so ordering is decided by fast C-level tuple comparison rather than
-    a Python ``__lt__``.
+    timers).  Internally the backends store ``(time, seq, event)``
+    tuples so ordering is decided by fast C-level tuple comparison
+    rather than a Python ``__lt__``.
 
     ``event.time`` is the *authoritative* deadline.  It normally equals
-    the heap key, but a lazily-rescheduled timer moves it later without
+    the entry key, but a lazily-rescheduled timer moves it later without
     re-keying; the run loop re-inserts such entries when they surface.
     """
 
@@ -92,14 +126,13 @@ class Event:
         if sim is not None:
             live = sim._live - 1
             sim._live = live
-            # Compaction is checked here, not in schedule(): dead heap
+            # Compaction is checked here, not in schedule(): dead
             # entries are created only by cancellation, so this is the
             # one place the dead/live ratio can cross the threshold
-            # upward — and schedule() stays a branch shorter.
-            heap = sim._heap
-            n = len(heap)
-            if n - live > live and n >= sim._compact_min:
-                sim._compact()
+            # upward — and schedule() stays a branch shorter.  The
+            # threshold test lives in the backend because only it knows
+            # its raw entry count.
+            sim._sched.note_cancel(live)
 
     @property
     def cancelled(self) -> bool:
@@ -132,17 +165,18 @@ class Event:
 
 
 class Timer:
-    """A re-armable one-shot timer with lazy heap deferral.
+    """A re-armable one-shot timer with lazy deferral.
 
     The classic TCP pattern — cancel the retransmission timer and re-arm
-    it on every ACK — costs a dead heap entry plus an O(log n) push per
-    ACK when done with raw :class:`Event` handles.  A ``Timer`` instead
+    it on every ACK — costs a dead entry plus an O(log n) push per ACK
+    when done with raw :class:`Event` handles.  A ``Timer`` instead
     moves the deadline *in place* whenever the new deadline is no
-    earlier than the current heap position (the common case: RTO
-    restarts always push the deadline forward).  The single heap entry
+    earlier than the current queue position (the common case: RTO
+    restarts always push the deadline forward).  The single entry
     re-keys itself lazily when it surfaces, so a burst of k re-arms
     costs O(1) each plus one push per *expiry period* rather than k
-    pushes.
+    pushes.  The mechanism is backend-agnostic: only ``Event.time``
+    moves, never the entry key.
 
     Re-arming to an earlier deadline falls back to cancel-plus-push, and
     on a simulator constructed with ``lazy_timers=False`` every re-arm
@@ -174,11 +208,18 @@ class Timer:
         return event is not None and event.callback is not None
 
     @property
-    def deadline(self) -> float:
-        """Absolute expiry time, or ``nan`` when disarmed."""
+    def deadline(self) -> Optional[float]:
+        """Absolute expiry time, or ``None`` when disarmed.
+
+        Historically this returned ``nan`` when disarmed, which silently
+        poisoned any ``<`` / ``>=`` comparison at a call site (NaN
+        compares false against everything).  ``None`` makes the same
+        mistake raise a ``TypeError`` instead of corrupting control
+        flow.
+        """
         event = self._event
         if event is None or event.callback is None:
-            return math.nan
+            return None
         return event.time
 
     def arm(self, delay: float, *args: Any) -> None:
@@ -222,7 +263,7 @@ class Timer:
         event = self._event
         if sim._lazy_timers and event is not None and event.callback is not None:
             if deadline >= event.time:
-                # In-place reschedule: the heap entry keyed at (or before)
+                # In-place reschedule: the entry keyed at (or before)
                 # the old deadline re-keys itself when popped.
                 event.time = deadline
                 sim.lazy_deferrals += 1
@@ -243,13 +284,543 @@ class Timer:
         self.callback(*self.args)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        if self.armed:
-            return f"Timer(at t={self.deadline:.6f})"
+        event = self._event
+        if event is not None and event.callback is not None:
+            return f"Timer(at t={event.time:.6f})"
         return "Timer(disarmed)"
 
 
+class _HeapScheduler:
+    """Reference backend: one binary heap of ``(time, seq, event)``.
+
+    This is the engine that every optimization is measured against —
+    no tuning knobs, O(log n) everywhere, and the simplest possible
+    invariants.
+    """
+
+    kind = "heap"
+
+    __slots__ = ("sim", "_heap", "_seq", "_compact_min",
+                 "peak_size", "compactions")
+
+    def __init__(self, sim: "Simulator", compact_min: int) -> None:
+        self.sim = sim
+        self._heap: List[_Entry] = []
+        self._seq = itertools.count()
+        self._compact_min = compact_min
+        #: Largest raw entry count ever observed (dead entries included).
+        self.peak_size = 0
+        #: Number of dead-entry compaction passes performed.
+        self.compactions = 0
+
+    # -- queue contract -------------------------------------------------
+    def push(self, time: float, event: Event) -> None:
+        """Insert ``event`` keyed at ``time`` (callers maintain ``_live``)."""
+        heap = self._heap
+        _heappush(heap, (time, next(self._seq), event))
+        n = len(heap)
+        if n > self.peak_size:
+            self.peak_size = n
+
+    @property
+    def size(self) -> int:
+        """Raw entry count, dead entries included."""
+        return len(self._heap)
+
+    def note_cancel(self, live: int) -> None:
+        """Compact when dead entries outnumber live ones (past the floor)."""
+        n = len(self._heap)
+        if n - live > live and n >= self._compact_min:
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop dead entries in place.
+
+        Entry keys are preserved, so the relative pop order of surviving
+        entries — including FIFO tie-breaks — is untouched; results are
+        bit-identical with compaction on or off.  In-place mutation
+        (slice assignment) keeps the list identity stable for the run
+        loop's cached reference.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if entry[2].callback is not None]
+        _heapify(heap)
+        self.compactions += 1
+
+    def entries(self) -> Iterator[_Entry]:
+        """Every raw entry, in no particular order (diagnostics)."""
+        return iter(self._heap)
+
+    # -- execution ------------------------------------------------------
+    def run_loop(self, horizon: float, limit: int, wall_deadline: float,
+                 max_events: Optional[int],
+                 max_wall_seconds: Optional[float]) -> None:
+        sim = self.sim
+        dispatched = 0
+        try:
+            heap = self._heap
+            pop = _heappop
+            push = _heappush
+            seq = self._seq
+            now = sim._now
+            while heap:
+                # Pop first, push back at the horizon: the give-back
+                # happens at most once per run() call, which is cheaper
+                # than peeking heap[0][0] on every iteration.
+                item = pop(heap)
+                time = item[0]
+                if time > horizon:
+                    push(heap, item)
+                    break
+                event = item[2]
+                callback = event.callback
+                if callback is None:
+                    continue
+                etime = event.time
+                if etime > time:
+                    # Lazily-deferred timer: re-key at its real deadline.
+                    # Not a dispatch — the clock does not advance and the
+                    # event/watchdog counters are untouched, so optimized
+                    # runs process exactly the same events as unoptimized
+                    # ones.
+                    push(heap, (etime, next(seq), event))
+                    continue
+                if time < now:
+                    raise InvariantViolation(
+                        f"virtual clock moved backwards: popped event at "
+                        f"t={time:.9f} with clock at t={now:.9f}"
+                    )
+                sim._now = now = time
+                event.callback = None  # mark as consumed
+                sim._live -= 1
+                dispatched += 1
+                callback(*event.args)
+                # _stopped can only flip inside a callback, so it is
+                # checked here instead of in the loop condition — the
+                # dead-entry and re-key paths skip the load entirely.
+                if sim._stopped:
+                    break
+                if dispatched == limit:
+                    raise SimulationStalledError(
+                        f"watchdog: event budget of {max_events} exhausted at "
+                        f"t={now:.6f} ({len(heap)} events still queued)"
+                    )
+                if (not dispatched & 4095 and wall_deadline
+                        and _wallclock.monotonic() > wall_deadline):
+                    raise SimulationStalledError(
+                        f"watchdog: wall-clock budget of {max_wall_seconds:.1f}s "
+                        f"exhausted at t={now:.6f} after {dispatched} events"
+                    )
+        finally:
+            sim.events_processed += dispatched
+
+    def step(self) -> bool:
+        sim = self.sim
+        heap = self._heap
+        while heap:
+            time, _seq, event = _heappop(heap)
+            if event.callback is None:
+                continue
+            if event.time > time:
+                _heappush(heap, (event.time, next(self._seq), event))
+                continue
+            sim._now = time
+            callback = event.callback
+            event.callback = None
+            args = event.args
+            event.args = ()
+            sim._live -= 1
+            sim.events_processed += 1
+            callback(*args)
+            return True
+        return False
+
+    def peek_time(self) -> Optional[float]:
+        """Authoritative deadline of the next live event (non-mutating).
+
+        A lazily-deferred timer at the top of the heap carries a *stale*
+        key — ``event.time`` is later.  Naively re-keying it here (the
+        way the run loop does) would consume a sequence number earlier
+        than the run loop would have, which can flip FIFO tie-breaks at
+        the deferred deadline: calling ``peek_time()`` from inside a
+        callback could change simulation results.  Instead, stale
+        entries are set aside and restored with their *original* keys —
+        the key set is unchanged, and since ``(time, seq)`` keys are
+        unique, heap-layout differences cannot affect pop order.
+
+        Dead entries at the top are discarded for good (they would be
+        skipped by :meth:`run` anyway); that too is order-neutral.
+        """
+        heap = self._heap
+        stale: List[_Entry] = []
+        best = _INF
+        while heap:
+            entry = heap[0]
+            event = entry[2]
+            if event.callback is None:
+                _heappop(heap)
+                continue
+            etime = event.time
+            if etime > entry[0]:
+                # Deferred timer: its authoritative deadline is a
+                # candidate, but an entry keyed behind it may still be
+                # earlier — keep scanning.
+                stale.append(_heappop(heap))
+                if etime < best:
+                    best = etime
+                continue
+            # First fresh live entry: everything still queued is keyed
+            # later, and authoritative deadlines never precede keys.
+            if entry[0] < best:
+                best = entry[0]
+            break
+        for entry in stale:
+            _heappush(heap, entry)
+        return best if best < _INF else None
+
+
+class _CalendarScheduler:
+    """Calendar-queue backend: bucket wheel plus overflow ladder.
+
+    The wheel covers absolute bucket indices ``[_limit - _nbuckets,
+    _limit)``; an event keyed at ``t`` lands in bucket ``floor(t /
+    width) % _nbuckets``.  Entries beyond the window spill to the
+    ladder — a plain heap — and are redistributed when the wheel
+    rotates past its limit (rebasing jumps straight to the ladder's
+    minimum, so idle gaps cost nothing).
+
+    Buckets are plain Python lists used as append arrays.  Only the
+    bucket the cursor is draining (``_active``) is heap-ordered; a
+    zero-delay insert during its dispatch uses ``heappush``, every
+    other insert is an O(1) ``append``.  Entries are the same ``(time,
+    seq, event)`` tuples as the heap backend with a globally allocated
+    ``seq``, so the total order — and therefore FIFO tie-breaks and the
+    lazy-timer re-key moments — is identical between backends.
+
+    Invariants:
+
+    * every wheel entry's bucket index lies in ``[_cursor, _limit)``
+      (entries are only inserted at or after the current time, and a
+      bucket is fully drained before the cursor advances);
+    * ``_wheel_count`` counts entries resident in buckets (dead ones
+      included), ``_size`` additionally counts the ladder.
+    """
+
+    kind = "calendar"
+
+    __slots__ = ("sim", "_seq", "_width", "_inv_width", "_nbuckets",
+                 "_buckets", "_cursor", "_limit", "_active", "_overflow",
+                 "_wheel_count", "_size", "_compact_min",
+                 "peak_size", "compactions", "ladder_spills",
+                 "peak_bucket_occupancy")
+
+    def __init__(self, sim: "Simulator", compact_min: int,
+                 bucket_width: float, wheel_buckets: int) -> None:
+        if not (bucket_width > 0.0 and math.isfinite(bucket_width)):
+            raise ConfigurationError(
+                f"bucket_width must be a positive finite number of seconds, "
+                f"got {bucket_width!r}")
+        if wheel_buckets < 8:
+            raise ConfigurationError(
+                f"wheel_buckets must be >= 8, got {wheel_buckets}")
+        self.sim = sim
+        self._seq = itertools.count()
+        self._width = bucket_width
+        self._inv_width = 1.0 / bucket_width
+        self._nbuckets = wheel_buckets
+        self._buckets: List[List[_Entry]] = [[] for _ in range(wheel_buckets)]
+        self._cursor = _floor(sim._now * self._inv_width)
+        self._limit = self._cursor + wheel_buckets
+        self._active = False
+        self._overflow: List[_Entry] = []
+        self._wheel_count = 0
+        self._size = 0
+        self._compact_min = compact_min
+        self.peak_size = 0
+        self.compactions = 0
+        #: Inserts that landed beyond the wheel window (ladder pushes).
+        self.ladder_spills = 0
+        #: Largest single-bucket entry count ever observed.
+        self.peak_bucket_occupancy = 0
+
+    # -- queue contract -------------------------------------------------
+    def push(self, time: float, event: Event) -> None:
+        """Insert ``event`` keyed at ``time`` (callers maintain ``_live``).
+
+        This is the canonical calendar insert; the run loop's re-key
+        path carries a hand-inlined copy (REPRO204 guards the pair).
+        """
+        idx = _floor(time * self._inv_width)
+        if idx >= self._limit:
+            _heappush(self._overflow, (time, next(self._seq), event))
+            self.ladder_spills += 1
+        else:
+            entry = (time, next(self._seq), event)
+            bucket = self._buckets[idx % self._nbuckets]
+            if self._active and idx == self._cursor:
+                # Zero-delay insert into the bucket being drained: it
+                # is heap-ordered right now, so keep it a heap.
+                _heappush(bucket, entry)
+            else:
+                bucket.append(entry)
+            self._wheel_count += 1
+            blen = len(bucket)
+            if blen > self.peak_bucket_occupancy:
+                self.peak_bucket_occupancy = blen
+        size = self._size = self._size + 1
+        if size > self.peak_size:
+            self.peak_size = size
+
+    @property
+    def size(self) -> int:
+        """Raw entry count, dead entries included (wheel + ladder)."""
+        return self._size
+
+    def note_cancel(self, live: int) -> None:
+        """Compact when dead entries outnumber live ones (past the floor)."""
+        n = self._size
+        if n - live > live and n >= self._compact_min:
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop dead entries from every bucket and the ladder, in place.
+
+        Keys are preserved and the active bucket is re-heapified, so pop
+        order is unchanged; bucket list identities are stable for the
+        run loop's cached references.
+        """
+        wheel_count = 0
+        for bucket in self._buckets:
+            if bucket:
+                bucket[:] = [e for e in bucket if e[2].callback is not None]
+                wheel_count += len(bucket)
+        self._wheel_count = wheel_count
+        if self._active:
+            bucket = self._buckets[self._cursor % self._nbuckets]
+            if len(bucket) > 1:
+                _heapify(bucket)
+        overflow = self._overflow
+        overflow[:] = [e for e in overflow if e[2].callback is not None]
+        _heapify(overflow)
+        self._size = wheel_count + len(overflow)
+        self.compactions += 1
+
+    def entries(self) -> Iterator[_Entry]:
+        """Every raw entry, in no particular order (diagnostics)."""
+        for bucket in self._buckets:
+            yield from bucket
+        yield from self._overflow
+
+    # -- wheel mechanics ------------------------------------------------
+    def _rebase(self, start_idx: int) -> None:
+        """Rotate the window to start at ``start_idx``; drain the ladder.
+
+        Only called with an empty wheel, so jumping the cursor forward
+        skips idle gaps in O(ladder drain) instead of O(gap / width).
+        Redistributed entries keep their original ``(time, seq)`` keys;
+        placement uses the *key* time (not the authoritative
+        ``event.time``) so a stale timer surfaces — and re-keys — at
+        exactly the same point in the global order as it would in the
+        heap backend.
+        """
+        self._cursor = start_idx
+        self._limit = limit = start_idx + self._nbuckets
+        overflow = self._overflow
+        buckets = self._buckets
+        n = self._nbuckets
+        inv = self._inv_width
+        moved = 0
+        while overflow and _floor(overflow[0][0] * inv) < limit:
+            entry = _heappop(overflow)
+            buckets[_floor(entry[0] * inv) % n].append(entry)
+            moved += 1
+        self._wheel_count += moved
+
+    def _activate_next(self) -> bool:
+        """Advance the cursor to the next non-empty bucket and heapify it.
+
+        Returns False when the backend is completely empty.  An empty
+        wheel with a non-empty ladder rebases to the ladder's minimum
+        key, which is guaranteed to land one entry in the new window.
+        """
+        if self._wheel_count == 0:
+            if not self._overflow:
+                return False
+            self._rebase(_floor(self._overflow[0][0] * self._inv_width))
+        buckets = self._buckets
+        n = self._nbuckets
+        cursor = self._cursor
+        while not buckets[cursor % n]:
+            cursor += 1
+        self._cursor = cursor
+        bucket = buckets[cursor % n]
+        if len(bucket) > 1:
+            _heapify(bucket)
+        self._active = True
+        return True
+
+    # -- execution ------------------------------------------------------
+    def run_loop(self, horizon: float, limit: int, wall_deadline: float,
+                 max_events: Optional[int],
+                 max_wall_seconds: Optional[float]) -> None:
+        sim = self.sim
+        dispatched = 0
+        try:
+            buckets = self._buckets
+            n = self._nbuckets
+            inv = self._inv_width
+            overflow = self._overflow
+            seq = self._seq
+            pop = _heappop
+            push = _heappush
+            now = sim._now
+            while True:
+                if not self._active and not self._activate_next():
+                    break
+                bucket = buckets[self._cursor % n]
+                if not bucket:
+                    self._active = False
+                    self._cursor += 1
+                    continue
+                time = bucket[0][0]
+                if time > horizon:
+                    # Unlike the heap loop there is nothing to give
+                    # back: the head entry was only peeked.
+                    break
+                item = pop(bucket)
+                self._wheel_count -= 1
+                self._size -= 1
+                event = item[2]
+                callback = event.callback
+                if callback is None:
+                    continue
+                etime = event.time
+                if etime > time:
+                    # Lazily-deferred timer: re-key at its real deadline.
+                    # Not a dispatch (see the heap loop).  Inlined copy
+                    # of self.push — REPRO204 keeps it in lockstep with
+                    # the canonical definition.
+                    idx = _floor(etime * inv)
+                    if idx >= self._limit:
+                        push(overflow, (etime, next(seq), event))
+                        self.ladder_spills += 1
+                    else:
+                        entry = (etime, next(seq), event)
+                        target = buckets[idx % n]
+                        if self._active and idx == self._cursor:
+                            push(target, entry)
+                        else:
+                            target.append(entry)
+                        self._wheel_count += 1
+                        blen = len(target)
+                        if blen > self.peak_bucket_occupancy:
+                            self.peak_bucket_occupancy = blen
+                    size = self._size = self._size + 1
+                    if size > self.peak_size:
+                        self.peak_size = size
+                    continue
+                if time < now:
+                    raise InvariantViolation(
+                        f"virtual clock moved backwards: popped event at "
+                        f"t={time:.9f} with clock at t={now:.9f}"
+                    )
+                sim._now = now = time
+                event.callback = None  # mark as consumed
+                sim._live -= 1
+                dispatched += 1
+                callback(*event.args)
+                if sim._stopped:
+                    break
+                if dispatched == limit:
+                    raise SimulationStalledError(
+                        f"watchdog: event budget of {max_events} exhausted at "
+                        f"t={now:.6f} ({sim._live} events still queued)"
+                    )
+                if (not dispatched & 4095 and wall_deadline
+                        and _wallclock.monotonic() > wall_deadline):
+                    raise SimulationStalledError(
+                        f"watchdog: wall-clock budget of {max_wall_seconds:.1f}s "
+                        f"exhausted at t={now:.6f} after {dispatched} events"
+                    )
+        finally:
+            sim.events_processed += dispatched
+
+    def step(self) -> bool:
+        sim = self.sim
+        buckets = self._buckets
+        n = self._nbuckets
+        while True:
+            if not self._active and not self._activate_next():
+                return False
+            bucket = buckets[self._cursor % n]
+            if not bucket:
+                self._active = False
+                self._cursor += 1
+                continue
+            time, _seq, event = _heappop(bucket)
+            self._wheel_count -= 1
+            self._size -= 1
+            if event.callback is None:
+                continue
+            if event.time > time:
+                self._live_neutral_repush(event)
+                continue
+            sim._now = time
+            callback = event.callback
+            event.callback = None
+            args = event.args
+            event.args = ()
+            sim._live -= 1
+            sim.events_processed += 1
+            callback(*args)
+            return True
+
+    def _live_neutral_repush(self, event: Event) -> None:
+        """Re-key a surfaced stale timer at its authoritative deadline."""
+        self.push(event.time, event)
+
+    def peek_time(self) -> Optional[float]:
+        """Authoritative deadline of the next live event (non-mutating).
+
+        The next dispatch is the globally minimal *authoritative*
+        deadline (stale entries re-key before dispatching, preserving
+        key order).  The wheel is scanned from the cursor; the first
+        bucket containing a *fresh* live entry bounds everything behind
+        it — later buckets' keys (and therefore their authoritative
+        deadlines) start past this bucket's end, and the ladder starts
+        past the window.  If no fresh entry exists anywhere, the
+        candidates are the deferred deadlines themselves, which may live
+        arbitrarily far ahead, so the scan covers the ladder too.  O(n)
+        worst case, but this is a diagnostic API — the run loop never
+        calls it.
+        """
+        best = _INF
+        if self._wheel_count:
+            buckets = self._buckets
+            n = self._nbuckets
+            for idx in range(self._cursor, self._limit):
+                bucket = buckets[idx % n]
+                found_fresh = False
+                for entry in bucket:
+                    event = entry[2]
+                    if event.callback is None:
+                        continue
+                    etime = event.time
+                    if etime < best:
+                        best = etime
+                    if etime == entry[0]:
+                        found_fresh = True
+                if found_fresh:
+                    return best
+        for entry in self._overflow:
+            event = entry[2]
+            if event.callback is not None and event.time < best:
+                best = event.time
+        return best if best < _INF else None
+
+
 class Simulator:
-    """Discrete-event simulator: virtual clock plus event heap.
+    """Discrete-event simulator: virtual clock plus a pluggable queue.
 
     Parameters
     ----------
@@ -259,11 +830,29 @@ class Simulator:
         Allow :class:`Timer` to defer re-arms in place (default True).
         ``False`` restores cancel-plus-push on every re-arm.
     compaction:
-        Rebuild the heap dropping dead entries once they outnumber live
+        Rebuild the queue dropping dead entries once they outnumber live
         ones (default True).  Never changes results: compaction keeps
         entry keys intact, so pop order is unaffected.
     compact_min:
-        Minimum heap length before compaction is considered.
+        Minimum queue length before compaction is considered.
+    scheduler:
+        Queue backend: ``"heap"`` (default, the reference binary heap)
+        or ``"calendar"`` (bucket wheel + overflow ladder; O(1)
+        amortized when ``bucket_width`` matches the dominant inter-event
+        quantum).  Both produce bit-identical results.
+    bucket_width:
+        Calendar bucket width in seconds.  Size it to the bottleneck
+        link's serialization time (``packet_bytes * 8 / rate``) — the
+        experiment runners do this automatically.  Default 1 ms.
+    wheel_buckets:
+        Calendar wheel size (default 1024 buckets).  Events beyond
+        ``bucket_width * wheel_buckets`` ahead spill to the ladder.
+    fastpath:
+        Enable the hand-inlined hot paths in :mod:`repro.net`
+        (cut-through enqueue, back-to-back serialization).  ``False``
+        routes every packet through the canonical call chain — the
+        honest "unoptimized" arm of ``repro bench --engine``.  Results
+        are bit-identical either way (test-enforced).
 
     Examples
     --------
@@ -276,28 +865,44 @@ class Simulator:
     """
 
     def __init__(self, start_time: float = 0.0, *, lazy_timers: bool = True,
-                 compaction: bool = True, compact_min: int = 512) -> None:
+                 compaction: bool = True, compact_min: int = 512,
+                 scheduler: str = "heap",
+                 bucket_width: Optional[float] = None,
+                 wheel_buckets: int = 1024,
+                 fastpath: bool = True) -> None:
         self._now = float(start_time)
-        self._heap: List[Tuple[float, int, Event]] = []
-        self._seq = itertools.count()
         self._running = False
         self._stopped = False
         self._lazy_timers = bool(lazy_timers)
         self._compaction = bool(compaction)
+        self._fastpath = bool(fastpath)
         # Sentinel trick: with compaction off the threshold is pushed
-        # beyond any reachable heap size, so the hot path tests a single
-        # integer instead of also loading the _compaction flag.
-        self._compact_min = int(compact_min) if compaction else (1 << 62)
+        # beyond any reachable queue size, so the hot path tests a
+        # single integer instead of also loading the _compaction flag.
+        effective_min = int(compact_min) if compaction else (1 << 62)
+        if scheduler == "heap":
+            if bucket_width is not None:
+                raise ConfigurationError(
+                    "bucket_width only applies to scheduler='calendar'")
+            self._sched: Any = _HeapScheduler(self, effective_min)
+        elif scheduler == "calendar":
+            width = 1e-3 if bucket_width is None else float(bucket_width)
+            self._sched = _CalendarScheduler(
+                self, effective_min, width, int(wheel_buckets))
+        else:
+            raise ConfigurationError(
+                f"unknown scheduler {scheduler!r}; expected 'heap' or "
+                f"'calendar'")
+        #: Bound backend insert — THE hot-path entry point.  The
+        #: hand-inlined schedule sites in repro.net call this directly
+        #: (``sim._push(time, event)``) so they stay backend-agnostic.
+        self._push: Callable[[float, Event], None] = self._sched.push
         #: Pending (scheduled, neither cancelled nor dispatched) events.
         self._live = 0
         self.events_processed = 0
-        #: Timer re-arms satisfied by an in-place deadline move (no heap
+        #: Timer re-arms satisfied by an in-place deadline move (no
         #: push).  Read by repro.obs as ``timer.lazy_deferrals``.
         self.lazy_deferrals = 0
-        #: Largest heap length ever observed (dead entries included).
-        self.peak_heap_size = 0
-        #: Number of dead-entry compaction passes performed.
-        self.compactions = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -328,7 +933,7 @@ class Simulator:
                     f"(clock at t={self._now:.9f}); delays must be >= 0"
                 )
             # NaN compares false against everything, so without this
-            # guard a NaN timestamp would silently corrupt heap order.
+            # guard a NaN timestamp would silently corrupt queue order.
             raise SchedulingError(f"delay must be finite, got {delay!r}")
         time = self._now + delay
         # Inlined Event construction: this is the single hottest
@@ -340,16 +945,12 @@ class Simulator:
         event.args = args
         event._sim = self
         event._cancelled = False
-        heap = self._heap
-        _heappush(heap, (time, next(self._seq), event))
+        self._push(time, event)
         self._live += 1
-        n = len(heap)
-        if n > self.peak_heap_size:
-            self.peak_heap_size = n
         return event
 
     def call_at(self, time: float, callback: Callable[..., Any],
-                 *args: Any) -> Event:
+                *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute virtual time ``time``.
 
         ``time`` must be finite and must not lie strictly before the
@@ -362,12 +963,8 @@ class Simulator:
                 f"cannot schedule at t={time:.9f}, clock already at t={self._now:.9f}"
             )
         event = Event(time, callback, args, self)
-        heap = self._heap
-        _heappush(heap, (time, next(self._seq), event))
+        self._push(time, event)
         self._live += 1
-        n = len(heap)
-        if n > self.peak_heap_size:
-            self.peak_heap_size = n
         return event
 
     def timer(self, callback: Callable[..., Any], *args: Any) -> Timer:
@@ -375,18 +972,8 @@ class Simulator:
         return Timer(self, callback, *args)
 
     def _compact(self) -> None:
-        """Drop dead heap entries in place.
-
-        Entry keys are preserved, so the relative pop order of surviving
-        entries — including FIFO tie-breaks — is untouched; results are
-        bit-identical with compaction on or off.  In-place mutation
-        (slice assignment) keeps the list identity stable for the run
-        loop's cached reference.
-        """
-        heap = self._heap
-        heap[:] = [entry for entry in heap if entry[2].callback is not None]
-        heapq.heapify(heap)
-        self.compactions += 1
+        """Force a dead-entry compaction pass (testing/diagnostics)."""
+        self._sched.compact()
 
     # ------------------------------------------------------------------
     # Execution
@@ -422,75 +1009,23 @@ class Simulator:
                 f"max_wall_seconds must be positive, got {max_wall_seconds}")
         self._running = True
         self._stopped = False
-        dispatched = 0
         # Hot-loop precomputation: the horizon becomes a plain float
         # compare (inf = no horizon), the event budget a plain equality
         # (0 = unlimited; dispatched starts at 1 so 0 never matches),
         # and the wall budget an absolute deadline checked every 4096
-        # events.
+        # events.  The loop itself lives in the backend so each can
+        # cache its own storage in locals.
         horizon = _INF if until is None else until
         limit = 0 if max_events is None else max_events
         wall_deadline = (_wallclock.monotonic() + max_wall_seconds
                          if max_wall_seconds is not None else 0.0)
         try:
-            heap = self._heap
-            pop = heapq.heappop
-            push = heapq.heappush
-            seq = self._seq
-            now = self._now
-            while heap:
-                # Pop first, push back at the horizon: the give-back
-                # happens at most once per run() call, which is cheaper
-                # than peeking heap[0][0] on every iteration.
-                item = pop(heap)
-                time = item[0]
-                if time > horizon:
-                    push(heap, item)
-                    break
-                event = item[2]
-                callback = event.callback
-                if callback is None:
-                    continue
-                etime = event.time
-                if etime > time:
-                    # Lazily-deferred timer: re-key at its real deadline.
-                    # Not a dispatch — the clock does not advance and the
-                    # event/watchdog counters are untouched, so optimized
-                    # runs process exactly the same events as unoptimized
-                    # ones.
-                    push(heap, (etime, next(seq), event))
-                    continue
-                if time < now:
-                    raise InvariantViolation(
-                        f"virtual clock moved backwards: popped event at "
-                        f"t={time:.9f} with clock at t={now:.9f}"
-                    )
-                self._now = now = time
-                event.callback = None  # mark as consumed
-                self._live -= 1
-                dispatched += 1
-                callback(*event.args)
-                # _stopped can only flip inside a callback, so it is
-                # checked here instead of in the loop condition — the
-                # dead-entry and re-key paths skip the load entirely.
-                if self._stopped:
-                    break
-                if dispatched == limit:
-                    raise SimulationStalledError(
-                        f"watchdog: event budget of {max_events} exhausted at "
-                        f"t={now:.6f} ({len(heap)} events still queued)"
-                    )
-                if (not dispatched & 4095 and wall_deadline
-                        and _wallclock.monotonic() > wall_deadline):
-                    raise SimulationStalledError(
-                        f"watchdog: wall-clock budget of {max_wall_seconds:.1f}s "
-                        f"exhausted at t={now:.6f} after {dispatched} events"
-                    )
+            self._sched.run_loop(horizon, limit, wall_deadline,
+                                 max_events, max_wall_seconds)
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:
             self._running = False
-            self.events_processed += dispatched
 
     def step(self) -> bool:
         """Execute the single next non-cancelled event.
@@ -498,24 +1033,7 @@ class Simulator:
         Returns ``True`` if an event ran, ``False`` if the queue is empty.
         Useful for unit tests and debugging.
         """
-        heap = self._heap
-        while heap:
-            time, _seq, event = heapq.heappop(heap)
-            if event.callback is None:
-                continue
-            if event.time > time:
-                heapq.heappush(heap, (event.time, next(self._seq), event))
-                continue
-            self._now = time
-            callback = event.callback
-            event.callback = None
-            args = event.args
-            event.args = ()
-            self._live -= 1
-            self.events_processed += 1
-            callback(*args)
-            return True
-        return False
+        return bool(self._sched.step())
 
     def stop(self) -> None:
         """Request the run loop to exit after the current callback."""
@@ -528,37 +1046,57 @@ class Simulator:
         """Number of queued, non-cancelled events.
 
         O(1): maintained on schedule/cancel/dispatch instead of scanning
-        the heap (which is dominated by dead entries under timer churn).
+        the queue (which is dominated by dead entries under timer churn).
         """
         return self._live
 
     @property
+    def scheduler(self) -> str:
+        """Active backend name: ``"heap"`` or ``"calendar"``."""
+        return str(self._sched.kind)
+
+    @property
     def heap_size(self) -> int:
-        """Raw heap length, dead entries included (diagnostics)."""
-        return len(self._heap)
+        """Raw queue length, dead entries included (diagnostics).
+
+        The name predates the pluggable backend; for the calendar
+        backend this is the total resident entry count (wheel + ladder).
+        """
+        return int(self._sched.size)
 
     @property
     def dead_fraction(self) -> float:
-        """Fraction of heap entries that are cancelled/stale (diagnostics)."""
-        n = len(self._heap)
+        """Fraction of queued entries that are cancelled/stale (diagnostics)."""
+        n = int(self._sched.size)
         return (n - self._live) / n if n else 0.0
 
-    def peek_time(self) -> Optional[float]:
-        """Timestamp of the next live event, or ``None`` if the queue is empty.
+    @property
+    def peak_heap_size(self) -> int:
+        """Largest raw queue length ever observed (dead entries included)."""
+        return int(self._sched.peak_size)
 
-        Amortized O(1): dead entries at the top are discarded (they
-        would be skipped by :meth:`run` anyway) and lazily-deferred
-        timers are re-keyed, exactly as the run loop would.
+    @property
+    def compactions(self) -> int:
+        """Number of dead-entry compaction passes performed."""
+        return int(self._sched.compactions)
+
+    @property
+    def ladder_spills(self) -> int:
+        """Calendar-backend inserts that overflowed to the ladder (0 on heap)."""
+        return int(getattr(self._sched, "ladder_spills", 0))
+
+    @property
+    def peak_bucket_occupancy(self) -> int:
+        """Largest calendar bucket ever observed (0 on heap)."""
+        return int(getattr(self._sched, "peak_bucket_occupancy", 0))
+
+    def peek_time(self) -> Optional[float]:
+        """Authoritative deadline of the next live event, or ``None``.
+
+        Returns ``Event.time`` — not the (possibly stale) queue key of a
+        lazily-deferred timer — and never perturbs dispatch order, so it
+        is safe to call from inside callbacks.  See the backend
+        ``peek_time`` docstrings for the mechanics.
         """
-        heap = self._heap
-        while heap:
-            time, _seq, event = heap[0]
-            if event.callback is None:
-                heapq.heappop(heap)
-                continue
-            if event.time > time:
-                heapq.heappop(heap)
-                heapq.heappush(heap, (event.time, next(self._seq), event))
-                continue
-            return time
-        return None
+        result = self._sched.peek_time()
+        return None if result is None else float(result)

@@ -1,5 +1,6 @@
 """Fast-path drift rules: the inline hot-path copies in link.py /
-interface.py must stay equivalent to their canonical definitions.
+interface.py / engine.py must stay equivalent to their canonical
+definitions.
 
 Each test copies the real source files into a ``repro/{sim,net}``
 mirror under tmp_path, applies (or doesn't) a deliberate mutation to
@@ -54,12 +55,20 @@ class TestDriftCheckers:
 
     def test_missing_live_increment_caught(self, mirror):
         mutate(mirror, "net/link.py",
-               "        _heappush(heap, (time, next(sim._seq), event))\n"
+               "        sim._push(time, event)\n"
                "        sim._live += 1\n",
-               "        _heappush(heap, (time, next(sim._seq), event))\n")
+               "        sim._push(time, event)\n")
         result = lint_paths([str(mirror)], select=["REPRO201"])
         assert rule_ids(result) == {"REPRO201"}
         assert any("live-event increment" in d.message
+                   for d in result.diagnostics)
+
+    def test_push_operand_drift_caught(self, mirror):
+        mutate(mirror, "net/link.py",
+               "sim._push(time, event)", "sim._push(event.time, event)")
+        result = lint_paths([str(mirror)], select=["REPRO201"])
+        assert rule_ids(result) == {"REPRO201"}
+        assert any("_push operand shape" in d.message
                    for d in result.diagnostics)
 
     def test_changed_canonical_schedule_caught(self, mirror):
@@ -113,6 +122,34 @@ class TestDriftCheckers:
                    f'_obs.queue_event("mark", {owner}, packet, n)')
         result = lint_paths([str(mirror)], select=["REPRO202"])
         assert result.diagnostics == []
+
+    def test_calendar_inline_spill_counter_drift_caught(self, mirror):
+        # Delete the ladder_spills counter from the run loop's inline
+        # insert only (the 24-space copy; the canonical push's is
+        # indented 12).  REPRO204 must notice the asymmetry.
+        mutate(mirror, "sim/engine.py",
+               "                        self.ladder_spills += 1\n", "")
+        result = lint_paths([str(mirror)], select=["REPRO204"])
+        assert rule_ids(result) == {"REPRO204"}
+        assert any("ladder_spills counter" in d.message
+                   for d in result.diagnostics)
+
+    def test_calendar_inline_entry_shape_drift_caught(self, mirror):
+        mutate(mirror, "sim/engine.py",
+               "entry = (etime, next(seq), event)",
+               "entry = (etime, next(seq), event, 0)")
+        result = lint_paths([str(mirror)], select=["REPRO204"])
+        assert rule_ids(result) == {"REPRO204"}
+        assert any("wheel entry shape" in d.message
+                   for d in result.diagnostics)
+
+    def test_calendar_canonical_push_drift_caught(self, mirror):
+        # Equivalence is symmetric: editing the canonical push without
+        # touching the inline copy must also trip the checker.
+        mutate(mirror, "sim/engine.py",
+               "            self.ladder_spills += 1\n", "")
+        result = lint_paths([str(mirror)], select=["REPRO204"])
+        assert rule_ids(result) == {"REPRO204"}
 
     def test_real_tree_is_clean(self):
         result = lint_paths([str(_SRC / "repro")], select=["REPRO2"])

@@ -67,9 +67,18 @@ class TestEngineBenchmark:
         assert record["events_per_second"] > 0
         assert record["unoptimized"]["events_per_second"] > 0
         assert record["speedup_vs_unoptimized"] > 0
-        # Both modes saw the same event stream.
+        # All three arms saw the same event stream.
         assert record["events_processed"] == \
                record["unoptimized"]["events_processed"]
+        # Backend A/B: both backends timed, bit-identical on every
+        # acceptance scenario (Figure 1, Figure 7, short flows).
+        schedulers = record["schedulers"]
+        assert schedulers["heap"]["events_per_second"] > 0
+        assert schedulers["calendar"]["events_per_second"] > 0
+        assert schedulers["calendar"]["speedup_vs_heap"] > 0
+        assert set(record["identity_scenarios"]) == \
+               {"figure1", "figure7", "short_flows"}
+        assert all(record["identity_scenarios"].values())
         payload = json.loads(out.read_text())
         assert payload["runs"][-1]["benchmark"] == "engine"
 
@@ -81,11 +90,14 @@ class TestEngineBenchmark:
             output_path=str(out))
         assert record["meets_baseline"] is True
         assert record["regression_floor"] == pytest.approx(0.7)
+        assert record["calendar_target"] == pytest.approx(2.0)
+        assert record["calendar_meets_target"] is True
         record = run_engine_benchmark(
             params=TINY_LONG, repeats=1,
             baseline_events_per_second=1e12,  # impossible floor
             output_path=str(out))
         assert record["meets_baseline"] is False
+        assert record["calendar_meets_target"] is False
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):

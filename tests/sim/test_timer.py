@@ -47,10 +47,16 @@ class TestTimerBasics:
         sim = Simulator()
         timer = Timer(sim, lambda: None)
         assert not timer.armed
-        assert timer.deadline != timer.deadline  # NaN when disarmed
+        # None (not NaN) when disarmed: comparing against a disarmed
+        # deadline must raise, not silently evaluate false.
+        assert timer.deadline is None
         timer.arm(2.5)
         assert timer.armed
         assert timer.deadline == 2.5
+        timer.cancel()
+        assert timer.deadline is None
+        with pytest.raises(TypeError):
+            timer.deadline < 1.0  # noqa: B015 - the poisoning regression
 
     def test_rearm_after_firing(self):
         sim = Simulator()
