@@ -874,3 +874,103 @@ class CalendarInsertDriftRule(Rule):
                     f"update both sides together (and re-run the cross-"
                     f"backend equivalence tests)"))
         return out
+
+
+# ----------------------------------------------------------------------
+# Burst drain bodies: _burst_step vs _drain_burst
+# ----------------------------------------------------------------------
+def _find_function(tree: ast.Module, name: str) -> Optional[ast.FunctionDef]:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _burst_ser_body(func: ast.FunctionDef) -> Optional[Tuple[int, List[ast.stmt]]]:
+    """Body of ``if <link>._ser_seq == <s>:`` — the serialization-end branch."""
+    for node in ast.walk(func):
+        if (isinstance(node, ast.If)
+                and isinstance(node.test, ast.Compare)
+                and len(node.test.ops) == 1
+                and isinstance(node.test.ops[0], ast.Eq)
+                and isinstance(node.test.left, ast.Attribute)
+                and node.test.left.attr == "_ser_seq"):
+            return node.lineno, list(node.body)
+    return None
+
+
+def _burst_prop_body(func: ast.FunctionDef) -> Optional[Tuple[int, List[ast.stmt]]]:
+    """Body of ``if <prop> and <prop>[0][1] == <s>:`` — the delivery branch."""
+    for node in ast.walk(func):
+        if (isinstance(node, ast.If)
+                and isinstance(node.test, ast.BoolOp)
+                and isinstance(node.test.op, ast.And)
+                and len(node.test.values) == 2):
+            cmp = node.test.values[1]
+            if (isinstance(cmp, ast.Compare)
+                    and len(cmp.ops) == 1
+                    and isinstance(cmp.ops[0], ast.Eq)
+                    and isinstance(cmp.left, ast.Subscript)
+                    and isinstance(cmp.left.value, ast.Subscript)):
+                return node.lineno, list(node.body)
+    return None
+
+
+@register
+class BurstDrainDriftRule(Rule):
+    """REPRO205: the hand-inlined burst drain loop drifted."""
+
+    id = "REPRO205"
+    summary = ("the SER/PROP branch bodies in _drain_burst no longer "
+               "match the canonical _burst_step in repro/net/link.py")
+    severity = Severity.ERROR
+
+    #: (extractor, human label) for each locked region.
+    REGIONS = ((_burst_ser_body, "serialization-end (SER)"),
+               (_burst_prop_body, "delivery (PROP)"))
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        link_ctx = project.find(_LINK_PY)
+        if link_ctx is None:
+            return ()
+        assert link_ctx.tree is not None
+        canonical_fn = _find_function(link_ctx.tree, "_burst_step")
+        inline_fn = _find_function(link_ctx.tree, "_drain_burst")
+        if canonical_fn is None or inline_fn is None:
+            where = "_burst_step" if canonical_fn is None else "_drain_burst"
+            return [self.diag(
+                link_ctx, 1, 0,
+                f"drift anchor missing: could not locate {where} in "
+                f"{_LINK_PY} — update the drift checker if the burst "
+                f"engine moved or was renamed")]
+        out: List[Diagnostic] = []
+        for extract, label in self.REGIONS:
+            canonical = extract(canonical_fn)
+            inline = extract(inline_fn)
+            if canonical is None:
+                out.append(self.diag(
+                    link_ctx, canonical_fn.lineno, 0,
+                    f"cannot extract the canonical {label} branch body "
+                    f"from _burst_step — the drift checker needs updating "
+                    f"alongside the burst engine"))
+                continue
+            if inline is None:
+                out.append(self.diag(
+                    link_ctx, inline_fn.lineno, 0,
+                    f"cannot find the {label} branch in _drain_burst — "
+                    f"if the inlining was removed, update the drift "
+                    f"checker"))
+                continue
+            _, canonical_body = canonical
+            inline_line, inline_body = inline
+            # The two copies deliberately use the same local names, so no
+            # alpha-renaming is needed: the bodies must be statement-
+            # identical, not merely alpha-equivalent.
+            if normalized_dump(canonical_body) != normalized_dump(inline_body):
+                out.append(self.diag(
+                    link_ctx, inline_line, 0,
+                    f"the {label} branch body in _drain_burst differs "
+                    f"from the canonical _burst_step (normalized-AST "
+                    f"mismatch) — apply the same edit to both copies and "
+                    f"re-run the burst on/off identity tests"))
+        return out

@@ -78,14 +78,20 @@ def _parse_faults(args: argparse.Namespace):
 
 
 def _engine_opts(args: argparse.Namespace):
-    """Engine overrides from the ``--scheduler`` flag.
+    """Engine overrides from the ``--scheduler``/``--burst`` flags.
 
-    Returns ``None`` for the default heap backend so the runners take
-    their usual path untouched; the calendar bucket width is derived by
-    the experiment runner from the bottleneck serialization time.
+    Returns ``None`` when every flag is at its default so the runners
+    take their usual path untouched; the calendar bucket width is
+    derived by the experiment runner from the timer horizon.
     """
+    opts = {}
     scheduler = getattr(args, "scheduler", "heap")
-    return {"scheduler": scheduler} if scheduler != "heap" else None
+    if scheduler != "heap":
+        opts["scheduler"] = scheduler
+    burst = getattr(args, "burst", None)
+    if burst is not None:
+        opts["burst"] = burst
+    return opts or None
 
 
 def cmd_size(args: argparse.Namespace) -> int:
@@ -667,6 +673,7 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
           f"best of {record['repeats']} (interleaved)")
     heap = record["schedulers"]["heap"]
     cal = record["schedulers"]["calendar"]
+    noburst = record["noburst"]
     unopt = record["unoptimized"]
     print(f"  heap:         {heap['seconds']:.3f}s  "
           f"{heap['events_per_second']:,.0f} events/sec")
@@ -674,11 +681,19 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
           f"{cal['events_per_second']:,.0f} events/sec "
           f"({cal['speedup_vs_heap']:.2f}x heap; "
           f"{cal['ladder_spills']} ladder spills, "
-          f"peak bucket {cal['peak_bucket_occupancy']})")
+          f"peak bucket {cal['peak_bucket_occupancy']}, "
+          f"width {cal['bucket_width']:.4g}s"
+          f"{', FELL BACK TO HEAP' if cal['calendar_fallback'] else ''})")
+    print(f"  no-burst:     {noburst['seconds']:.3f}s  "
+          f"{noburst['events_per_second']:,.0f} events/sec")
     print(f"  unoptimized:  {unopt['seconds']:.3f}s  "
           f"{unopt['events_per_second']:,.0f} events/sec")
     print(f"  speedup:      {record['speedup_vs_unoptimized']:.2f}x "
-          f"(heap vs unoptimized)")
+          f"(heap vs unoptimized), "
+          f"{record['speedup_vs_noburst']:.2f}x (burst vs no-burst)")
+    print(f"  event census: {record['events_popped']} scheduler pops + "
+          f"{record['packets_processed']} burst steps "
+          f"({record['coalescing_ratio']:.1f}x coalescing)")
     print(f"  peak heap:    {record['peak_heap_size']} entries "
           f"(unoptimized: {unopt['peak_heap_size']})")
     scenarios = record["identity_scenarios"]

@@ -25,8 +25,18 @@ def _add_scheduler_arg(parser: argparse.ArgumentParser) -> None:
                         choices=["heap", "calendar"],
                         help="event-scheduler backend (default heap); "
                              "calendar uses array-backed buckets sized to "
-                             "the bottleneck serialization time — results "
-                             "are bit-identical either way")
+                             "the timer horizon — results are bit-identical "
+                             "either way")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--burst", dest="burst", action="store_true",
+                       default=None,
+                       help="burst-mode departures: coalesce backlogged "
+                            "per-link dequeue/serialize/deliver events into "
+                            "drained bursts (default on for optimized runs; "
+                            "results are bit-identical either way)")
+    group.add_argument("--no-burst", dest="burst", action="store_false",
+                       help="force per-event departures (disable the "
+                            "burst-mode fast path)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -56,6 +56,12 @@ __all__ = [
 PACKET_BYTES = 1000
 MSS = PACKET_BYTES - TCP_HEADER_BYTES
 
+#: Calendar-queue auto-sizing horizon: the wheel should span the
+#: longest routinely pending timer.  Initial RTO is 1s (repro.tcp.rto),
+#: doubled a couple of times under backoff before a run is clearly
+#: unhealthy anyway — 3s keeps those inside the wheel window.
+_TIMER_HORIZON = 3.0
+
 
 def rtt_for_pipe(pipe_packets: float, rate: Quantity,
                  packet_bytes: int = PACKET_BYTES) -> float:
@@ -155,22 +161,33 @@ def _make_simulator(optimize: bool, engine_opts: Optional[dict],
     timer cancellation, no heap compaction, and the canonical checked
     enqueue/transmit paths instead of the inlined fast paths) used by
     the equivalence tests; ``engine_opts`` overrides individual engine
-    knobs either way.  When ``engine_opts`` selects the calendar
-    scheduler without fixing a bucket width, the width defaults to the
-    bottleneck serialization time of one experiment packet — the
-    natural event quantum of a packet-level run, so back-to-back
-    departures land in distinct (or at worst adjacent) buckets.
+    knobs either way.  Burst mode (virtual per-link packet-event
+    streams) rides on the inlined fast path, so it defaults on exactly
+    when ``fastpath`` is on.
+
+    When ``engine_opts`` selects the calendar scheduler without fixing
+    a bucket width, the width is auto-sized so the wheel spans the
+    *timer* horizon, not just the serialization cadence: a wheel of
+    serialization-time buckets covers microseconds, so every RTO timer
+    (~1s scale, plus backoff) lands in the overflow ladder and is
+    re-sorted on every rotation — the ladder-spill regression BENCH
+    flagged.  The width is the larger of one packet's serialization
+    time and ``timer horizon / wheel_buckets``, with the horizon taken
+    at 3s — initial RTO (1s) plus headroom for doubled backoff — so
+    pending retransmit timers sit inside the wheel window.
     """
     opts = {} if engine_opts is None else dict(engine_opts)
     if not optimize:
         opts.setdefault("lazy_timers", False)
         opts.setdefault("compaction", False)
         opts.setdefault("fastpath", False)
+    opts.setdefault("burst", opts.get("fastpath", optimize))
     if (opts.get("scheduler") == "calendar"
             and "bucket_width" not in opts
             and bottleneck_rate is not None):
-        opts["bucket_width"] = (
-            PACKET_BYTES * 8.0 / parse_bandwidth(bottleneck_rate))
+        ser_time = PACKET_BYTES * 8.0 / parse_bandwidth(bottleneck_rate)
+        wheel = opts.get("wheel_buckets", 1024)
+        opts["bucket_width"] = max(ser_time, _TIMER_HORIZON / wheel)
     return Simulator(**opts)
 
 

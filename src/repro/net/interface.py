@@ -13,6 +13,8 @@ utilization/occupancy/drop data in every figure of the paper.
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
+
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue, Queue
@@ -111,6 +113,16 @@ class Interface:
             link.busy = True
             link._busy_since = now
             link._on_idle = self._on_link_idle
+            if sim._burst:
+                # Burst mode: virtual serialization stream instead of a
+                # scheduled Event (see link._burst_step).
+                vseq = next(sim._seq_alloc)
+                link._ser_time = time = now + size * 8.0 / link.rate
+                link._ser_seq = vseq
+                link._ser_packet = packet
+                _heappush(sim._vheap, (time, vseq, link))
+                sim._live += 1
+                return True
             event = _new_event(Event)
             event.time = time = now + size * 8.0 / link.rate
             event.callback = link._end_serialization

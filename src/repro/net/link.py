@@ -23,15 +23,23 @@ and every packet propagating on the wire are lost (counted in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush, heapreplace as _heapreplace
+from typing import Callable, Deque, Dict, Optional, Tuple
 
-from repro.errors import ConfigurationError, RoutingError
+from repro.errors import ConfigurationError, QueueError, RoutingError
 from repro.net.packet import MAX_HOPS, Packet
+from repro.net.queues import DropTailQueue
 from repro.obs import runtime as _obs
 from repro.sim.engine import Event
 from repro.units import parse_bandwidth, parse_time, Quantity
 
 __all__ = ["Link"]
+
+# Sentinel sequence number larger than any the engine will ever
+# allocate: used as the tie-break half of a "no real event before the
+# horizon" drain bound.
+_MAXSEQ = 1 << 62
 
 # Nearly every event in a packet-level run is scheduled from this
 # module (serialization end, delivery); the hot sites below inline
@@ -65,6 +73,7 @@ class Link:
         "bytes_dropped", "down_count", "busy_time", "down_time",
         "_busy_since", "_down_since", "_on_idle", "on_up",
         "_serializing", "_propagating", "_feed_queue",
+        "_ser_time", "_ser_seq", "_ser_packet", "_prop",
     )
 
     def __init__(self, sim, rate: Quantity, delay: Quantity, dst=None, name: str = ""):
@@ -100,6 +109,20 @@ class Link:
         #: Set by the owning Interface: its output queue, so back-to-back
         #: serialization can continue without an idle round-trip.
         self._feed_queue = None
+        # Burst-mode virtual streams (sim._burst): instead of one Event
+        # per serialization end and one per delivery, the link keeps the
+        # packet being serialized in three slots and the wire contents in
+        # a FIFO of (deliver_time, seq, packet) records.  Only the head
+        # of each stream is mirrored into sim._vheap; seqs are drawn from
+        # the engine's shared counter so ordering against real events is
+        # bit-identical to the per-event scheduler.
+        self._ser_time = 0.0
+        self._ser_seq = -1
+        self._ser_packet: Optional[Packet] = None
+        # Records are (deliver_time, seq, link, packet) — the same tuple
+        # doubles as the vheap entry when the record reaches the head of
+        # the wire, so promoting the next delivery allocates nothing.
+        self._prop: Deque[Tuple[float, int, "Link", Packet]] = deque()
         if _obs.enabled:
             _obs.register_link(self)
 
@@ -110,14 +133,18 @@ class Link:
     @property
     def in_flight(self) -> int:
         """Packets currently on this link (serializing + propagating)."""
-        return (1 if self._serializing is not None else 0) + len(self._propagating)
+        serializing = self._serializing is not None or self._ser_packet is not None
+        return (1 if serializing else 0) + len(self._propagating) + len(self._prop)
 
     @property
     def in_flight_bytes(self) -> int:
         """Bytes currently on this link."""
         total = sum(ev.args[0].size for ev in self._propagating.values())
+        total += sum(rec[3].size for rec in self._prop)
         if self._serializing is not None:
             total += self._serializing.args[0].size
+        if self._ser_packet is not None:
+            total += self._ser_packet.size
         return total
 
     def transmit(self, packet: Packet, on_idle: Optional[Callable[[], None]] = None) -> None:
@@ -142,6 +169,18 @@ class Link:
         self.busy = True
         self._busy_since = now
         self._on_idle = on_idle
+        if sim._burst:
+            # Virtual serialization: no Event object, no backend push —
+            # just slot the packet and mirror the stream head into the
+            # burst heap.  The seq comes from the same counter a real
+            # push would have consumed, so ordering is unchanged.
+            vseq = next(sim._seq_alloc)
+            self._ser_time = time = now + packet.size * 8.0 / self.rate
+            self._ser_seq = vseq
+            self._ser_packet = packet
+            _heappush(sim._vheap, (time, vseq, self))
+            sim._live += 1
+            return
         # Inlined sim.schedule(tx, self._end_serialization, packet).
         event = _new_event(Event)
         event.time = time = now + packet.size * 8.0 / self.rate
@@ -253,11 +292,31 @@ class Link:
                 self._busy_since = None
             self._on_idle = None
             self._count_fault_drop(packet)
+        if self._ser_packet is not None:
+            # Burst-mode twin of the block above.  There is no Event to
+            # cancel: clearing the seq slot invalidates the stream-head
+            # entry in sim._vheap, which the drain discards lazily.
+            packet = self._ser_packet
+            self._ser_packet = None
+            self._ser_seq = -1
+            self.sim._live -= 1
+            self.busy = False
+            if self._busy_since is not None:
+                self.busy_time += self.sim.now - self._busy_since
+                self._busy_since = None
+            self._on_idle = None
+            self._count_fault_drop(packet)
         for event in self._propagating.values():
             packet = event.args[0]
             event.cancel()
             self._count_fault_drop(packet)
         self._propagating.clear()
+        if self._prop:
+            sim = self.sim
+            for record in self._prop:
+                sim._live -= 1
+                self._count_fault_drop(record[3])
+            self._prop.clear()
 
     def up(self) -> None:
         """Bring the link back; the owning interface resumes dequeuing.
@@ -306,3 +365,284 @@ class Link:
         state = "up" if self.is_up else "DOWN"
         return (f"Link({self.name!r}, rate={self.rate:.3g}b/s, "
                 f"delay={self.delay:.4g}s, {state})")
+
+
+# ----------------------------------------------------------------------
+# Burst mode: virtual packet-event streams
+# ----------------------------------------------------------------------
+# With ``Simulator(burst=True)`` the per-packet serialization-end and
+# delivery events never reach the scheduler backend.  Each link instead
+# exposes two virtual streams — the serializing packet and the FIFO of
+# propagating packets — and only the *head* of each stream lives in
+# ``sim._vheap`` as a ``(time, seq, link)`` entry.  Seq numbers are
+# drawn from the backend's own counter at exactly the program points
+# where the per-event code would have pushed, so merging virtual and
+# real events by ``(time, seq)`` reproduces the per-event order bit for
+# bit.  Stale entries (the stream advanced or a fault cleared it) are
+# detected by seq mismatch and dropped lazily.
+#
+# :func:`_burst_step` is the canonical single-step used by
+# ``Simulator.step()``; :func:`_drain_burst` is the hand-inlined batch
+# loop the scheduler run loops call, processing virtual events in a
+# tight loop until the next *real* event's key (re-read every iteration,
+# so a timer or cancellation landing mid-burst re-splits the burst).
+# The two SER/PROP branch bodies must stay statement-identical — drift
+# rule REPRO205 compares them structurally, like REPRO201/204 do for
+# the other inlined hot paths.
+
+
+def _burst_step(sim) -> bool:
+    """Process the earliest virtual packet event; False if head was stale.
+
+    Canonical copy of the burst drain body (see REPRO205).  The caller
+    guarantees ``sim._vheap`` is non-empty.
+    """
+    vh = sim._vheap
+    entry = vh[0]
+    t = entry[0]
+    s = entry[1]
+    link = entry[2]
+    if link._ser_seq == s:
+        # --- serialization end (REPRO205 SER body) ---
+        packet = link._ser_packet
+        sim._now = t
+        seq = sim._seq_alloc
+        dseq = next(seq)
+        prop = link._prop
+        was_empty = not prop
+        record = (t + link.delay, dseq, link, packet)
+        prop.append(record)
+        head = None
+        queue = link._feed_queue
+        if queue is not None and queue._items:
+            if queue.__class__ is DropTailQueue:
+                items = queue._items
+                dt = t - queue._occ_time
+                if dt > 0.0:
+                    queue._occ_area_pkts += len(items) * dt
+                    queue._occ_area_bytes += queue._bytes * dt
+                    queue._occ_time = t
+                head = items.popleft()
+                hsize = head.size
+                bytes_now = queue._bytes = queue._bytes - hsize
+                if bytes_now < 0:
+                    raise QueueError("negative byte occupancy")
+                queue.departures += 1
+                queue.bytes_out += hsize
+            else:
+                head = queue.dequeue()
+        if head is not None:
+            if link._busy_since is not None:
+                link.busy_time += t - link._busy_since
+            link._busy_since = t
+            sseq = next(seq)
+            link._ser_time = stime = t + head.size * 8.0 / link.rate
+            link._ser_seq = sseq
+            link._ser_packet = head
+            sim._live += 1
+            if was_empty:
+                _heapreplace(vh, record)
+                _heappush(vh, (stime, sseq, link))
+            else:
+                _heapreplace(vh, (stime, sseq, link))
+        else:
+            link._ser_packet = None
+            link._ser_seq = -1
+            link.busy = False
+            if link._busy_since is not None:
+                link.busy_time += t - link._busy_since
+                link._busy_since = None
+            if was_empty:
+                _heapreplace(vh, record)
+            else:
+                _heappop(vh)
+            on_idle = link._on_idle
+            link._on_idle = None
+            if on_idle is not None:
+                on_idle()
+    else:
+        prop = link._prop
+        if prop and prop[0][1] == s:
+            # --- delivery (REPRO205 PROP body) ---
+            record = prop.popleft()
+            sim._now = t
+            sim._live -= 1
+            if prop:
+                _heapreplace(vh, prop[0])
+            else:
+                _heappop(vh)
+            packet = record[3]
+            link.packets_delivered += 1
+            link.bytes_delivered += packet.size
+            hops = packet.hops = packet.hops + 1
+            dst = link.dst
+            try:
+                iface = dst._routes.get(packet.dst)
+            except AttributeError:
+                iface = None
+            if iface is not None:
+                if hops > MAX_HOPS:
+                    raise RoutingError(f"routing loop detected for {packet!r}")
+                iface.enqueue(packet)
+            else:
+                dst.receive(packet)
+        else:
+            _heappop(vh)
+            return False
+    return True
+
+
+def _drain_burst(sim, peek, horizon, limit, total, sched=None) -> int:
+    """Drain virtual events up to the next real event's key; returns total.
+
+    ``peek`` is a list whose [0] is the backend's earliest raw entry
+    (the scheduler's heap, or the calendar's active bucket) — re-read
+    every iteration so pushes landing mid-burst (a timer re-key, a
+    cancellation's compaction) re-split the burst at the right point.
+    ``peek=None`` with ``sched`` set means the calendar backend is
+    empty: drain until a virtual callback schedules something
+    (``sched._size`` changes).  ``peek=None`` without ``sched`` never
+    occurs; an *emptied* peek list with ``sched`` set means compaction
+    cleared the active bucket mid-burst and the caller must advance the
+    cursor.  Accounting is exact under mid-burst exceptions: steps are
+    added to ``sim.burst_steps``/``sim.events_processed`` in a finally.
+    """
+    vh = sim._vheap
+    steps = 0
+    rem = limit - total if limit else -1
+    watch = peek is None and sched is not None
+    size0 = sched._size if watch else 0
+    rebound = True
+    try:
+        while vh:
+            if rebound:
+                rebound = False
+                if peek:
+                    bound = peek[0]
+                    bt = bound[0]
+                    if bt > horizon:
+                        bt = horizon
+                        bs = _MAXSEQ
+                    else:
+                        bs = bound[1]
+                elif sched is None or peek is None:
+                    bt = horizon  # backend (or its relevant view) is empty
+                    bs = _MAXSEQ
+                else:
+                    break  # calendar active bucket emptied by compaction
+            entry = vh[0]
+            t = entry[0]
+            if t > bt:
+                break
+            s = entry[1]
+            if t == bt and s > bs:
+                break
+            link = entry[2]
+            head = None
+            if link._ser_seq == s:
+                # --- serialization end (REPRO205 SER body) ---
+                packet = link._ser_packet
+                sim._now = t
+                seq = sim._seq_alloc
+                dseq = next(seq)
+                prop = link._prop
+                was_empty = not prop
+                record = (t + link.delay, dseq, link, packet)
+                prop.append(record)
+                head = None
+                queue = link._feed_queue
+                if queue is not None and queue._items:
+                    if queue.__class__ is DropTailQueue:
+                        items = queue._items
+                        dt = t - queue._occ_time
+                        if dt > 0.0:
+                            queue._occ_area_pkts += len(items) * dt
+                            queue._occ_area_bytes += queue._bytes * dt
+                            queue._occ_time = t
+                        head = items.popleft()
+                        hsize = head.size
+                        bytes_now = queue._bytes = queue._bytes - hsize
+                        if bytes_now < 0:
+                            raise QueueError("negative byte occupancy")
+                        queue.departures += 1
+                        queue.bytes_out += hsize
+                    else:
+                        head = queue.dequeue()
+                if head is not None:
+                    if link._busy_since is not None:
+                        link.busy_time += t - link._busy_since
+                    link._busy_since = t
+                    sseq = next(seq)
+                    link._ser_time = stime = t + head.size * 8.0 / link.rate
+                    link._ser_seq = sseq
+                    link._ser_packet = head
+                    sim._live += 1
+                    if was_empty:
+                        _heapreplace(vh, record)
+                        _heappush(vh, (stime, sseq, link))
+                    else:
+                        _heapreplace(vh, (stime, sseq, link))
+                else:
+                    link._ser_packet = None
+                    link._ser_seq = -1
+                    link.busy = False
+                    if link._busy_since is not None:
+                        link.busy_time += t - link._busy_since
+                        link._busy_since = None
+                    if was_empty:
+                        _heapreplace(vh, record)
+                    else:
+                        _heappop(vh)
+                    on_idle = link._on_idle
+                    link._on_idle = None
+                    if on_idle is not None:
+                        on_idle()
+            else:
+                prop = link._prop
+                if prop and prop[0][1] == s:
+                    # --- delivery (REPRO205 PROP body) ---
+                    record = prop.popleft()
+                    sim._now = t
+                    sim._live -= 1
+                    if prop:
+                        _heapreplace(vh, prop[0])
+                    else:
+                        _heappop(vh)
+                    packet = record[3]
+                    link.packets_delivered += 1
+                    link.bytes_delivered += packet.size
+                    hops = packet.hops = packet.hops + 1
+                    dst = link.dst
+                    try:
+                        iface = dst._routes.get(packet.dst)
+                    except AttributeError:
+                        iface = None
+                    if iface is not None:
+                        if hops > MAX_HOPS:
+                            raise RoutingError(f"routing loop detected for {packet!r}")
+                        iface.enqueue(packet)
+                    else:
+                        dst.receive(packet)
+                else:
+                    # Stale entry: nothing ran and nothing was pushed, so
+                    # the bound is still valid (rebound stays False).
+                    _heappop(vh)
+                    continue
+            steps += 1
+            if steps == rem:
+                break
+            if head is not None and queue.__class__ is DropTailQueue:
+                # Pure serialization refill: the inline drop-tail dequeue
+                # runs no callbacks, so it cannot push real events, call
+                # stop(), or change the backend size — skip the re-reads
+                # and keep draining against the same bound.
+                continue
+            rebound = True
+            if sim._stopped:
+                break
+            if watch and sched._size != size0:
+                break
+    finally:
+        sim.burst_steps += steps
+        sim.events_processed += steps
+    return total + steps

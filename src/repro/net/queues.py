@@ -181,6 +181,11 @@ class Queue:
 
     def dequeue(self) -> Optional[Packet]:
         """Remove and return the head-of-line packet, or ``None`` if empty."""
+        # The burst drain in repro.net.link inlines this body for exact
+        # DropTailQueue instances (subclasses keep the polymorphic
+        # call); keep the two in sync when changing occupancy or counter
+        # accounting.  REPRO205 locks the drain loop itself to its
+        # canonical copy.
         items = self._items
         if not items:
             return None

@@ -213,6 +213,15 @@ def _sim_reader(sim: Any) -> Dict[str, Any]:
         # whether events are clumping into a few buckets.
         stats["ladder_spills"] = sim.ladder_spills
         stats["peak_bucket_occupancy"] = sim.peak_bucket_occupancy
+        stats["bucket_width"] = sim.bucket_width
+        if sim.calendar_fallback:
+            stats["calendar_fallback"] = True
+    if getattr(sim, "_burst", False):
+        # Burst-mode census: how many scheduler pops the virtual
+        # per-link streams absorbed.  events_processed above already
+        # counts both, so the pair decomposes it.
+        stats["burst_steps"] = sim.burst_steps
+        stats["events_popped"] = sim.events_popped
     return stats
 
 

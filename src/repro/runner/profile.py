@@ -61,6 +61,12 @@ class ProfileReport:
     scheduler: str = "heap"
     ladder_spills: int = 0
     peak_bucket_occupancy: int = 0
+    #: Event census (burst-mode departure coalescing): how many of the
+    #: processed events were real scheduler pops vs virtual burst steps
+    #: drained from the per-link streams.  ``events_popped`` equals
+    #: ``events_processed`` when bursting is off.
+    events_popped: int = 0
+    burst_steps: int = 0
 
     def format(self) -> str:
         """Human-readable multi-line report."""
@@ -79,6 +85,12 @@ class ProfileReport:
             lines.append(f"  ladder spills:  {self.ladder_spills} "
                          f"(peak bucket occupancy: "
                          f"{self.peak_bucket_occupancy})")
+        if self.burst_steps:
+            ratio = (self.events_processed / self.events_popped
+                     if self.events_popped else float("inf"))
+            lines.append(f"  event census:   {self.events_popped} scheduler "
+                         f"pops + {self.burst_steps} burst steps "
+                         f"({ratio:.1f}x coalescing)")
         pool = self.pool
         if pool.get("enabled"):
             acquired = pool.get("acquired", 0)
@@ -150,6 +162,8 @@ def profile_scenario(
         stats["scheduler"] = sim.scheduler
         stats["ladder_spills"] = sim.ladder_spills
         stats["peak_bucket_occupancy"] = sim.peak_bucket_occupancy
+        stats["burst_steps"] = sim.burst_steps
+        stats["events_popped"] = sim.events_popped
         # Snapshot while the run's pooled_packets() scope is still
         # active; the counters are lifetime totals, diffed below.
         stats["pool"] = pool_stats()
@@ -200,4 +214,6 @@ def profile_scenario(
         scheduler=stats.get("scheduler", "heap"),
         ladder_spills=stats.get("ladder_spills", 0),
         peak_bucket_occupancy=stats.get("peak_bucket_occupancy", 0),
+        events_popped=stats.get("events_popped", 0),
+        burst_steps=stats.get("burst_steps", 0),
     )

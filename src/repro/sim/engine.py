@@ -356,6 +356,10 @@ class _HeapScheduler:
                  max_events: Optional[int],
                  max_wall_seconds: Optional[float]) -> None:
         sim = self.sim
+        if sim._burst:
+            self._run_loop_burst(horizon, limit, wall_deadline,
+                                 max_events, max_wall_seconds)
+            return
         dispatched = 0
         try:
             heap = self._heap
@@ -413,6 +417,134 @@ class _HeapScheduler:
                     )
         finally:
             sim.events_processed += dispatched
+
+    def _run_loop_burst(self, horizon: float, limit: int,
+                        wall_deadline: float, max_events: Optional[int],
+                        max_wall_seconds: Optional[float]) -> None:
+        """Burst-mode run loop: merge the virtual per-link streams.
+
+        Identical to :meth:`run_loop` except that before popping a heap
+        entry, every virtual packet-chain step that precedes the heap
+        head's ``(time, seq)`` key is executed by the burst drain (a
+        tight loop in :mod:`repro.net.link`).  The drain re-reads
+        ``heap[0]`` on every step, so a push landing mid-burst — a new
+        timer, a zero-delay callback — immediately bounds the burst:
+        interruption/re-split needs no explicit event surgery.  Virtual
+        steps consume sequence numbers at exactly the per-event program
+        points, so the global ``(time, seq)`` dispatch order is
+        bit-identical to burst-off runs.
+        """
+        sim = self.sim
+        drain = sim._burst_drain
+        assert drain is not None
+        vheap = sim._vheap
+        popped = 0
+        dispatched = 0
+        try:
+            heap = self._heap
+            pop = _heappop
+            push = _heappush
+            seq = self._seq
+            now = sim._now
+            while True:
+                if vheap:
+                    dispatched = drain(sim, heap, horizon, limit, dispatched)
+                    now = sim._now
+                    if sim._stopped:
+                        break
+                    if limit and dispatched == limit:
+                        raise SimulationStalledError(
+                            f"watchdog: event budget of {max_events} "
+                            f"exhausted at t={now:.6f} "
+                            f"({len(heap)} events still queued)"
+                        )
+                    if (wall_deadline
+                            and _wallclock.monotonic() > wall_deadline):
+                        raise SimulationStalledError(
+                            f"watchdog: wall-clock budget of "
+                            f"{max_wall_seconds:.1f}s exhausted at "
+                            f"t={now:.6f} after {dispatched} events"
+                        )
+                if not heap:
+                    break
+                item = pop(heap)
+                time = item[0]
+                if time > horizon:
+                    push(heap, item)
+                    break
+                event = item[2]
+                callback = event.callback
+                if callback is None:
+                    continue
+                etime = event.time
+                if etime > time:
+                    push(heap, (etime, next(seq), event))
+                    continue
+                if time < now:
+                    raise InvariantViolation(
+                        f"virtual clock moved backwards: popped event at "
+                        f"t={time:.9f} with clock at t={now:.9f}"
+                    )
+                sim._now = now = time
+                event.callback = None  # mark as consumed
+                sim._live -= 1
+                dispatched += 1
+                popped += 1
+                callback(*event.args)
+                if sim._stopped:
+                    break
+                if dispatched == limit:
+                    raise SimulationStalledError(
+                        f"watchdog: event budget of {max_events} exhausted at "
+                        f"t={now:.6f} ({len(heap)} events still queued)"
+                    )
+                if (not dispatched & 4095 and wall_deadline
+                        and _wallclock.monotonic() > wall_deadline):
+                    raise SimulationStalledError(
+                        f"watchdog: wall-clock budget of {max_wall_seconds:.1f}s "
+                        f"exhausted at t={now:.6f} after {dispatched} events"
+                    )
+        finally:
+            # The drain accounts its own steps (events_processed and
+            # burst_steps) so the totals stay exact even if a callback
+            # raises mid-burst; only real pops are added here.
+            sim.events_processed += popped
+
+    def next_key(self) -> Optional[Tuple[float, int]]:
+        """Raw ``(time, seq)`` key of the head entry (dead/stale included)."""
+        heap = self._heap
+        if not heap:
+            return None
+        entry = heap[0]
+        return (entry[0], entry[1])
+
+    def step_raw(self) -> bool:
+        """Pop exactly one raw entry; dispatch it if live and fresh.
+
+        Returns True iff an event ran.  Dead entries are dropped and
+        stale timers re-keyed — each consumes one call, so the burst-
+        aware :meth:`Simulator.step` can interleave virtual steps at
+        exactly the per-event order.
+        """
+        heap = self._heap
+        if not heap:
+            return False
+        time, _seq, event = _heappop(heap)
+        if event.callback is None:
+            return False
+        if event.time > time:
+            _heappush(heap, (event.time, next(self._seq), event))
+            return False
+        sim = self.sim
+        sim._now = time
+        callback = event.callback
+        event.callback = None
+        args = event.args
+        event.args = ()
+        sim._live -= 1
+        sim.events_processed += 1
+        callback(*args)
+        return True
 
     def step(self) -> bool:
         sim = self.sim
@@ -512,7 +644,7 @@ class _CalendarScheduler:
                  "_buckets", "_cursor", "_limit", "_active", "_overflow",
                  "_wheel_count", "_size", "_compact_min",
                  "peak_size", "compactions", "ladder_spills",
-                 "peak_bucket_occupancy")
+                 "peak_bucket_occupancy", "_pushes", "fallback_triggered")
 
     def __init__(self, sim: "Simulator", compact_min: int,
                  bucket_width: float, wheel_buckets: int) -> None:
@@ -542,6 +674,11 @@ class _CalendarScheduler:
         self.ladder_spills = 0
         #: Largest single-bucket entry count ever observed.
         self.peak_bucket_occupancy = 0
+        #: Total inserts, the denominator of the spill rate.
+        self._pushes = 0
+        #: Set by the run loop when the spill rate crosses the fallback
+        #: threshold; Simulator.run() migrates to the heap backend.
+        self.fallback_triggered = False
 
     # -- queue contract -------------------------------------------------
     def push(self, time: float, event: Event) -> None:
@@ -556,6 +693,13 @@ class _CalendarScheduler:
             self.ladder_spills += 1
         else:
             entry = (time, next(self._seq), event)
+            if idx < self._cursor:
+                # Burst mode runs virtual packet events (whose callbacks
+                # push real events) while the cursor may have already
+                # skipped ahead over empty buckets; clamp the placement
+                # so the entry stays ahead of the cursor.  The key is
+                # untouched, so pop order is unchanged.
+                idx = self._cursor
             bucket = self._buckets[idx % self._nbuckets]
             if self._active and idx == self._cursor:
                 # Zero-delay insert into the bucket being drained: it
@@ -567,6 +711,7 @@ class _CalendarScheduler:
             blen = len(bucket)
             if blen > self.peak_bucket_occupancy:
                 self.peak_bucket_occupancy = blen
+        self._pushes += 1
         size = self._size = self._size + 1
         if size > self.peak_size:
             self.peak_size = size
@@ -664,6 +809,10 @@ class _CalendarScheduler:
                  max_events: Optional[int],
                  max_wall_seconds: Optional[float]) -> None:
         sim = self.sim
+        if sim._burst:
+            self._run_loop_burst(horizon, limit, wall_deadline,
+                                 max_events, max_wall_seconds)
+            return
         dispatched = 0
         try:
             buckets = self._buckets
@@ -706,6 +855,10 @@ class _CalendarScheduler:
                         self.ladder_spills += 1
                     else:
                         entry = (etime, next(seq), event)
+                        if idx < self._cursor:
+                            # Clamp behind-the-cursor placements (see
+                            # the canonical push).
+                            idx = self._cursor
                         target = buckets[idx % n]
                         if self._active and idx == self._cursor:
                             push(target, entry)
@@ -715,6 +868,7 @@ class _CalendarScheduler:
                         blen = len(target)
                         if blen > self.peak_bucket_occupancy:
                             self.peak_bucket_occupancy = blen
+                    self._pushes += 1
                     size = self._size = self._size + 1
                     if size > self.peak_size:
                         self.peak_size = size
@@ -736,14 +890,199 @@ class _CalendarScheduler:
                         f"watchdog: event budget of {max_events} exhausted at "
                         f"t={now:.6f} ({sim._live} events still queued)"
                     )
-                if (not dispatched & 4095 and wall_deadline
-                        and _wallclock.monotonic() > wall_deadline):
-                    raise SimulationStalledError(
-                        f"watchdog: wall-clock budget of {max_wall_seconds:.1f}s "
-                        f"exhausted at t={now:.6f} after {dispatched} events"
-                    )
+                if not dispatched & 4095:
+                    if (self.ladder_spills > 256
+                            and self.ladder_spills * 8 > self._pushes):
+                        # Spill rate past 12.5%: the bucket width does
+                        # not fit this workload, and every spilled
+                        # entry pays heap cost twice (ladder push +
+                        # redistribution).  Hand the run to the heap
+                        # backend instead of limping on.
+                        self.fallback_triggered = True
+                        break
+                    if (wall_deadline
+                            and _wallclock.monotonic() > wall_deadline):
+                        raise SimulationStalledError(
+                            f"watchdog: wall-clock budget of "
+                            f"{max_wall_seconds:.1f}s exhausted at "
+                            f"t={now:.6f} after {dispatched} events"
+                        )
         finally:
             sim.events_processed += dispatched
+
+    def _run_loop_burst(self, horizon: float, limit: int,
+                        wall_deadline: float, max_events: Optional[int],
+                        max_wall_seconds: Optional[float]) -> None:
+        """Burst-mode run loop (see the heap backend's counterpart).
+
+        The drain's bound is the active bucket's head key: entries in
+        later buckets and the ladder are keyed past the active bucket's
+        end, so the head is a conservative-correct lower bound for every
+        real event, and zero-delay inserts into the active bucket use
+        ``heappush`` (it is heap-ordered) so they surface at ``bucket[0]``
+        mid-drain.  With the backend empty, the drain runs against the
+        horizon and returns as soon as a virtual step pushes a real
+        event (``_size`` changed), letting this loop re-establish the
+        cursor.
+        """
+        sim = self.sim
+        drain = sim._burst_drain
+        assert drain is not None
+        vheap = sim._vheap
+        popped = 0
+        dispatched = 0
+        try:
+            buckets = self._buckets
+            n = self._nbuckets
+            pop = _heappop
+            now = sim._now
+            while True:
+                if not self._active and not self._activate_next():
+                    if not vheap:
+                        break
+                    size0 = self._size
+                    dispatched = drain(sim, None, horizon, limit,
+                                       dispatched, self)
+                    now = sim._now
+                    if sim._stopped:
+                        break
+                    if limit and dispatched == limit:
+                        raise SimulationStalledError(
+                            f"watchdog: event budget of {max_events} "
+                            f"exhausted at t={now:.6f} "
+                            f"({sim._live} events still queued)"
+                        )
+                    if (wall_deadline
+                            and _wallclock.monotonic() > wall_deadline):
+                        raise SimulationStalledError(
+                            f"watchdog: wall-clock budget of "
+                            f"{max_wall_seconds:.1f}s exhausted at "
+                            f"t={now:.6f} after {dispatched} events"
+                        )
+                    if self._size == size0:
+                        break
+                    continue
+                bucket = buckets[self._cursor % n]
+                if not bucket:
+                    self._active = False
+                    self._cursor += 1
+                    continue
+                if vheap:
+                    dispatched = drain(sim, bucket, horizon, limit,
+                                       dispatched, self)
+                    now = sim._now
+                    if sim._stopped:
+                        break
+                    if limit and dispatched == limit:
+                        raise SimulationStalledError(
+                            f"watchdog: event budget of {max_events} "
+                            f"exhausted at t={now:.6f} "
+                            f"({sim._live} events still queued)"
+                        )
+                    if (wall_deadline
+                            and _wallclock.monotonic() > wall_deadline):
+                        raise SimulationStalledError(
+                            f"watchdog: wall-clock budget of "
+                            f"{max_wall_seconds:.1f}s exhausted at "
+                            f"t={now:.6f} after {dispatched} events"
+                        )
+                    if not bucket:
+                        # Compaction emptied the active bucket mid-burst.
+                        self._active = False
+                        self._cursor += 1
+                        continue
+                time = bucket[0][0]
+                if time > horizon:
+                    break
+                item = pop(bucket)
+                self._wheel_count -= 1
+                self._size -= 1
+                event = item[2]
+                callback = event.callback
+                if callback is None:
+                    continue
+                etime = event.time
+                if etime > time:
+                    # Stale timer re-key: the canonical insert is fast
+                    # enough off the packet hot path (deferrals are rare
+                    # relative to virtual steps in burst mode).
+                    self.push(etime, event)
+                    continue
+                if time < now:
+                    raise InvariantViolation(
+                        f"virtual clock moved backwards: popped event at "
+                        f"t={time:.9f} with clock at t={now:.9f}"
+                    )
+                sim._now = now = time
+                event.callback = None  # mark as consumed
+                sim._live -= 1
+                dispatched += 1
+                popped += 1
+                callback(*event.args)
+                if sim._stopped:
+                    break
+                if dispatched == limit:
+                    raise SimulationStalledError(
+                        f"watchdog: event budget of {max_events} exhausted at "
+                        f"t={now:.6f} ({sim._live} events still queued)"
+                    )
+                if not dispatched & 4095:
+                    if (self.ladder_spills > 256
+                            and self.ladder_spills * 8 > self._pushes):
+                        self.fallback_triggered = True
+                        break
+                    if (wall_deadline
+                            and _wallclock.monotonic() > wall_deadline):
+                        raise SimulationStalledError(
+                            f"watchdog: wall-clock budget of "
+                            f"{max_wall_seconds:.1f}s exhausted at "
+                            f"t={now:.6f} after {dispatched} events"
+                        )
+        finally:
+            sim.events_processed += popped
+
+    def next_key(self) -> Optional[Tuple[float, int]]:
+        """Raw ``(time, seq)`` key of the head entry (dead/stale included).
+
+        Advances the cursor to the next non-empty bucket first, exactly
+        as :meth:`step` would; pure wheel mechanics, order-neutral.
+        """
+        buckets = self._buckets
+        n = self._nbuckets
+        while True:
+            if not self._active and not self._activate_next():
+                return None
+            bucket = buckets[self._cursor % n]
+            if not bucket:
+                self._active = False
+                self._cursor += 1
+                continue
+            entry = bucket[0]
+            return (entry[0], entry[1])
+
+    def step_raw(self) -> bool:
+        """Pop exactly one raw entry; dispatch it if live and fresh."""
+        if self.next_key() is None:
+            return False
+        bucket = self._buckets[self._cursor % self._nbuckets]
+        time, _seq, event = _heappop(bucket)
+        self._wheel_count -= 1
+        self._size -= 1
+        if event.callback is None:
+            return False
+        if event.time > time:
+            self._live_neutral_repush(event)
+            return False
+        sim = self.sim
+        sim._now = time
+        callback = event.callback
+        event.callback = None
+        args = event.args
+        event.args = ()
+        sim._live -= 1
+        sim.events_processed += 1
+        callback(*args)
+        return True
 
     def step(self) -> bool:
         sim = self.sim
@@ -853,6 +1192,21 @@ class Simulator:
         routes every packet through the canonical call chain — the
         honest "unoptimized" arm of ``repro bench --engine``.  Results
         are bit-identical either way (test-enforced).
+    burst:
+        Enable the burst-mode departure fast path (default False).
+        Per-link serialization-end and delivery events are kept as
+        virtual array-backed streams — one ``(time, seq, payload)``
+        record each instead of an Event plus a queue insert — and the
+        run loop drains every virtual step that precedes the next real
+        event's ``(time, seq)`` key in a tight loop.  The burst window
+        is therefore implicitly "until the next externally visible
+        deadline": a timer, probe tick, fault transition, or any other
+        scheduled callback bounds the burst, and a push landing
+        mid-burst re-splits it on the next drain step.  Virtual records
+        consume sequence numbers at exactly the program points their
+        per-event twins would, so results are bit-identical with
+        bursting on or off (bench-enforced on every backend).  Requires
+        ``fastpath=True``.
 
     Examples
     --------
@@ -869,17 +1223,27 @@ class Simulator:
                  scheduler: str = "heap",
                  bucket_width: Optional[float] = None,
                  wheel_buckets: int = 1024,
-                 fastpath: bool = True) -> None:
+                 fastpath: bool = True,
+                 burst: bool = False) -> None:
         self._now = float(start_time)
         self._running = False
         self._stopped = False
         self._lazy_timers = bool(lazy_timers)
         self._compaction = bool(compaction)
         self._fastpath = bool(fastpath)
+        self._burst = bool(burst)
+        if self._burst and not self._fastpath:
+            raise ConfigurationError(
+                "burst=True requires fastpath=True: the burst drain is "
+                "an extension of the inlined packet chain")
         # Sentinel trick: with compaction off the threshold is pushed
         # beyond any reachable queue size, so the hot path tests a
         # single integer instead of also loading the _compaction flag.
         effective_min = int(compact_min) if compaction else (1 << 62)
+        #: Calendar bucket width actually chosen (None on heap); kept on
+        #: the Simulator so BENCH output can report it even after a
+        #: fallback migration discards the calendar backend.
+        self.bucket_width: Optional[float] = None
         if scheduler == "heap":
             if bucket_width is not None:
                 raise ConfigurationError(
@@ -889,6 +1253,7 @@ class Simulator:
             width = 1e-3 if bucket_width is None else float(bucket_width)
             self._sched = _CalendarScheduler(
                 self, effective_min, width, int(wheel_buckets))
+            self.bucket_width = width
         else:
             raise ConfigurationError(
                 f"unknown scheduler {scheduler!r}; expected 'heap' or "
@@ -903,6 +1268,28 @@ class Simulator:
         #: Timer re-arms satisfied by an in-place deadline move (no
         #: push).  Read by repro.obs as ``timer.lazy_deferrals``.
         self.lazy_deferrals = 0
+        #: Virtual packet-chain steps executed by the burst drain (each
+        #: one replaces a heap/calendar pop); 0 with bursting off.
+        self.burst_steps = 0
+        #: True once a calendar run fell back to the heap backend.
+        self.calendar_fallback = False
+        self._migrated_ladder_spills = 0
+        self._migrated_peak_bucket = 0
+        #: Merge heap of virtual stream heads: ``(time, seq, link)``,
+        #: at most one live entry per per-link stream (serialization and
+        #: propagation), stale entries discarded lazily by seq check.
+        self._vheap: List[Any] = []
+        #: The backend's sequence counter, shared so virtual records
+        #: allocate from the same stream as real entries (and survive a
+        #: calendar-to-heap migration, which hands over the counter).
+        self._seq_alloc: Iterator[int] = self._sched._seq
+        self._burst_drain: Optional[Callable[..., int]] = None
+        self._vstep: Optional[Callable[["Simulator"], bool]] = None
+        if self._burst:
+            # Deferred import: repro.net.link imports this module.
+            from repro.net.link import _burst_step, _drain_burst
+            self._burst_drain = _drain_burst
+            self._vstep = _burst_step
 
     # ------------------------------------------------------------------
     # Clock
@@ -1020,19 +1407,73 @@ class Simulator:
         wall_deadline = (_wallclock.monotonic() + max_wall_seconds
                          if max_wall_seconds is not None else 0.0)
         try:
-            self._sched.run_loop(horizon, limit, wall_deadline,
-                                 max_events, max_wall_seconds)
+            while True:
+                events_before = self.events_processed
+                self._sched.run_loop(horizon, limit, wall_deadline,
+                                     max_events, max_wall_seconds)
+                if not getattr(self._sched, "fallback_triggered", False):
+                    break
+                # Calendar spill-rate fallback: migrate every queued
+                # entry (keys intact, so pop order is unchanged) to a
+                # heap backend and resume with the remaining budget.
+                if limit:
+                    limit -= self.events_processed - events_before
+                self._migrate_to_heap()
+                if self._stopped:
+                    break
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:
             self._running = False
 
+    def _migrate_to_heap(self) -> None:
+        """Swap the calendar backend for a heap mid-run.
+
+        Entries keep their ``(time, seq)`` keys and the sequence counter
+        object is handed over, so the dispatch order from here on is
+        exactly what either backend would have produced — the fallback
+        changes throughput, never results.
+        """
+        cal = self._sched
+        heap_sched = _HeapScheduler(self, cal._compact_min)
+        entries: List[_Entry] = list(cal.entries())
+        _heapify(entries)
+        heap_sched._heap = entries
+        heap_sched._seq = cal._seq
+        heap_sched.peak_size = cal.peak_size
+        heap_sched.compactions = cal.compactions
+        self.calendar_fallback = True
+        self._migrated_ladder_spills = cal.ladder_spills
+        self._migrated_peak_bucket = cal.peak_bucket_occupancy
+        self._sched = heap_sched
+        self._push = heap_sched.push
+        self._seq_alloc = heap_sched._seq
+
     def step(self) -> bool:
         """Execute the single next non-cancelled event.
 
         Returns ``True`` if an event ran, ``False`` if the queue is empty.
-        Useful for unit tests and debugging.
+        Useful for unit tests and debugging.  In burst mode a virtual
+        packet-chain step counts as one event, preserving the per-event
+        step sequence exactly.
         """
+        vheap = self._vheap
+        if vheap:
+            sched = self._sched
+            vstep = self._vstep
+            assert vstep is not None
+            while True:
+                key = sched.next_key()
+                if vheap and (key is None or (vheap[0][0], vheap[0][1]) < key):
+                    if vstep(self):
+                        self.events_processed += 1
+                        self.burst_steps += 1
+                        return True
+                    continue  # stale virtual entry discarded; retry
+                if key is None:
+                    return False
+                if sched.step_raw():
+                    return True
         return bool(self._sched.step())
 
     def stop(self) -> None:
@@ -1066,9 +1507,16 @@ class Simulator:
 
     @property
     def dead_fraction(self) -> float:
-        """Fraction of queued entries that are cancelled/stale (diagnostics)."""
+        """Fraction of queued entries that are cancelled/stale (diagnostics).
+
+        Clamped at 0: in burst mode ``_live`` also counts virtual
+        records that never touch the backend queue.
+        """
         n = int(self._sched.size)
-        return (n - self._live) / n if n else 0.0
+        if not n:
+            return 0.0
+        dead = n - self._live
+        return dead / n if dead > 0 else 0.0
 
     @property
     def peak_heap_size(self) -> int:
@@ -1082,13 +1530,35 @@ class Simulator:
 
     @property
     def ladder_spills(self) -> int:
-        """Calendar-backend inserts that overflowed to the ladder (0 on heap)."""
-        return int(getattr(self._sched, "ladder_spills", 0))
+        """Calendar-backend inserts that overflowed to the ladder (0 on heap).
+
+        Preserved across a spill-rate fallback migration so diagnostics
+        still show what drove the calendar off the run.
+        """
+        return int(getattr(self._sched, "ladder_spills",
+                           self._migrated_ladder_spills))
 
     @property
     def peak_bucket_occupancy(self) -> int:
         """Largest calendar bucket ever observed (0 on heap)."""
-        return int(getattr(self._sched, "peak_bucket_occupancy", 0))
+        return int(getattr(self._sched, "peak_bucket_occupancy",
+                           self._migrated_peak_bucket))
+
+    @property
+    def burst(self) -> bool:
+        """Whether the burst-mode departure fast path is enabled."""
+        return self._burst
+
+    @property
+    def events_popped(self) -> int:
+        """Events that went through the real queue backend.
+
+        ``events_processed`` counts every dispatched unit of work —
+        including virtual packet-chain steps — so it is comparable
+        across burst on/off; this subtracts the coalesced steps to give
+        the actual pop count (the denominator of the coalescing ratio).
+        """
+        return self.events_processed - self.burst_steps
 
     def peek_time(self) -> Optional[float]:
         """Authoritative deadline of the next live event, or ``None``.
@@ -1097,6 +1567,19 @@ class Simulator:
         lazily-deferred timer — and never perturbs dispatch order, so it
         is safe to call from inside callbacks.  See the backend
         ``peek_time`` docstrings for the mechanics.
+
+        In burst mode the virtual stream heads participate too: their
+        times are authoritative (virtual records never defer), stale
+        entries are recognised by sequence number and skipped.
         """
         result = self._sched.peek_time()
-        return None if result is None else float(result)
+        best = _INF if result is None else float(result)
+        for entry in self._vheap:
+            if entry[0] >= best:
+                continue
+            link = entry[2]
+            s = entry[1]
+            prop = link._prop
+            if link._ser_seq == s or (prop and prop[0][1] == s):
+                best = entry[0]
+        return best if best < _INF else None

@@ -151,6 +151,47 @@ class TestDriftCheckers:
         result = lint_paths([str(mirror)], select=["REPRO204"])
         assert rule_ids(result) == {"REPRO204"}
 
+    # REPRO205: _drain_burst's SER/PROP bodies vs the canonical
+    # _burst_step.  The two copies live in the same file, so mutation
+    # anchors use indentation: canonical bodies sit one nesting level
+    # shallower than the drain loop's.
+
+    def test_burst_drain_ser_drift_caught(self, mirror):
+        mutate(mirror, "net/link.py",
+               "                        queue.departures += 1\n",
+               "                        queue.departures += 2\n")
+        result = lint_paths([str(mirror)], select=["REPRO205"])
+        assert rule_ids(result) == {"REPRO205"}
+        assert any("serialization-end" in d.message
+                   for d in result.diagnostics)
+
+    def test_burst_drain_prop_drift_caught(self, mirror):
+        mutate(mirror, "net/link.py",
+               "                    hops = packet.hops = packet.hops + 1\n",
+               "                    hops = packet.hops = packet.hops + 2\n")
+        result = lint_paths([str(mirror)], select=["REPRO205"])
+        assert rule_ids(result) == {"REPRO205"}
+        assert any("delivery" in d.message for d in result.diagnostics)
+
+    def test_burst_canonical_step_drift_caught(self, mirror):
+        # Equivalence is symmetric: editing the canonical _burst_step
+        # without touching _drain_burst must also trip the checker.
+        mutate(mirror, "net/link.py",
+               "            hops = packet.hops = packet.hops + 1\n",
+               "            hops = packet.hops = packet.hops + 2\n")
+        result = lint_paths([str(mirror)], select=["REPRO205"])
+        assert rule_ids(result) == {"REPRO205"}
+
+    def test_burst_mirrored_edit_is_clean(self, mirror):
+        # The same edit applied to BOTH copies keeps them equivalent —
+        # the rule checks mirroring, not the physics.
+        for indent in ("            ", "                    "):
+            mutate(mirror, "net/link.py",
+                   f"{indent}link.packets_delivered += 1\n",
+                   f"{indent}link.packets_delivered += 2\n")
+        result = lint_paths([str(mirror)], select=["REPRO205"])
+        assert result.diagnostics == []
+
     def test_real_tree_is_clean(self):
         result = lint_paths([str(_SRC / "repro")], select=["REPRO2"])
         assert result.diagnostics == []

@@ -1,0 +1,226 @@
+"""Burst-mode departure identity: bursting on/off, bit for bit.
+
+The burst drain (``Simulator(burst=True)``) changes *when* the packet
+chain's work is done — virtual per-link streams drained in a tight loop
+— but must never change *what* the simulation computes.  A seeded
+(``derandomize=True``) hypothesis suite drives a tiny dumbbell through
+op scripts covering exactly the hazards the drain has to re-split on:
+timers expiring mid-burst, a fault flap landing inside a burst window,
+RED drops inside a burst, ``stop()`` from a callback during the drain,
+and zero-length / single-packet bursts — and asserts the full
+observable history is identical across bursting on/off on both
+scheduler backends.
+
+The op spacing (3 ms) is deliberately shorter than the time a full
+send-burst occupies the 10 Mbps bottleneck (0.8 ms per packet), so
+later ops routinely land while a burst window is open.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import SimulationStalledError
+from repro.net.packet import Packet
+from repro.net.queues import REDQueue
+from repro.net.topology import Network
+from repro.sim import Simulator, Timer
+
+FAST = dict(max_examples=40, deadline=None, derandomize=True,
+            suppress_health_check=[HealthCheck.too_slow])
+
+#: scheduler backend x bursting; the first entry is the reference.
+VARIANTS = (("heap", False), ("heap", True),
+            ("calendar", False), ("calendar", True))
+
+#: Timer delays straddling the bottleneck's 0.8 ms serialization time:
+#: zero-delay, sub-serialization (mid-burst), one-packet, several.
+TIMER_DELAYS = (0.0, 0.0003, 0.0011, 0.004, 0.02)
+
+_ops = st.lists(
+    st.one_of(
+        # 0 = zero-length burst (the link never goes busy), 1 = single-
+        # packet burst, 8 = overflows the 6-packet bottleneck queue.
+        st.tuples(st.just("send"), st.integers(0, 8)),
+        st.tuples(st.just("timer"), st.integers(0, 2),
+                  st.sampled_from(TIMER_DELAYS)),
+        st.tuples(st.just("cancel"), st.integers(0, 2)),
+        st.tuples(st.just("flap"), st.sampled_from((0.001, 0.005))),
+        st.tuples(st.just("peek")),
+        st.tuples(st.just("stop")),
+    ),
+    min_size=1, max_size=30,
+)
+
+
+class _Sink:
+    """Receiving agent: logs every delivery in arrival order."""
+
+    def __init__(self, sim, log):
+        self.sim = sim
+        self.log = log
+
+    def deliver(self, packet):
+        # packet.seq, not packet.uid: uids come from a process-global
+        # allocator, so they differ between two runs in one process.
+        self.log.append(("rx", packet.seq, packet.payload,
+                         round(self.sim.now, 9)))
+
+
+def _build(scheduler, burst, red):
+    opts = {}
+    if scheduler == "calendar":
+        # Tiny buckets relative to the 0.8 ms serialization time, so
+        # bursts routinely span bucket boundaries and cursor advances.
+        opts.update(scheduler="calendar", bucket_width=0.0005,
+                    wheel_buckets=64)
+    sim = Simulator(burst=burst, **opts)
+    net = Network(sim)
+    a = net.add_host("a")
+    r = net.add_router("r")
+    b = net.add_host("b")
+    if red:
+        bottleneck_queue = REDQueue(
+            sim, capacity_packets=6, min_thresh=1, max_thresh=4,
+            rng=random.Random(7))
+    else:
+        bottleneck_queue = 6
+    net.connect(a, r, rate="100Mbps", delay="0.1ms")
+    net.connect(r, b, rate="10Mbps", delay="2ms",
+                queue_ab=bottleneck_queue)
+    net.compute_routes()
+    return sim, net, a, r, b
+
+
+def _execute(ops, scheduler, burst, red=False, max_events=None):
+    """Run one op script; return the full observable history."""
+    sim, net, a, r, b = _build(scheduler, burst, red)
+    log = []
+    sink = _Sink(sim, log)
+    b.bind(5, sink)
+    bottleneck = r.interfaces[b.node_id]
+    uids = iter(range(1, 10_000))
+
+    def send(count):
+        for _ in range(count):
+            a.inject(Packet.acquire(src=a.address, dst=b.address,
+                                    payload=1000, dport=5,
+                                    seq=next(uids)))
+
+    timers = [
+        Timer(sim, lambda i=i: log.append(("timer", i, round(sim.now, 9))))
+        for i in range(3)
+    ]
+
+    def apply(op):
+        kind = op[0]
+        if kind == "send":
+            send(op[1])
+        elif kind == "timer":
+            timers[op[1]].arm(op[2])
+        elif kind == "cancel":
+            timers[op[1]].cancel()
+        elif kind == "flap":
+            bottleneck.link.down()
+            sim.schedule(op[1], bottleneck.link.up)
+        elif kind == "peek":
+            at = sim.peek_time()
+            log.append(("peek", None if at is None else round(at, 9)))
+        else:  # stop — mid-drain when a burst window is open
+            sim.stop()
+
+    for index, op in enumerate(ops):
+        sim.call_at(index * 0.003, apply, op)
+    budget_hits = 0
+    while True:
+        try:
+            sim.run(max_events=max_events)
+        except SimulationStalledError:
+            budget_hits += 1
+            max_events = None  # drain the remainder unbudgeted
+            continue
+        if not sim.pending():  # resume after stop()-from-callback
+            break
+    queue = bottleneck.queue
+    link = bottleneck.link
+    return (log, sim.events_processed, round(sim.now, 9), budget_hits,
+            queue.arrivals, queue.departures, queue.drops, queue.bytes_out,
+            link.packets_delivered, link.bytes_delivered,
+            link.packets_dropped, round(link.busy_time, 9),
+            b.packets_received, a.packets_received)
+
+
+class TestBurstIdentity:
+    @given(ops=_ops)
+    @settings(**FAST)
+    def test_all_variants_agree(self, ops):
+        reference = _execute(ops, *VARIANTS[0])
+        for scheduler, burst in VARIANTS[1:]:
+            assert _execute(ops, scheduler, burst) == reference, \
+                (scheduler, burst)
+
+    @given(ops=_ops)
+    @settings(**FAST)
+    def test_red_drops_inside_burst_agree(self, ops):
+        reference = _execute(ops, *VARIANTS[0], red=True)
+        for scheduler, burst in VARIANTS[1:]:
+            assert _execute(ops, scheduler, burst, red=True) == reference, \
+                (scheduler, burst)
+
+    @given(ops=_ops, budget=st.integers(5, 60))
+    @settings(**FAST)
+    def test_event_budget_lands_identically(self, ops, budget):
+        """The watchdog budget must exhaust at the same event count and
+        virtual time whether the events were popped or burst-drained."""
+        reference = _execute(ops, *VARIANTS[0], max_events=budget)
+        for scheduler, burst in VARIANTS[1:]:
+            result = _execute(ops, scheduler, burst, max_events=budget)
+            assert result == reference, (scheduler, burst)
+
+
+class TestBurstEdgeCases:
+    def _histories(self, ops, **kwargs):
+        reference = _execute(ops, *VARIANTS[0], **kwargs)
+        for scheduler, burst in VARIANTS[1:]:
+            assert _execute(ops, scheduler, burst, **kwargs) == reference, \
+                (scheduler, burst)
+        return reference
+
+    def test_zero_length_burst(self):
+        self._histories([("send", 0), ("peek",)])
+
+    def test_single_packet_burst(self):
+        history = self._histories([("send", 1)])
+        assert any(entry[0] == "rx" for entry in history[0])
+
+    def test_timer_expires_mid_burst(self):
+        # 8 packets occupy the bottleneck for 6.4 ms; the 0.3 ms timer
+        # fires between the first and second departures.
+        history = self._histories([("send", 8), ("timer", 0, 0.0003)])
+        kinds = [entry[0] for entry in history[0]]
+        assert "timer" in kinds and "rx" in kinds
+
+    def test_flap_lands_inside_burst_window(self):
+        history = self._histories([("send", 8), ("flap", 0.005),
+                                   ("send", 4)])
+        # The flap killed in-flight packets: fewer deliveries than sends.
+        delivered = sum(1 for entry in history[0] if entry[0] == "rx")
+        assert 0 < delivered < 12
+
+    def test_stop_from_callback_during_drain(self):
+        self._histories([("send", 8), ("stop",), ("send", 3)])
+
+    def test_burst_census_counts_coalesced_steps(self):
+        ops = [("send", 8), ("send", 8)]
+        sim, net, a, r, b = _build("heap", True, red=False)
+        b.bind(5, _Sink(sim, []))
+        for index, count in enumerate(op[1] for op in ops):
+            sim.call_at(index * 0.003, lambda c=count: [
+                a.inject(Packet.acquire(src=a.address, dst=b.address,
+                                        payload=1000, dport=5, seq=i))
+                for i in range(c)])
+        sim.run()
+        assert sim.burst_steps > 0
+        assert sim.events_popped + sim.burst_steps == sim.events_processed
+        assert sim.events_popped < sim.events_processed
