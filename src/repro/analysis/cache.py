@@ -1,0 +1,192 @@
+"""On-disk content-hash cache for ``repro lint``.
+
+The cache stores *raw, pre-suppression* diagnostics so a warm rerun
+skips rule execution for unchanged files while suppression handling
+(``# repro: noqa`` and the unused-suppression warning) stays live —
+editing only a comment is enough to change the file hash anyway.
+
+Soundness over cleverness: every entry is keyed by content hashes, so
+a hit can never serve stale analysis.
+
+* The **rules signature** hashes every source file of
+  ``repro.analysis`` itself plus the selected rule ids.  Editing any
+  rule, the CFG builder, or the symbol table invalidates the whole
+  cache — the cheap, obviously-correct choice.
+* **File-local** rules (determinism, slots, sim-time, durability, …)
+  are keyed by the file's own content hash.
+* **Whole-program** rules (``project_sensitive = True``: unit taint,
+  purity closures, interprocedural pool summaries) and every
+  ``check_project`` diagnostic are additionally keyed by the *project
+  hash* — the hash of all file hashes — because an edit anywhere can
+  change their verdict in an unedited file.
+
+Consequently a no-op rerun re-analyses nothing, and editing one file
+re-runs the local rules for that file plus the whole-program passes,
+never the local rules of untouched files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+__all__ = ["LintCache", "rules_signature"]
+
+_CACHE_VERSION = 1
+_CACHE_BASENAME = "cache.json"
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+def file_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def rules_signature(select: Optional[Sequence[str]]) -> str:
+    """Hash of the analysis package's own sources plus the selection.
+
+    Any edit under ``repro/analysis`` (a rule, the CFG, the symbol
+    table, this module) changes the signature and drops every entry.
+    """
+    digest = hashlib.sha256()
+    root = os.path.dirname(os.path.abspath(__file__))
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            digest.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    for item in sorted(select or ()):
+        digest.update(b"select:" + item.encode())
+    return digest.hexdigest()
+
+
+def _encode(diags: List[Diagnostic]) -> List[Dict]:
+    return [d.to_dict() for d in diags]
+
+
+def _decode(rows: List[Dict]) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for row in rows:
+        out.append(Diagnostic(
+            path=row["path"], line=int(row["line"]), col=int(row["col"]),
+            rule_id=row["rule"],
+            severity=Severity[row["severity"].upper()],
+            message=row["message"]))
+    return out
+
+
+class LintCache:
+    """One cache directory; load once, serve lookups, write back once."""
+
+    def __init__(self, cache_dir: str,
+                 select: Optional[Sequence[str]] = None) -> None:
+        self.cache_dir = cache_dir
+        self.path = os.path.join(cache_dir, _CACHE_BASENAME)
+        self.signature = rules_signature(select)
+        self._old: Dict[str, Dict] = {}
+        self._new: Dict[str, Dict] = {}
+        self._project_old: Optional[Dict] = None
+        self._project_new: Optional[Dict] = None
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("version") != _CACHE_VERSION:
+            return
+        if payload.get("signature") != self.signature:
+            return
+        files = payload.get("files")
+        if isinstance(files, dict):
+            self._old = files
+        project = payload.get("project")
+        if isinstance(project, dict):
+            self._project_old = project
+
+    # ------------------------------------------------------------------
+    # Per-file entries
+    # ------------------------------------------------------------------
+    def lookup_file(self, path: str, file_hash: str,
+                    project_hash: str) -> Optional[List[Diagnostic]]:
+        """Cached raw diagnostics for this file, or None on miss.
+
+        A hit requires the file hash to match; the project-sensitive
+        part additionally requires the project hash.
+        """
+        entry = self._old.get(path)
+        if not entry or entry.get("hash") != file_hash:
+            self.misses += 1
+            return None
+        if entry.get("project_hash") != project_hash:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._new[path] = entry
+        return _decode(entry.get("local", []) + entry.get("global", []))
+
+    def lookup_local(self, path: str,
+                     file_hash: str) -> Optional[List[Diagnostic]]:
+        """The file-local part alone (valid across project changes)."""
+        entry = self._old.get(path)
+        if not entry or entry.get("hash") != file_hash:
+            return None
+        return _decode(entry.get("local", []))
+
+    def store_file(self, path: str, file_hash: str, project_hash: str,
+                   local: List[Diagnostic],
+                   global_: List[Diagnostic]) -> None:
+        self._new[path] = {
+            "hash": file_hash,
+            "project_hash": project_hash,
+            "local": _encode(local),
+            "global": _encode(global_),
+        }
+
+    # ------------------------------------------------------------------
+    # Project-level (check_project) entries
+    # ------------------------------------------------------------------
+    def lookup_project(self,
+                       project_hash: str) -> Optional[List[Diagnostic]]:
+        entry = self._project_old
+        if not entry or entry.get("hash") != project_hash:
+            return None
+        self._project_new = entry
+        return _decode(entry.get("diags", []))
+
+    def store_project(self, project_hash: str,
+                      diags: List[Diagnostic]) -> None:
+        self._project_new = {"hash": project_hash, "diags": _encode(diags)}
+
+    # ------------------------------------------------------------------
+    def write(self) -> None:
+        """Persist entries touched this run (natural garbage collection)."""
+        payload = {
+            "version": _CACHE_VERSION,
+            "signature": self.signature,
+            "files": self._new,
+            "project": self._project_new,
+        }
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            tmp = self.path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            # A read-only checkout must not break linting.
+            pass

@@ -1,0 +1,138 @@
+"""Static call graph over the linted file set.
+
+Built on top of :mod:`repro.analysis.symbols`.  Each indexed function
+gets an edge list of *resolved* callees plus the residue of calls that
+could not be resolved (builtin, stdlib, or too dynamic).  Two views are
+offered:
+
+* ``strict`` edges — only calls the symbol table can pin to a single
+  definition (direct calls, imports, ``self.method`` with statically
+  known inheritance).  Used by the unit rules, where a wrong edge would
+  manufacture false positives.
+* ``duck`` edges — method calls through unknown receivers resolve to
+  *every* method of that name in the file set.  Used by the purity
+  rules, where a missed edge would hide a violation.
+
+The graph is deliberately flow- and context-insensitive; reachability
+is a plain BFS.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.symbols import FunctionInfo, SymbolTable
+
+__all__ = ["CallGraph", "CallSite"]
+
+
+class CallSite:
+    """One call expression inside a function body."""
+
+    __slots__ = ("node", "caller", "callee", "duck_callees", "name")
+
+    def __init__(self, node: ast.Call, caller: FunctionInfo,
+                 callee: Optional[FunctionInfo],
+                 duck_callees: Tuple[FunctionInfo, ...],
+                 name: str) -> None:
+        self.node = node
+        self.caller = caller
+        #: Strict resolution (None when unknown).
+        self.callee = callee
+        #: Duck-typed over-approximation for ``obj.method(...)`` calls.
+        self.duck_callees = duck_callees
+        #: Trailing name of the call expression (``attr`` or bare name).
+        self.name = name
+
+
+def _call_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return "<dynamic>"
+
+
+class CallGraph:
+    """Function-level call graph with strict and duck edge sets."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.sites: Dict[str, List[CallSite]] = {}
+        self._strict: Dict[str, Set[str]] = {}
+        self._duck: Dict[str, Set[str]] = {}
+        for info in table.functions():
+            self._index_function(info)
+
+    def _index_function(self, info: FunctionInfo) -> None:
+        mod = self.table.modules.get(info.module)
+        if mod is None:  # pragma: no cover - module always indexed
+            return
+        sites: List[CallSite] = []
+        strict: Set[str] = set()
+        duck: Set[str] = set()
+        nested_bodies = {id(f.node) for f in info.nested.values()}
+        for node in self._walk_own(info.node, nested_bodies):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self.table.resolve_call(node.func, mod, info)
+            ducks: Tuple[FunctionInfo, ...] = ()
+            if callee is None and isinstance(node.func, ast.Attribute):
+                ducks = tuple(self.table.methods_named(node.func.attr))
+            site = CallSite(node, info, callee, ducks,
+                            _call_name(node.func))
+            sites.append(site)
+            if callee is not None:
+                strict.add(callee.qualname)
+                duck.add(callee.qualname)
+            for d in ducks:
+                duck.add(d.qualname)
+        self.sites[info.qualname] = sites
+        self._strict[info.qualname] = strict
+        self._duck[info.qualname] = duck
+
+    @staticmethod
+    def _walk_own(func: ast.FunctionDef,
+                  nested_bodies: Set[int]) -> Iterable[ast.AST]:
+        """Walk a function body without descending into nested defs.
+
+        Nested functions are indexed separately; their calls must not be
+        attributed to the enclosing function's *own* body (calling the
+        nested function creates the edge instead).
+        """
+        stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if id(node) in nested_bodies:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def callees(self, qualname: str, duck: bool = False) -> Set[str]:
+        edges = self._duck if duck else self._strict
+        return set(edges.get(qualname, ()))
+
+    def call_sites(self, qualname: str) -> List[CallSite]:
+        return list(self.sites.get(qualname, ()))
+
+    def reachable(self, roots: Iterable[str],
+                  duck: bool = False) -> Set[str]:
+        """Qualnames reachable from ``roots`` (inclusive), BFS."""
+        edges = self._duck if duck else self._strict
+        seen: Set[str] = set()
+        frontier = [r for r in roots if r in self.sites or r in edges]
+        for r in roots:
+            seen.add(r)
+        while frontier:
+            current = frontier.pop()
+            for nxt in edges.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen

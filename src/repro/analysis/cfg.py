@@ -1,0 +1,181 @@
+"""Intraprocedural control-flow graph.
+
+Statement-granular: every simple statement and every compound-statement
+header (the ``if`` test, the ``while`` test, the ``for`` iterable) is a
+node; edges encode fall-through, branching, loop back edges, ``break``/
+``continue``, and early exits.  ``try`` is modelled coarsely — handlers
+are entered both from the state *before* the try body (a statement may
+raise before doing anything) and from the body's fall-through — which
+is the conservative choice for the must-analyses built on top.
+
+The graph feeds :mod:`repro.analysis.dataflow`; it intentionally knows
+nothing about the abstract domains run over it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set
+
+__all__ = ["CFG", "CFGNode", "build_cfg"]
+
+ENTRY = 0
+EXIT = 1
+
+
+class CFGNode:
+    """One CFG node: a statement plus its role in the graph."""
+
+    __slots__ = ("index", "stmt", "kind")
+
+    def __init__(self, index: int, stmt: Optional[ast.stmt],
+                 kind: str) -> None:
+        self.index = index
+        self.stmt = stmt
+        #: 'entry' | 'exit' | 'stmt' | 'branch' | 'loop'
+        self.kind = kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = type(self.stmt).__name__ if self.stmt is not None else self.kind
+        return f"CFGNode({self.index}, {label})"
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = [
+            CFGNode(ENTRY, None, "entry"),
+            CFGNode(EXIT, None, "exit"),
+        ]
+        self.succ: Dict[int, Set[int]] = {ENTRY: set(), EXIT: set()}
+        self.pred: Dict[int, Set[int]] = {ENTRY: set(), EXIT: set()}
+
+    def add_node(self, stmt: ast.stmt, kind: str = "stmt") -> int:
+        index = len(self.nodes)
+        self.nodes.append(CFGNode(index, stmt, kind))
+        self.succ[index] = set()
+        self.pred[index] = set()
+        return index
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.succ[src].add(dst)
+        self.pred[dst].add(src)
+
+    def statement_nodes(self) -> List[CFGNode]:
+        return [n for n in self.nodes if n.stmt is not None]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        # Per-enclosing-loop break collection.
+        self._break_stack: List[List[int]] = []
+        self._loop_header_stack: List[int] = []
+
+    # ``frontier`` is the set of node indices whose control flow falls
+    # through to whatever comes next.  An empty frontier means the
+    # remaining statements are unreachable (after return/raise).
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        frontier = self._block(list(body), {ENTRY})
+        for node in frontier:
+            self.cfg.add_edge(node, EXIT)
+        return self.cfg
+
+    def _link(self, frontier: Set[int], node: int) -> None:
+        for src in frontier:
+            self.cfg.add_edge(src, node)
+
+    def _block(self, body: Sequence[ast.stmt],
+               frontier: Set[int]) -> Set[int]:
+        for stmt in body:
+            if not frontier:
+                break
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, frontier: Set[int]) -> Set[int]:
+        cfg = self.cfg
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            node = cfg.add_node(stmt)
+            self._link(frontier, node)
+            cfg.add_edge(node, EXIT)
+            return set()
+        if isinstance(stmt, ast.Break):
+            node = cfg.add_node(stmt)
+            self._link(frontier, node)
+            if self._break_stack:
+                self._break_stack[-1].append(node)
+            else:  # pragma: no cover - syntactically invalid source
+                cfg.add_edge(node, EXIT)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            node = cfg.add_node(stmt)
+            self._link(frontier, node)
+            if self._loop_header_stack:
+                cfg.add_edge(node, self._loop_header_stack[-1])
+            else:  # pragma: no cover - syntactically invalid source
+                cfg.add_edge(node, EXIT)
+            return set()
+        if isinstance(stmt, ast.If):
+            test = cfg.add_node(stmt, "branch")
+            self._link(frontier, test)
+            then_out = self._block(stmt.body, {test})
+            if stmt.orelse:
+                else_out = self._block(stmt.orelse, {test})
+            else:
+                else_out = {test}
+            return then_out | else_out
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = cfg.add_node(stmt, "loop")
+            self._link(frontier, header)
+            self._break_stack.append([])
+            self._loop_header_stack.append(header)
+            body_out = self._block(stmt.body, {header})
+            for node in body_out:
+                cfg.add_edge(node, header)  # back edge
+            self._loop_header_stack.pop()
+            breaks = self._break_stack.pop()
+            # Normal loop exit (condition false / iterable exhausted)
+            # plus every break.  ``while True`` still exits through the
+            # header edge here — acceptable imprecision for a linter.
+            out: Set[int] = {header}
+            if stmt.orelse:
+                out = self._block(stmt.orelse, out)
+            out |= set(breaks)
+            return out
+        if isinstance(stmt, ast.Try):
+            entry_frontier = set(frontier)
+            body_out = self._block(stmt.body, frontier)
+            handler_out: Set[int] = set()
+            for handler in stmt.handlers:
+                # A handler can be entered from before the body (first
+                # statement raised) or after any part of it ran; joining
+                # both frontiers is the conservative approximation.
+                handler_out |= self._block(
+                    list(handler.body), entry_frontier | body_out)
+            out = body_out | handler_out
+            if stmt.orelse:
+                out = self._block(stmt.orelse, body_out) | handler_out
+            if stmt.finalbody:
+                out = self._block(stmt.finalbody, out or entry_frontier)
+            return out
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = cfg.add_node(stmt)
+            self._link(frontier, node)
+            return self._block(stmt.body, {node})
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # Nested definitions are opaque single statements here;
+            # their bodies get their own CFG when analysed.
+            node = cfg.add_node(stmt)
+            self._link(frontier, node)
+            return {node}
+        node = cfg.add_node(stmt)
+        self._link(frontier, node)
+        return {node}
+
+
+def build_cfg(func: ast.FunctionDef) -> CFG:
+    """CFG of ``func``'s body (entry node 0, exit node 1)."""
+    return _Builder().build(func.body)

@@ -85,6 +85,17 @@ class FileContext:
             self._noqa = self._scan_noqa()
         return self._noqa.get(line)
 
+    def noqa_lines(self) -> Dict[int, Optional[FrozenSet[str]]]:
+        """Every ``# repro: noqa`` comment: line -> listed rules.
+
+        An empty set means a bare (suppress-everything) comment.  The
+        engine uses this to warn about suppressions that silence
+        nothing (REPRO002).
+        """
+        if self._noqa is None:
+            self._noqa = self._scan_noqa()
+        return dict(self._noqa)
+
     def suppresses(self, line: int, rule_id: str) -> bool:
         """Whether a ``# repro: noqa`` comment on ``line`` covers ``rule_id``."""
         rules = self.noqa_for_line(line)
@@ -93,13 +104,29 @@ class FileContext:
         return not rules or rule_id.upper() in rules
 
     def _scan_noqa(self) -> Dict[int, Optional[FrozenSet[str]]]:
+        # Tokenize so a ``# repro: noqa`` *mentioned* inside a docstring
+        # or string literal neither suppresses anything nor trips the
+        # unused-suppression warning — only real comments count.
         table: Dict[int, Optional[FrozenSet[str]]] = {}
-        for lineno, text in enumerate(self.lines, start=1):
-            if "noqa" not in text:
+        if "noqa" not in self.source:
+            return table
+        import io
+        import tokenize
+        try:
+            tokens = list(tokenize.generate_tokens(
+                io.StringIO(self.source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return table
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
                 continue
-            match = _NOQA_RE.search(text)
+            # Anchored match: the directive must open the comment
+            # (``x = 1  # repro: noqa``); prose that merely *mentions*
+            # the syntax deeper in a comment is not a suppression.
+            match = _NOQA_RE.match(tok.string)
             if match is None:
                 continue
+            lineno = tok.start[0]
             listed = match.group("rules")
             if listed is None:
                 table[lineno] = frozenset()
@@ -115,6 +142,28 @@ class Project:
 
     def __init__(self, files: List[FileContext]):
         self.files = files
+        self._symbols = None
+        self._callgraph = None
+
+    @property
+    def symbols(self):
+        """Lazily-built :class:`~repro.analysis.symbols.SymbolTable`.
+
+        Shared by every whole-program rule in a run; imported lazily so
+        per-file rules never pay for it.
+        """
+        if self._symbols is None:
+            from repro.analysis.symbols import SymbolTable
+            self._symbols = SymbolTable(self.files)
+        return self._symbols
+
+    @property
+    def callgraph(self):
+        """Lazily-built :class:`~repro.analysis.callgraph.CallGraph`."""
+        if self._callgraph is None:
+            from repro.analysis.callgraph import CallGraph
+            self._callgraph = CallGraph(self.symbols)
+        return self._callgraph
 
     def find(self, suffix: str) -> Optional[FileContext]:
         """Locate a parsed file whose path ends with ``suffix``.

@@ -1,0 +1,92 @@
+"""Generic forward dataflow engine over :mod:`repro.analysis.cfg`.
+
+A classic optimistic worklist solver: analyses subclass
+:class:`ForwardAnalysis`, supplying the entry state, a join, and a
+per-statement transfer function; :func:`solve` iterates to fixpoint and
+returns the state *before* and *after* every CFG node.  States may be
+any equality-comparable value (frozensets and dicts both work); nodes
+not yet reached carry ``None`` (⊤), and the join only ever sees reached
+predecessors, which makes intersection-style must-analyses come out
+right without a special top element.
+
+Loops terminate because every analysis here runs over finite domains
+(sets of local names, maps from locals to a finite dimension lattice)
+and monotone transfers; the engine additionally guards with an
+iteration cap proportional to the graph size.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Dict, Generic, List, Optional, Tuple, TypeVar
+
+from repro.analysis.cfg import CFG, ENTRY
+
+__all__ = ["ForwardAnalysis", "solve"]
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """Interface a concrete analysis implements."""
+
+    def initial_state(self) -> S:
+        """State at function entry."""
+        raise NotImplementedError
+
+    def join(self, states: List[S]) -> S:
+        """Merge the (non-empty) out-states of reached predecessors."""
+        raise NotImplementedError
+
+    def transfer(self, stmt: ast.stmt, state: S) -> S:
+        """State after executing ``stmt`` from ``state``.
+
+        For compound headers (If/While/For) the statement is the header
+        node: transfer should model only the header's own effect (the
+        ``for`` target binding, evaluation of the test) — the bodies
+        are separate CFG nodes.
+        """
+        raise NotImplementedError
+
+
+def solve(cfg: CFG, analysis: ForwardAnalysis[S]
+          ) -> Tuple[Dict[int, Optional[S]], Dict[int, Optional[S]]]:
+    """Run ``analysis`` over ``cfg`` to fixpoint.
+
+    Returns ``(in_states, out_states)`` keyed by node index; ``None``
+    marks nodes the solver never reached (dead code).
+    """
+    in_states: Dict[int, Optional[S]] = {n.index: None for n in cfg.nodes}
+    out_states: Dict[int, Optional[S]] = {n.index: None for n in cfg.nodes}
+    out_states[ENTRY] = analysis.initial_state()
+
+    worklist = deque(sorted(cfg.succ[ENTRY]))
+    queued = set(worklist)
+    # Safety cap: |nodes|² × constant is far beyond what any monotone
+    # analysis needs — exceeding it indicates a broken transfer.
+    budget = max(64, len(cfg.nodes) * len(cfg.nodes) * 4)
+
+    while worklist and budget > 0:
+        budget -= 1
+        index = worklist.popleft()
+        queued.discard(index)
+        node = cfg.nodes[index]
+        preds = [out_states[p] for p in cfg.pred[index]
+                 if out_states[p] is not None]
+        if not preds:
+            continue
+        new_in = analysis.join(preds) if len(preds) > 1 else preds[0]
+        if node.stmt is not None:
+            new_out = analysis.transfer(node.stmt, new_in)
+        else:
+            new_out = new_in
+        if new_in == in_states[index] and new_out == out_states[index]:
+            continue
+        in_states[index] = new_in
+        out_states[index] = new_out
+        for nxt in cfg.succ[index]:
+            if nxt not in queued:
+                queued.add(nxt)
+                worklist.append(nxt)
+    return in_states, out_states

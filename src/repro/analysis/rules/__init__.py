@@ -3,14 +3,19 @@
 Importing this package registers every rule family:
 
 * ``determinism`` — REPRO101..REPRO105
-* ``drift``       — REPRO201..REPRO203
+* ``durability``  — REPRO106..REPRO108
+* ``drift``       — REPRO201..REPRO205
 * ``slots``       — REPRO301..REPRO302
 * ``simtime``     — REPRO401..REPRO402
 * ``pool``        — REPRO501
+* ``units``       — REPRO601..REPRO603
+* ``purity``      — REPRO701..REPRO702
 """
 
 from __future__ import annotations
 
-from repro.analysis.rules import determinism, drift, pool, simtime, slots
+from repro.analysis.rules import (determinism, drift, durability, pool,
+                                  purity, simtime, slots, units)
 
-__all__ = ["determinism", "drift", "pool", "simtime", "slots"]
+__all__ = ["determinism", "drift", "durability", "pool", "purity",
+           "simtime", "slots", "units"]

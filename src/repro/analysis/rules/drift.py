@@ -1,38 +1,47 @@
-"""Fast-path drift rules (REPRO2xx).
+"""Fast-path drift rules (REPRO2xx), driven by a declarative mirror
+registry.
 
 The engine-optimization PRs hand-inlined four canonical routines into
 hot loops:
 
 * ``Simulator.schedule`` — expanded at the link scheduling sites
   (``Link.transmit``, twice in ``Link._end_serialization``) and the
-  cut-through site in ``Interface.enqueue``.  The insert itself is the
-  backend-agnostic ``sim._push(time, event)`` call, so the copies are
-  identical across scheduler backends;
+  cut-through site in ``Interface.enqueue``;
 * ``Queue.enqueue``'s admitted path — copied into ``Interface.enqueue``;
 * ``Node.forward`` — folded into ``Link._deliver``;
-* ``_CalendarScheduler.push`` — the calendar-queue insert, copied into
-  the backend's own run loop for the lazy-timer re-key path.
+* ``_CalendarScheduler.push`` — copied into the backend's own run loop
+  for the lazy-timer re-key path;
+* ``_burst_step``'s SER/PROP bodies — copied into ``_drain_burst``.
 
 Each copy is correct *today* because it was derived from the canonical
 code and verified by the bit-identical equivalence tests.  It stays
 correct only if every future edit touches both sides.  These rules
-enforce that mechanically: each inline site is reduced to a normalized
-AST form (alpha-renamed locals, operand holes for the site-specific
-expressions) and compared against the same reduction of the canonical
-definition.  Any asymmetric edit — a new field on ``Event``, a changed
-accounting statement, a different hop-guard, a bucket-index formula
-tweak — produces an error-severity diagnostic, which fails
-``repro lint`` and CI.
+enforce that mechanically.
 
-The rules run only when both the canonical module and the inline module
-are part of the linted file set (so ``repro lint tests/`` stays quiet);
-``repro lint src/repro`` always covers both.
+Since PR 9 the per-rule plumbing (module resolution, missing-anchor
+messaging, site minimums, the symmetric compare loop) lives in one
+generic :class:`MirrorSpec` driver; each rule *declares* its canonical
+anchor, its inline sites, and how the two sides are fingerprinted:
+
+* a **semantic fingerprint** (``ScheduleSkeleton``, ``ForwardSummary``,
+  ``CalendarInsertSkeleton``) when the two sides legitimately differ in
+  spelling — compared by equality, differences narrated field by field;
+* a **normalized AST dump** (alpha-renamed locals via
+  :func:`~repro.analysis.astutils.normalized_dump`) when the copies
+  must be statement-identical.
+
+Adding a new mirror means writing an extractor pair and one
+``MirrorSpec`` — no new engine plumbing.  The rules run only when the
+participating modules are in the linted file set (so ``repro lint
+tests/`` stays quiet); ``repro lint src/repro`` always covers both
+sides of every pair.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable, List, NamedTuple, Optional, Tuple
+from typing import (Callable, Dict, Iterable, List, NamedTuple, Optional,
+                    Sequence, Tuple, Union)
 
 from repro.analysis.astutils import (
     dotted_name,
@@ -51,9 +60,135 @@ _QUEUES_PY = "repro/net/queues.py"
 _NODE_PY = "repro/net/node.py"
 
 
-# ----------------------------------------------------------------------
-# Shared extraction: the "schedule skeleton"
-# ----------------------------------------------------------------------
+# ======================================================================
+# The declarative mirror registry
+# ======================================================================
+class Extracted(NamedTuple):
+    """One successfully extracted artifact, anchored to a line."""
+
+    line: int
+    artifact: object
+
+
+class ExtractError(NamedTuple):
+    """Extraction failure: emitted as a diagnostic at ``line``."""
+
+    line: int
+    message: str
+
+
+#: Canonical side: one artifact or a failure.
+CanonicalExtractor = Callable[[FileContext],
+                              Union[Extracted, ExtractError]]
+#: Inline side: every artifact at this site, or a failure.
+SiteExtractor = Callable[[FileContext],
+                         Union[List[Extracted], ExtractError]]
+
+
+class MirrorSite(NamedTuple):
+    """One inline-copy location participating in a mirror channel."""
+
+    module: str
+    extract: SiteExtractor
+
+
+class Channel(NamedTuple):
+    """One canonical-definition-vs-inline-copies comparison stream."""
+
+    canonical: CanonicalExtractor
+    sites: Tuple[MirrorSite, ...]
+    #: Mismatch message template; ``{diff}`` is filled from ``describe``.
+    mismatch: str
+    #: Renders the difference between a site artifact and the canonical
+    #: one (only consulted when the template mentions ``{diff}``).
+    describe: Callable[[object, object], str] = lambda mine, theirs: (
+        mine.describe_difference(theirs)  # type: ignore[attr-defined]
+        if hasattr(mine, "describe_difference") else "structural mismatch")
+    #: Equality predicate between site and canonical artifacts.
+    matches: Callable[[object, object], bool] = (
+        lambda mine, theirs: mine == theirs)
+
+
+class MirrorSpec(NamedTuple):
+    """Everything one drift rule declares about its mirrored code."""
+
+    rule_id: str
+    summary: str
+    #: Module suffix holding the canonical definition.
+    canonical_module: str
+    channels: Tuple[Channel, ...]
+    #: Message emitted on each present *site* module when the canonical
+    #: module is absent from the scan set (None: stay silent).
+    missing_canonical: Optional[str] = None
+
+
+def _spec_rule(spec: MirrorSpec) -> type:
+    """Build and register a Rule subclass executing ``spec``."""
+
+    class _MirrorRule(Rule):
+        id = spec.rule_id
+        summary = spec.summary
+        severity = Severity.ERROR
+        SPEC = spec
+
+        def check_project(self, project: Project) -> Iterable[Diagnostic]:
+            return _run_spec(self, self.SPEC, project)
+
+    _MirrorRule.__name__ = f"MirrorRule_{spec.rule_id}"
+    _MirrorRule.__qualname__ = _MirrorRule.__name__
+    return register(_MirrorRule)
+
+
+def _run_spec(rule: Rule, spec: MirrorSpec,
+              project: Project) -> List[Diagnostic]:
+    canonical_ctx = project.find(spec.canonical_module)
+    out: List[Diagnostic] = []
+    if canonical_ctx is None:
+        # Without the canonical side there is nothing to compare
+        # against; warn at each present inline site (a partial scan set
+        # silently skipping the check would hide drift), stay silent
+        # when no participant is in the scan set at all.
+        if spec.missing_canonical is not None:
+            seen: Dict[str, FileContext] = {}
+            for channel in spec.channels:
+                for site in channel.sites:
+                    if site.module == spec.canonical_module:
+                        continue
+                    ctx = project.find(site.module)
+                    if ctx is not None:
+                        seen.setdefault(ctx.path, ctx)
+            for ctx in seen.values():
+                out.append(rule.diag(ctx, 1, 0, spec.missing_canonical))
+        return out
+
+    for channel in spec.channels:
+        canonical = channel.canonical(canonical_ctx)
+        if isinstance(canonical, ExtractError):
+            out.append(rule.diag(canonical_ctx, canonical.line, 0,
+                                 canonical.message))
+            continue
+        for site in channel.sites:
+            site_ctx = project.find(site.module)
+            if site_ctx is None:
+                continue
+            extracted = site.extract(site_ctx)
+            if isinstance(extracted, ExtractError):
+                out.append(rule.diag(site_ctx, extracted.line, 0,
+                                     extracted.message))
+                continue
+            for item in extracted:
+                if not channel.matches(item.artifact, canonical.artifact):
+                    message = channel.mismatch
+                    if "{diff}" in message:
+                        message = message.format(diff=channel.describe(
+                            item.artifact, canonical.artifact))
+                    out.append(rule.diag(site_ctx, item.line, 0, message))
+    return out
+
+
+# ======================================================================
+# Shared extraction: the "schedule skeleton" (REPRO201)
+# ======================================================================
 class ScheduleSkeleton(NamedTuple):
     """Normalized form of one inline event-construction sequence.
 
@@ -152,25 +287,32 @@ def _is_live_increment(stmt: ast.stmt) -> bool:
             and stmt.value.value == 1)
 
 
+def _scan_statement_lists(body: List[ast.stmt],
+                          visit: Callable[[List[ast.stmt]], None]) -> None:
+    """Apply ``visit`` to ``body`` and every nested statement list."""
+    visit(body)
+    for stmt in body:
+        for attr in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, attr, None)
+            if isinstance(inner, list) and inner and isinstance(
+                    inner[0], ast.stmt):
+                _scan_statement_lists(inner, visit)
+        for handler in getattr(stmt, "handlers", []) or []:
+            _scan_statement_lists(handler.body, visit)
+
+
 def _extract_skeletons(body: List[ast.stmt]) -> List[Tuple[int, ScheduleSkeleton]]:
     """Every schedule skeleton (with its line) in a statement tree."""
     found: List[Tuple[int, ScheduleSkeleton]] = []
 
-    def scan(stmts: List[ast.stmt]) -> None:
+    def visit(stmts: List[ast.stmt]) -> None:
         for index, stmt in enumerate(stmts):
             event_var = _is_new_event_assign(stmt)
             if event_var is not None:
                 skeleton = _skeleton_after(stmts, index, event_var)
                 found.append((stmt.lineno, skeleton))
-        for stmt in stmts:
-            for attr in ("body", "orelse", "finalbody"):
-                inner = getattr(stmt, attr, None)
-                if isinstance(inner, list) and inner and isinstance(inner[0], ast.stmt):
-                    scan(inner)
-            for handler in getattr(stmt, "handlers", []) or []:
-                scan(handler.body)
 
-    scan(body)
+    _scan_statement_lists(body, visit)
     return found
 
 
@@ -195,86 +337,42 @@ def _skeleton_after(stmts: List[ast.stmt], index: int,
     return ScheduleSkeleton(tuple(fields), push_shape, live)
 
 
-def _canonical_schedule_skeleton(
-        engine_ctx: FileContext) -> Optional[Tuple[int, ScheduleSkeleton]]:
-    assert engine_ctx.tree is not None
-    sim_cls = find_class(engine_ctx.tree, "Simulator")
-    if sim_cls is None:
-        return None
-    schedule = find_method(sim_cls, "schedule")
+def _canonical_schedule(ctx: FileContext) -> Union[Extracted, ExtractError]:
+    assert ctx.tree is not None
+    sim_cls = find_class(ctx.tree, "Simulator")
+    schedule = find_method(sim_cls, "schedule") if sim_cls else None
     if schedule is None:
-        return None
+        return ExtractError(1, (
+            "cannot extract the canonical Simulator.schedule event-"
+            "construction skeleton — the drift checker needs updating "
+            "alongside the engine"))
     skeletons = _extract_skeletons(list(schedule.body))
     if len(skeletons) != 1:
-        return None
-    return skeletons[0]
+        return ExtractError(1, (
+            "cannot extract the canonical Simulator.schedule event-"
+            "construction skeleton — the drift checker needs updating "
+            "alongside the engine"))
+    line, skeleton = skeletons[0]
+    return Extracted(line, skeleton)
 
 
-@register
-class ScheduleInlineDriftRule(Rule):
-    """REPRO201: inline ``Simulator.schedule`` copies drifted."""
-
-    id = "REPRO201"
-    summary = ("hand-inlined Simulator.schedule at a link/interface hot "
-               "site no longer matches the canonical definition")
-    severity = Severity.ERROR
-
-    #: Inline sites: (module suffix, minimum expected skeleton count).
-    SITES = ((_LINK_PY, 3), (_IFACE_PY, 1))
-
-    def check_project(self, project: Project) -> Iterable[Diagnostic]:
-        engine_ctx = project.find(_ENGINE_PY)
-        site_ctxs = [(project.find(suffix), suffix, minimum)
-                     for suffix, minimum in self.SITES]
-        if engine_ctx is None and all(ctx is None for ctx, _, _ in site_ctxs):
-            return ()
-        out: List[Diagnostic] = []
-        if engine_ctx is None:
-            for ctx, _, _ in site_ctxs:
-                if ctx is not None:
-                    out.append(self.diag(
-                        ctx, 1, 0,
-                        f"cannot verify inline Simulator.schedule copies: "
-                        f"canonical module {_ENGINE_PY} is not in the "
-                        f"linted file set"))
-            return out
-        canonical = _canonical_schedule_skeleton(engine_ctx)
-        if canonical is None:
-            out.append(self.diag(
-                engine_ctx, 1, 0,
-                "cannot extract the canonical Simulator.schedule event-"
-                "construction skeleton — the drift checker needs updating "
-                "alongside the engine"))
-            return out
-        _, canonical_skel = canonical
-        for ctx, suffix, minimum in site_ctxs:
-            if ctx is None:
-                continue
-            assert ctx.tree is not None
-            skeletons = _extract_skeletons(list(ctx.tree.body))
-            if len(skeletons) < minimum:
-                out.append(self.diag(
-                    ctx, 1, 0,
-                    f"expected at least {minimum} inline "
-                    f"Simulator.schedule site(s) in {suffix}, found "
-                    f"{len(skeletons)} — if the inlining was removed, "
-                    f"update the drift checker"))
-                continue
-            for lineno, skeleton in skeletons:
-                if skeleton != canonical_skel:
-                    out.append(self.diag(
-                        ctx, lineno, 0,
-                        f"inline Simulator.schedule copy drifted from the "
-                        f"canonical definition: "
-                        f"{skeleton.describe_difference(canonical_skel)} — "
-                        f"update both sides together (and re-run the "
-                        f"bit-identical equivalence tests)"))
-        return out
+def _schedule_sites(suffix: str, minimum: int) -> SiteExtractor:
+    def extract(ctx: FileContext) -> Union[List[Extracted], ExtractError]:
+        assert ctx.tree is not None
+        skeletons = _extract_skeletons(list(ctx.tree.body))
+        if len(skeletons) < minimum:
+            return ExtractError(1, (
+                f"expected at least {minimum} inline "
+                f"Simulator.schedule site(s) in {suffix}, found "
+                f"{len(skeletons)} — if the inlining was removed, "
+                f"update the drift checker"))
+        return [Extracted(line, skel) for line, skel in skeletons]
+    return extract
 
 
-# ----------------------------------------------------------------------
-# Queue.enqueue admitted path inlined in Interface.enqueue
-# ----------------------------------------------------------------------
+# ======================================================================
+# Queue.enqueue admitted path inlined in Interface.enqueue (REPRO202)
+# ======================================================================
 def _admitted_region(func: ast.FunctionDef,
                      owner: str) -> Optional[Tuple[int, List[ast.stmt]]]:
     """Body of ``if <owner>._admit(packet):`` minus the trailing return."""
@@ -294,77 +392,57 @@ def _admitted_region(func: ast.FunctionDef,
     return None
 
 
-@register
-class QueueEnqueueDriftRule(Rule):
-    """REPRO202: ``Queue.enqueue`` inline copy in ``Interface.enqueue`` drifted."""
-
-    id = "REPRO202"
-    summary = ("the Queue.enqueue admitted-path copy inside "
-               "Interface.enqueue no longer matches the canonical code")
-    severity = Severity.ERROR
-
-    def check_project(self, project: Project) -> Iterable[Diagnostic]:
-        queues_ctx = project.find(_QUEUES_PY)
-        iface_ctx = project.find(_IFACE_PY)
-        if queues_ctx is None or iface_ctx is None:
-            if iface_ctx is not None:
-                return [self.diag(
-                    iface_ctx, 1, 0,
-                    f"cannot verify the inline Queue.enqueue copy: "
-                    f"canonical module {_QUEUES_PY} is not in the linted "
-                    f"file set")]
-            return ()
-        assert queues_ctx.tree is not None and iface_ctx.tree is not None
-
-        queue_cls = find_class(queues_ctx.tree, "Queue")
-        iface_cls = find_class(iface_ctx.tree, "Interface")
-        canonical_fn = find_method(queue_cls, "enqueue") if queue_cls else None
-        inline_fn = find_method(iface_cls, "enqueue") if iface_cls else None
-        if canonical_fn is None or inline_fn is None:
-            missing = _QUEUES_PY if canonical_fn is None else _IFACE_PY
-            ctx = queues_ctx if canonical_fn is None else iface_ctx
-            return [self.diag(
-                ctx, 1, 0,
-                f"drift anchor missing: could not locate the enqueue "
-                f"method in {missing} — update the drift checker if it "
-                f"moved")]
-
-        canonical = _admitted_region(canonical_fn, "self")
-        inline = _admitted_region(inline_fn, "queue")
-        if canonical is None:
-            return [self.diag(
-                queues_ctx, canonical_fn.lineno, 0,
-                "cannot extract the canonical admitted-path region from "
-                "Queue.enqueue (no `if self._admit(packet):` block)")]
-        if inline is None:
-            return [self.diag(
-                iface_ctx, inline_fn.lineno, 0,
-                "cannot find the inlined `if queue._admit(packet):` fast "
-                "path in Interface.enqueue — if it was removed, update "
-                "the drift checker")]
-
-        _, canonical_body = canonical
-        inline_line, inline_body = inline
-        # The inline copy appends the link pump after the copied
-        # statements, so the canonical body must be a *prefix* of it.
-        rename_canonical = {"self": "$OWNER"}
-        rename_inline = {"queue": "$OWNER"}
-        canonical_dump = normalized_dump(canonical_body, rename_canonical)
-        inline_prefix = inline_body[:len(canonical_body)]
-        inline_dump = normalized_dump(inline_prefix, rename_inline)
-        if canonical_dump != inline_dump:
-            return [self.diag(
-                iface_ctx, inline_line, 0,
-                "the Queue.enqueue admitted-path copy inside "
-                "Interface.enqueue differs from the canonical statements "
-                "in Queue.enqueue (normalized-AST mismatch) — apply the "
-                "same edit to both sides, or re-derive the inline copy")]
-        return ()
+def _canonical_enqueue(ctx: FileContext) -> Union[Extracted, ExtractError]:
+    assert ctx.tree is not None
+    queue_cls = find_class(ctx.tree, "Queue")
+    canonical_fn = find_method(queue_cls, "enqueue") if queue_cls else None
+    if canonical_fn is None:
+        return ExtractError(1, (
+            f"drift anchor missing: could not locate the enqueue "
+            f"method in {_QUEUES_PY} — update the drift checker if it "
+            f"moved"))
+    canonical = _admitted_region(canonical_fn, "self")
+    if canonical is None:
+        return ExtractError(canonical_fn.lineno, (
+            "cannot extract the canonical admitted-path region from "
+            "Queue.enqueue (no `if self._admit(packet):` block)"))
+    line, body = canonical
+    return Extracted(line, body)
 
 
-# ----------------------------------------------------------------------
-# Node.forward inlined in Link._deliver
-# ----------------------------------------------------------------------
+def _inline_enqueue(ctx: FileContext) -> Union[List[Extracted], ExtractError]:
+    assert ctx.tree is not None
+    iface_cls = find_class(ctx.tree, "Interface")
+    inline_fn = find_method(iface_cls, "enqueue") if iface_cls else None
+    if inline_fn is None:
+        return ExtractError(1, (
+            f"drift anchor missing: could not locate the enqueue "
+            f"method in {_IFACE_PY} — update the drift checker if it "
+            f"moved"))
+    inline = _admitted_region(inline_fn, "queue")
+    if inline is None:
+        return ExtractError(inline_fn.lineno, (
+            "cannot find the inlined `if queue._admit(packet):` fast "
+            "path in Interface.enqueue — if it was removed, update "
+            "the drift checker"))
+    line, body = inline
+    return [Extracted(line, body)]
+
+
+def _enqueue_prefix_matches(inline_body: object, canonical_body: object) -> bool:
+    # The inline copy appends the link pump after the copied
+    # statements, so the canonical body must be a *prefix* of it —
+    # compared alpha-renamed so `self` and `queue` both become $OWNER.
+    assert isinstance(inline_body, list) and isinstance(canonical_body, list)
+    canonical_dump = normalized_dump(canonical_body, {"self": "$OWNER"})
+    inline_prefix = inline_body[:len(canonical_body)]
+    inline_dump = normalized_dump(inline_prefix, {"queue": "$OWNER"})
+    return canonical_dump == inline_dump
+
+
+# ======================================================================
+# Node.forward inlined in Link._deliver (REPRO203)
+# ======================================================================
 class ForwardSummary(NamedTuple):
     """Semantic fingerprint of the forwarding decision.
 
@@ -439,65 +517,42 @@ def _forward_summary(func: ast.FunctionDef) -> Optional[ForwardSummary]:
     return ForwardSummary(hop_guard, lookup, dispatch)
 
 
-@register
-class ForwardInlineDriftRule(Rule):
-    """REPRO203: ``Node.forward`` inline copy in ``Link._deliver`` drifted."""
-
-    id = "REPRO203"
-    summary = ("the Node.forward logic inlined into Link._deliver no "
-               "longer matches the canonical forwarding semantics")
-    severity = Severity.ERROR
-
-    def check_project(self, project: Project) -> Iterable[Diagnostic]:
-        node_ctx = project.find(_NODE_PY)
-        link_ctx = project.find(_LINK_PY)
-        if node_ctx is None or link_ctx is None:
-            if link_ctx is not None:
-                return [self.diag(
-                    link_ctx, 1, 0,
-                    f"cannot verify the inline Node.forward copy: "
-                    f"canonical module {_NODE_PY} is not in the linted "
-                    f"file set")]
-            return ()
-        assert node_ctx.tree is not None and link_ctx.tree is not None
-
-        node_cls = find_class(node_ctx.tree, "Node")
-        link_cls = find_class(link_ctx.tree, "Link")
-        forward_fn = find_method(node_cls, "forward") if node_cls else None
-        deliver_fn = find_method(link_cls, "_deliver") if link_cls else None
-        if forward_fn is None or deliver_fn is None:
-            ctx = node_ctx if forward_fn is None else link_ctx
-            where = "Node.forward" if forward_fn is None else "Link._deliver"
-            return [self.diag(
-                ctx, 1, 0,
-                f"drift anchor missing: could not locate {where} — update "
-                f"the drift checker if it moved")]
-
-        canonical = _forward_summary(forward_fn)
-        inline = _forward_summary(deliver_fn)
-        if canonical is None:
-            return [self.diag(
-                node_ctx, forward_fn.lineno, 0,
-                "cannot extract the canonical forwarding summary from "
-                "Node.forward (hop guard / route lookup / dispatch)")]
-        if inline is None:
-            return [self.diag(
-                link_ctx, deliver_fn.lineno, 0,
-                "cannot find the inlined forwarding logic (hop guard / "
-                "route lookup / dispatch) in Link._deliver — if the "
-                "inlining was removed, update the drift checker")]
-        if canonical != inline:
-            return [self.diag(
-                link_ctx, deliver_fn.lineno, 0,
-                f"inline Node.forward copy in Link._deliver drifted: "
-                f"{inline.describe_difference(canonical)} — apply the "
-                f"same change to both sides")]
-        return ()
+def _canonical_forward(ctx: FileContext) -> Union[Extracted, ExtractError]:
+    assert ctx.tree is not None
+    node_cls = find_class(ctx.tree, "Node")
+    forward_fn = find_method(node_cls, "forward") if node_cls else None
+    if forward_fn is None:
+        return ExtractError(1, (
+            "drift anchor missing: could not locate Node.forward — "
+            "update the drift checker if it moved"))
+    canonical = _forward_summary(forward_fn)
+    if canonical is None:
+        return ExtractError(forward_fn.lineno, (
+            "cannot extract the canonical forwarding summary from "
+            "Node.forward (hop guard / route lookup / dispatch)"))
+    return Extracted(forward_fn.lineno, canonical)
 
 
-# ----------------------------------------------------------------------
-# _CalendarScheduler.push inlined in its own run loop
-# ----------------------------------------------------------------------
+def _inline_forward(ctx: FileContext) -> Union[List[Extracted], ExtractError]:
+    assert ctx.tree is not None
+    link_cls = find_class(ctx.tree, "Link")
+    deliver_fn = find_method(link_cls, "_deliver") if link_cls else None
+    if deliver_fn is None:
+        return ExtractError(1, (
+            "drift anchor missing: could not locate Link._deliver — "
+            "update the drift checker if it moved"))
+    inline = _forward_summary(deliver_fn)
+    if inline is None:
+        return ExtractError(deliver_fn.lineno, (
+            "cannot find the inlined forwarding logic (hop guard / "
+            "route lookup / dispatch) in Link._deliver — if the "
+            "inlining was removed, update the drift checker"))
+    return [Extracted(deliver_fn.lineno, inline)]
+
+
+# ======================================================================
+# _CalendarScheduler.push inlined in its own run loop (REPRO204)
+# ======================================================================
 class CalendarInsertSkeleton(NamedTuple):
     """Semantic fingerprint of one calendar-queue insert sequence.
 
@@ -750,7 +805,7 @@ def _extract_calendar_inserts(
     """
     found: List[Tuple[int, CalendarInsertSkeleton]] = []
 
-    def scan(stmts: List[ast.stmt]) -> None:
+    def visit(stmts: List[ast.stmt]) -> None:
         for index, stmt in enumerate(stmts):
             rooted = _floor_index_target(stmt)
             if rooted is not None:
@@ -759,15 +814,8 @@ def _extract_calendar_inserts(
                     stmts, index, index_var, formula)
                 if skeleton is not None:
                     found.append((stmt.lineno, skeleton))
-        for stmt in stmts:
-            for attr in ("body", "orelse", "finalbody"):
-                inner = getattr(stmt, attr, None)
-                if isinstance(inner, list) and inner and isinstance(inner[0], ast.stmt):
-                    scan(inner)
-            for handler in getattr(stmt, "handlers", []) or []:
-                scan(handler.body)
 
-    scan(body)
+    _scan_statement_lists(body, visit)
     return found
 
 
@@ -816,69 +864,62 @@ def _calendar_skeleton_after(
     )
 
 
-@register
-class CalendarInsertDriftRule(Rule):
-    """REPRO204: the calendar run loop's inline insert drifted."""
-
-    id = "REPRO204"
-    summary = ("the hand-inlined calendar-queue insert in "
-               "_CalendarScheduler.run_loop no longer matches the "
-               "canonical _CalendarScheduler.push")
-    severity = Severity.ERROR
-
-    def check_project(self, project: Project) -> Iterable[Diagnostic]:
-        engine_ctx = project.find(_ENGINE_PY)
-        if engine_ctx is None:
-            return ()
-        assert engine_ctx.tree is not None
-        cal_cls = find_class(engine_ctx.tree, "_CalendarScheduler")
-        if cal_cls is None:
-            return [self.diag(
-                engine_ctx, 1, 0,
-                "drift anchor missing: could not locate "
-                "_CalendarScheduler in repro/sim/engine.py — update the "
-                "drift checker if the backend moved or was renamed")]
-        push_fn = find_method(cal_cls, "push")
-        loop_fn = find_method(cal_cls, "run_loop")
-        if push_fn is None or loop_fn is None:
-            where = ("_CalendarScheduler.push" if push_fn is None
-                     else "_CalendarScheduler.run_loop")
-            return [self.diag(
-                engine_ctx, cal_cls.lineno, 0,
-                f"drift anchor missing: could not locate {where} — "
-                f"update the drift checker if it moved")]
-        canonical = _extract_calendar_inserts(list(push_fn.body))
-        if len(canonical) != 1:
-            return [self.diag(
-                engine_ctx, push_fn.lineno, 0,
-                f"cannot extract the canonical calendar insert skeleton "
-                f"from _CalendarScheduler.push (found {len(canonical)} "
-                f"candidate(s), expected 1) — the drift checker needs "
-                f"updating alongside the backend")]
-        _, canonical_skel = canonical[0]
-        inline = _extract_calendar_inserts(list(loop_fn.body))
-        if not inline:
-            return [self.diag(
-                engine_ctx, loop_fn.lineno, 0,
-                "cannot find the inlined calendar insert (the lazy-timer "
-                "re-key path) in _CalendarScheduler.run_loop — if the "
-                "inlining was removed, update the drift checker")]
-        out: List[Diagnostic] = []
-        for lineno, skeleton in inline:
-            if skeleton != canonical_skel:
-                out.append(self.diag(
-                    engine_ctx, lineno, 0,
-                    f"inline calendar insert in _CalendarScheduler."
-                    f"run_loop drifted from the canonical push: "
-                    f"{skeleton.describe_difference(canonical_skel)} — "
-                    f"update both sides together (and re-run the cross-"
-                    f"backend equivalence tests)"))
-        return out
+def _calendar_methods(
+        ctx: FileContext
+) -> Union[Tuple[ast.FunctionDef, ast.FunctionDef], ExtractError]:
+    assert ctx.tree is not None
+    cal_cls = find_class(ctx.tree, "_CalendarScheduler")
+    if cal_cls is None:
+        return ExtractError(1, (
+            "drift anchor missing: could not locate "
+            "_CalendarScheduler in repro/sim/engine.py — update the "
+            "drift checker if the backend moved or was renamed"))
+    push_fn = find_method(cal_cls, "push")
+    loop_fn = find_method(cal_cls, "run_loop")
+    if push_fn is None or loop_fn is None:
+        where = ("_CalendarScheduler.push" if push_fn is None
+                 else "_CalendarScheduler.run_loop")
+        return ExtractError(cal_cls.lineno, (
+            f"drift anchor missing: could not locate {where} — "
+            f"update the drift checker if it moved"))
+    return push_fn, loop_fn
 
 
-# ----------------------------------------------------------------------
-# Burst drain bodies: _burst_step vs _drain_burst
-# ----------------------------------------------------------------------
+def _canonical_calendar(ctx: FileContext) -> Union[Extracted, ExtractError]:
+    methods = _calendar_methods(ctx)
+    if isinstance(methods, ExtractError):
+        return methods
+    push_fn, _ = methods
+    canonical = _extract_calendar_inserts(list(push_fn.body))
+    if len(canonical) != 1:
+        return ExtractError(push_fn.lineno, (
+            f"cannot extract the canonical calendar insert skeleton "
+            f"from _CalendarScheduler.push (found {len(canonical)} "
+            f"candidate(s), expected 1) — the drift checker needs "
+            f"updating alongside the backend"))
+    line, skeleton = canonical[0]
+    return Extracted(line, skeleton)
+
+
+def _inline_calendar(ctx: FileContext) -> Union[List[Extracted], ExtractError]:
+    methods = _calendar_methods(ctx)
+    if isinstance(methods, ExtractError):
+        # The canonical extractor already reported the missing anchor;
+        # stay silent here to avoid duplicate diagnostics.
+        return []
+    _, loop_fn = methods
+    inline = _extract_calendar_inserts(list(loop_fn.body))
+    if not inline:
+        return ExtractError(loop_fn.lineno, (
+            "cannot find the inlined calendar insert (the lazy-timer "
+            "re-key path) in _CalendarScheduler.run_loop — if the "
+            "inlining was removed, update the drift checker"))
+    return [Extracted(line, skel) for line, skel in inline]
+
+
+# ======================================================================
+# Burst drain bodies: _burst_step vs _drain_burst (REPRO205)
+# ======================================================================
 def _find_function(tree: ast.Module, name: str) -> Optional[ast.FunctionDef]:
     for node in tree.body:
         if isinstance(node, ast.FunctionDef) and node.name == name:
@@ -916,61 +957,149 @@ def _burst_prop_body(func: ast.FunctionDef) -> Optional[Tuple[int, List[ast.stmt
     return None
 
 
-@register
-class BurstDrainDriftRule(Rule):
-    """REPRO205: the hand-inlined burst drain loop drifted."""
+_BurstExtractor = Callable[[ast.FunctionDef],
+                           Optional[Tuple[int, List[ast.stmt]]]]
 
-    id = "REPRO205"
-    summary = ("the SER/PROP branch bodies in _drain_burst no longer "
-               "match the canonical _burst_step in repro/net/link.py")
-    severity = Severity.ERROR
 
-    #: (extractor, human label) for each locked region.
-    REGIONS = ((_burst_ser_body, "serialization-end (SER)"),
-               (_burst_prop_body, "delivery (PROP)"))
-
-    def check_project(self, project: Project) -> Iterable[Diagnostic]:
-        link_ctx = project.find(_LINK_PY)
-        if link_ctx is None:
-            return ()
-        assert link_ctx.tree is not None
-        canonical_fn = _find_function(link_ctx.tree, "_burst_step")
-        inline_fn = _find_function(link_ctx.tree, "_drain_burst")
-        if canonical_fn is None or inline_fn is None:
-            where = "_burst_step" if canonical_fn is None else "_drain_burst"
-            return [self.diag(
-                link_ctx, 1, 0,
+def _burst_canonical(extract: _BurstExtractor,
+                     label: str) -> CanonicalExtractor:
+    def run(ctx: FileContext) -> Union[Extracted, ExtractError]:
+        assert ctx.tree is not None
+        canonical_fn = _find_function(ctx.tree, "_burst_step")
+        if canonical_fn is None or _find_function(
+                ctx.tree, "_drain_burst") is None:
+            where = ("_burst_step" if canonical_fn is None
+                     else "_drain_burst")
+            return ExtractError(1, (
                 f"drift anchor missing: could not locate {where} in "
                 f"{_LINK_PY} — update the drift checker if the burst "
-                f"engine moved or was renamed")]
-        out: List[Diagnostic] = []
-        for extract, label in self.REGIONS:
-            canonical = extract(canonical_fn)
-            inline = extract(inline_fn)
-            if canonical is None:
-                out.append(self.diag(
-                    link_ctx, canonical_fn.lineno, 0,
-                    f"cannot extract the canonical {label} branch body "
-                    f"from _burst_step — the drift checker needs updating "
-                    f"alongside the burst engine"))
-                continue
-            if inline is None:
-                out.append(self.diag(
-                    link_ctx, inline_fn.lineno, 0,
-                    f"cannot find the {label} branch in _drain_burst — "
-                    f"if the inlining was removed, update the drift "
-                    f"checker"))
-                continue
-            _, canonical_body = canonical
-            inline_line, inline_body = inline
-            # The two copies deliberately use the same local names, so no
-            # alpha-renaming is needed: the bodies must be statement-
-            # identical, not merely alpha-equivalent.
-            if normalized_dump(canonical_body) != normalized_dump(inline_body):
-                out.append(self.diag(
-                    link_ctx, inline_line, 0,
-                    f"the {label} branch body in _drain_burst differs "
-                    f"from the canonical _burst_step (normalized-AST "
-                    f"mismatch) — apply the same edit to both copies and "
-                    f"re-run the burst on/off identity tests"))
-        return out
+                f"engine moved or was renamed"))
+        canonical = extract(canonical_fn)
+        if canonical is None:
+            return ExtractError(canonical_fn.lineno, (
+                f"cannot extract the canonical {label} branch body "
+                f"from _burst_step — the drift checker needs updating "
+                f"alongside the burst engine"))
+        line, body = canonical
+        # The two copies deliberately use the same local names, so no
+        # alpha-renaming is needed: the bodies must be statement-
+        # identical, not merely alpha-equivalent.
+        return Extracted(line, normalized_dump(body))
+    return run
+
+
+def _burst_inline(extract: _BurstExtractor, label: str) -> SiteExtractor:
+    def run(ctx: FileContext) -> Union[List[Extracted], ExtractError]:
+        assert ctx.tree is not None
+        inline_fn = _find_function(ctx.tree, "_drain_burst")
+        if inline_fn is None or _find_function(
+                ctx.tree, "_burst_step") is None:
+            # The canonical extractor already reported the missing
+            # anchor; stay silent to avoid duplicate diagnostics.
+            return []
+        inline = extract(inline_fn)
+        if inline is None:
+            return ExtractError(inline_fn.lineno, (
+                f"cannot find the {label} branch in _drain_burst — "
+                f"if the inlining was removed, update the drift "
+                f"checker"))
+        line, body = inline
+        return [Extracted(line, normalized_dump(body))]
+    return run
+
+
+# ======================================================================
+# The registry itself: five declared mirrors
+# ======================================================================
+MIRROR_SPECS: Tuple[MirrorSpec, ...] = (
+    MirrorSpec(
+        rule_id="REPRO201",
+        summary=("hand-inlined Simulator.schedule at a link/interface hot "
+                 "site no longer matches the canonical definition"),
+        canonical_module=_ENGINE_PY,
+        missing_canonical=(
+            f"cannot verify inline Simulator.schedule copies: "
+            f"canonical module {_ENGINE_PY} is not in the "
+            f"linted file set"),
+        channels=(Channel(
+            canonical=_canonical_schedule,
+            sites=(MirrorSite(_LINK_PY, _schedule_sites(_LINK_PY, 3)),
+                   MirrorSite(_IFACE_PY, _schedule_sites(_IFACE_PY, 1))),
+            mismatch=("inline Simulator.schedule copy drifted from the "
+                      "canonical definition: {diff} — update both sides "
+                      "together (and re-run the bit-identical "
+                      "equivalence tests)"),
+        ),),
+    ),
+    MirrorSpec(
+        rule_id="REPRO202",
+        summary=("the Queue.enqueue admitted-path copy inside "
+                 "Interface.enqueue no longer matches the canonical code"),
+        canonical_module=_QUEUES_PY,
+        missing_canonical=(
+            f"cannot verify the inline Queue.enqueue copy: "
+            f"canonical module {_QUEUES_PY} is not in the linted "
+            f"file set"),
+        channels=(Channel(
+            canonical=_canonical_enqueue,
+            sites=(MirrorSite(_IFACE_PY, _inline_enqueue),),
+            matches=_enqueue_prefix_matches,
+            mismatch=("the Queue.enqueue admitted-path copy inside "
+                      "Interface.enqueue differs from the canonical "
+                      "statements in Queue.enqueue (normalized-AST "
+                      "mismatch) — apply the same edit to both sides, or "
+                      "re-derive the inline copy"),
+        ),),
+    ),
+    MirrorSpec(
+        rule_id="REPRO203",
+        summary=("the Node.forward logic inlined into Link._deliver no "
+                 "longer matches the canonical forwarding semantics"),
+        canonical_module=_NODE_PY,
+        missing_canonical=(
+            f"cannot verify the inline Node.forward copy: "
+            f"canonical module {_NODE_PY} is not in the linted "
+            f"file set"),
+        channels=(Channel(
+            canonical=_canonical_forward,
+            sites=(MirrorSite(_LINK_PY, _inline_forward),),
+            mismatch=("inline Node.forward copy in Link._deliver drifted: "
+                      "{diff} — apply the same change to both sides"),
+        ),),
+    ),
+    MirrorSpec(
+        rule_id="REPRO204",
+        summary=("the hand-inlined calendar-queue insert in "
+                 "_CalendarScheduler.run_loop no longer matches the "
+                 "canonical _CalendarScheduler.push"),
+        canonical_module=_ENGINE_PY,
+        channels=(Channel(
+            canonical=_canonical_calendar,
+            sites=(MirrorSite(_ENGINE_PY, _inline_calendar),),
+            mismatch=("inline calendar insert in _CalendarScheduler."
+                      "run_loop drifted from the canonical push: "
+                      "{diff} — update both sides together (and re-run "
+                      "the cross-backend equivalence tests)"),
+        ),),
+    ),
+    MirrorSpec(
+        rule_id="REPRO205",
+        summary=("the SER/PROP branch bodies in _drain_burst no longer "
+                 "match the canonical _burst_step in repro/net/link.py"),
+        canonical_module=_LINK_PY,
+        channels=tuple(Channel(
+            canonical=_burst_canonical(extract, label),
+            sites=(MirrorSite(_LINK_PY, _burst_inline(extract, label)),),
+            mismatch=(f"the {label} branch body in _drain_burst differs "
+                      f"from the canonical _burst_step (normalized-AST "
+                      f"mismatch) — apply the same edit to both copies "
+                      f"and re-run the burst on/off identity tests"),
+        ) for extract, label in (
+            (_burst_ser_body, "serialization-end (SER)"),
+            (_burst_prop_body, "delivery (PROP)"),
+        )),
+    ),
+)
+
+for _spec in MIRROR_SPECS:
+    _spec_rule(_spec)

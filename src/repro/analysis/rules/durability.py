@@ -1,0 +1,278 @@
+"""Durability-protocol rules (REPRO106–108) for the sweep fabric.
+
+The fabric's crash-safety story (PR 6) rests on a strict protocol:
+records are written to a temp file, ``os.fsync``'d, published with
+``os.link`` (exclusive claim) or ``os.replace``, and the parent
+directory is fsync'd so the new directory entry itself survives a
+crash.  These rules keep that protocol honest in ``repro/fabric/``:
+
+* **REPRO106** — a publish (``os.rename``/``os.replace``/``os.link``)
+  reachable while the function has written file data not yet
+  ``os.fsync``'d: a crash after the rename can publish an empty or
+  partial record.  Runs as a may-dataflow over the function CFG (a
+  write taints, an fsync clears, the publish site checks the taint).
+* **REPRO107** — a publish with no later ``fsync_directory``/
+  ``os.fsync`` call in the same function: the rename itself is not
+  durable until the directory entry is flushed.
+* **REPRO108** — check-then-create claims: an ``if not
+  os.path.exists(p)`` guard whose body creates the file non-atomically
+  (``open(.., "w")``, ``os.rename``/``os.replace``, or a
+  ``write_record`` call without ``exclusive=True``).  Two workers can
+  pass the check together; use ``os.link`` / ``O_EXCL`` semantics.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterable, List, Optional
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.context import FileContext, Project
+from repro.analysis.dataflow import ForwardAnalysis, solve
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import Rule, register
+
+_PUBLISH_ATTRS = ("rename", "replace", "link")
+
+
+def _is_os_call(call: ast.Call, names: Iterable[str]) -> bool:
+    return (isinstance(call.func, ast.Attribute)
+            and call.func.attr in names
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == "os")
+
+
+def _calls(node: ast.AST) -> Iterable[ast.Call]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            yield sub
+
+
+def _header_calls(stmt: ast.stmt) -> Iterable[ast.Call]:
+    """Calls evaluated by the statement *itself* (not nested bodies).
+
+    CFG nodes for compound statements are their headers; the transfer
+    function must not see calls that live in the body's own nodes.
+    """
+    roots: List[ast.AST]
+    if isinstance(stmt, (ast.If, ast.While)):
+        roots = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        roots = [stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        roots = [item.context_expr for item in stmt.items]
+    elif isinstance(stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        roots = []
+    else:
+        roots = [stmt]
+    for root in roots:
+        yield from _calls(root)
+
+
+def _is_publish(call: ast.Call) -> bool:
+    return _is_os_call(call, _PUBLISH_ATTRS)
+
+
+def _is_file_write(call: ast.Call) -> bool:
+    """``fh.write(...)`` / ``fh.writelines`` / ``os.write(fd, ...)``."""
+    if _is_os_call(call, ("write", "writev", "pwrite")):
+        return True
+    return (isinstance(call.func, ast.Attribute)
+            and call.func.attr in ("write", "writelines")
+            and not isinstance(call.func.value, ast.Attribute))
+
+
+def _is_fsync(call: ast.Call) -> bool:
+    return _is_os_call(call, ("fsync",))
+
+
+def _is_dir_fsync(call: ast.Call) -> bool:
+    if _is_fsync(call):
+        return True
+    func = call.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None)
+    return name == "fsync_directory"
+
+
+class _DirtyWriteAnalysis(ForwardAnalysis):
+    """May-analysis: {'dirty'} while un-fsync'd file data may exist."""
+
+    def initial_state(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def join(self, states):
+        merged = states[0]
+        for state in states[1:]:
+            merged = merged | state
+        return merged
+
+    def transfer(self, stmt: ast.stmt, state: FrozenSet[str]):
+        new = state
+        for call in _header_calls(stmt):
+            if _is_fsync(call):
+                new = frozenset()
+            elif _is_file_write(call):
+                new = frozenset({"dirty"})
+        return new
+
+
+@register
+class PublishWithoutFsyncRule(Rule):
+    """REPRO106: rename/replace/link may publish un-fsync'd data."""
+
+    id = "REPRO106"
+    summary = ("file published via os.rename/replace/link while written "
+               "data may not be fsync'd — a crash can publish a partial "
+               "record")
+    severity = Severity.ERROR
+
+    def check_file(self, ctx: FileContext,
+                   project: Project) -> Iterable[Diagnostic]:
+        if not ctx.in_fabric_scope:
+            return []
+        assert ctx.tree is not None
+        out: List[Diagnostic] = []
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.FunctionDef):
+                continue
+            cfg = build_cfg(func)
+            in_states, _ = solve(cfg, _DirtyWriteAnalysis())
+            for node in cfg.statement_nodes():
+                state = in_states[node.index]
+                if not state:
+                    continue
+                assert node.stmt is not None
+                for call in _header_calls(node.stmt):
+                    if _is_publish(call):
+                        assert isinstance(call.func, ast.Attribute)
+                        out.append(self.diag(
+                            ctx, call.lineno, call.col_offset,
+                            f"os.{call.func.attr}() publishes a file while "
+                            f"written data may not be fsync'd; call "
+                            f"os.fsync() on the descriptor before "
+                            f"publishing"))
+        return out
+
+
+@register
+class PublishWithoutDirFsyncRule(Rule):
+    """REPRO107: publish not followed by a directory fsync."""
+
+    id = "REPRO107"
+    summary = ("os.rename/replace/link publish with no later "
+               "fsync_directory()/os.fsync() in the function — the new "
+               "directory entry is not durable")
+    severity = Severity.ERROR
+
+    def check_file(self, ctx: FileContext,
+                   project: Project) -> Iterable[Diagnostic]:
+        if not ctx.in_fabric_scope:
+            return []
+        assert ctx.tree is not None
+        out: List[Diagnostic] = []
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.FunctionDef):
+                continue
+            publishes: List[ast.Call] = []
+            last_dir_fsync: Optional[int] = None
+            for call in _calls(func):
+                if _is_publish(call):
+                    publishes.append(call)
+                if _is_dir_fsync(call):
+                    line = call.lineno
+                    if last_dir_fsync is None or line > last_dir_fsync:
+                        last_dir_fsync = line
+            for call in publishes:
+                if last_dir_fsync is None or call.lineno > last_dir_fsync:
+                    assert isinstance(call.func, ast.Attribute)
+                    out.append(self.diag(
+                        ctx, call.lineno, call.col_offset,
+                        f"os.{call.func.attr}() publish is not followed "
+                        f"by fsync_directory() — the directory entry can "
+                        f"be lost on crash even though the data was "
+                        f"fsync'd"))
+        return out
+
+
+def _exists_guard_target(test: ast.expr) -> Optional[ast.Call]:
+    """The ``os.path.exists/isfile`` call in a ``not ...`` guard."""
+    if not (isinstance(test, ast.UnaryOp)
+            and isinstance(test.op, ast.Not)
+            and isinstance(test.operand, ast.Call)):
+        return None
+    call = test.operand
+    func = call.func
+    if (isinstance(func, ast.Attribute)
+            and func.attr in ("exists", "isfile")
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "path"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "os"):
+        return call
+    return None
+
+
+def _creates_nonatomically(body: List[ast.stmt]) -> Optional[ast.Call]:
+    for stmt in body:
+        for call in _calls(stmt):
+            if _is_publish(call):
+                # rename/replace into the guarded path is last-writer-
+                # wins, not a claim; os.link would raise on conflict.
+                if isinstance(call.func, ast.Attribute) \
+                        and call.func.attr != "link":
+                    return call
+                continue
+            func = call.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None)
+            if name == "open" and isinstance(func, ast.Name):
+                if len(call.args) >= 2 and isinstance(
+                        call.args[1], ast.Constant) and isinstance(
+                        call.args[1].value, str) \
+                        and call.args[1].value.startswith(("w", "a")):
+                    return call
+            elif name == "write_record":
+                exclusive = any(
+                    kw.arg == "exclusive"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in call.keywords)
+                if not exclusive:
+                    return call
+    return None
+
+
+@register
+class NonAtomicClaimRule(Rule):
+    """REPRO108: exists-check followed by a non-atomic create."""
+
+    id = "REPRO108"
+    summary = ("'if not os.path.exists(p)' guard followed by a "
+               "non-atomic create — two workers can pass the check "
+               "together; claim with os.link/O_EXCL semantics instead")
+    severity = Severity.WARNING
+
+    def check_file(self, ctx: FileContext,
+                   project: Project) -> Iterable[Diagnostic]:
+        if not ctx.in_fabric_scope:
+            return []
+        assert ctx.tree is not None
+        out: List[Diagnostic] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.If):
+                continue
+            guard = _exists_guard_target(node.test)
+            if guard is None:
+                continue
+            create = _creates_nonatomically(node.body)
+            if create is not None:
+                out.append(self.diag(
+                    ctx, node.lineno, node.col_offset,
+                    f"existence check at line {guard.lineno} guards a "
+                    f"non-atomic create at line {create.lineno}; the "
+                    f"check-then-act window lets two workers claim the "
+                    f"same path — use os.link or write_record("
+                    f"exclusive=True)"))
+        return out

@@ -1,0 +1,70 @@
+"""SARIF 2.1.0 rendering for ``repro lint --format sarif``.
+
+Minimal but valid: one run, the registered rules as
+``tool.driver.rules`` (so viewers can show summaries), one result per
+diagnostic.  Severity maps error→error, warning→warning, info→note.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+__all__ = ["to_sarif"]
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _uri(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _result(diag: Diagnostic) -> Dict[str, Any]:
+    return {
+        "ruleId": diag.rule_id,
+        "level": _LEVELS.get(diag.severity, "warning"),
+        "message": {"text": diag.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": _uri(diag.path)},
+                "region": {
+                    "startLine": diag.line,
+                    # SARIF columns are 1-based; ast's are 0-based.
+                    "startColumn": diag.col + 1,
+                },
+            },
+        }],
+    }
+
+
+def to_sarif(diagnostics: List[Diagnostic]) -> Dict[str, Any]:
+    """The SARIF log object for one lint run (JSON-serialisable)."""
+    from repro.analysis.registry import all_rules
+
+    rules = [{
+        "id": rule.id,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning")},
+    } for rule in all_rules()]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "rules": rules,
+                },
+            },
+            "results": [_result(d) for d in diagnostics],
+        }],
+    }

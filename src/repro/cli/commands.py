@@ -874,7 +874,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
     """
     import json as _json
 
-    from repro.analysis.engine import iter_rule_descriptions, lint_paths
+    from repro.analysis.cache import DEFAULT_CACHE_DIR, LintCache
+    from repro.analysis.engine import (changed_files,
+                                       iter_rule_descriptions, lint_paths)
 
     if args.list_rules:
         for rule_id, severity, summary in iter_rule_descriptions():
@@ -882,11 +884,25 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 0
 
     paths = args.paths or ["src/repro"]
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache = LintCache(args.cache_dir or DEFAULT_CACHE_DIR,
+                          select=args.select)
+    report_only = None
     try:
-        result = lint_paths(paths, select=args.select)
+        if getattr(args, "changed", False):
+            report_only = changed_files()
+        result = lint_paths(paths, select=args.select, cache=cache,
+                            report_only=report_only)
     except ReproError as exc:
         return _fail(str(exc))
 
+    if args.format == "sarif":
+        from repro.analysis.sarif import to_sarif
+
+        print(_json.dumps(to_sarif(result.diagnostics), indent=2,
+                          sort_keys=True))
+        return result.exit_code
     if args.format == "json":
         payload = {
             "files_scanned": result.files_scanned,
@@ -904,5 +920,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
         tally += f", {infos} info(s)"
     if result.suppressed:
         tally += f", {result.suppressed} suppressed"
-    print(f"{result.files_scanned} file(s) scanned: {tally}")
+    scanned = f"{result.files_scanned} file(s) scanned"
+    if result.cache_hits:
+        scanned += (f" ({result.files_analyzed} analysed, "
+                    f"{result.cache_hits} cached)")
+    print(f"{scanned}: {tally}")
     return result.exit_code

@@ -14,6 +14,7 @@ utilization/occupancy/drop data in every figure of the paper.
 from __future__ import annotations
 
 from heapq import heappush as _heappush
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.net.link import Link
 from repro.net.packet import Packet
@@ -21,7 +22,10 @@ from repro.net.queues import DropTailQueue, Queue
 from repro.obs import runtime as _obs
 from repro.sim.engine import Event
 
-_new_event = object.__new__
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+
+_new_event: Callable[[Any], Any] = object.__new__
 
 __all__ = ["Interface"]
 
@@ -43,7 +47,8 @@ class Interface:
 
     __slots__ = ("sim", "queue", "link", "name")
 
-    def __init__(self, sim, queue: Queue, link: Link, name: str = ""):
+    def __init__(self, sim: "Simulator", queue: Queue, link: Link,
+                 name: str = "") -> None:
         self.sim = sim
         self.queue = queue
         self.link = link

@@ -25,11 +25,16 @@ from __future__ import annotations
 
 from collections import deque
 from heapq import heappop as _heappop, heappush as _heappush, heapreplace as _heapreplace
-from typing import Callable, Deque, Dict, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Deque, Dict, List,
+                    Optional, Tuple)
 
 from repro.errors import ConfigurationError, QueueError, RoutingError
 from repro.net.packet import MAX_HOPS, Packet
-from repro.net.queues import DropTailQueue
+from repro.net.queues import DropTailQueue, Queue
+
+if TYPE_CHECKING:
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
 from repro.obs import runtime as _obs
 from repro.sim.engine import Event
 from repro.units import parse_bandwidth, parse_time, Quantity
@@ -47,7 +52,7 @@ _MAXSEQ = 1 << 62
 # the validation branch and the call frame both drop out.  The insert
 # itself goes through ``sim._push`` (the bound backend method), so the
 # inlining stays agnostic to the heap/calendar scheduler choice.
-_new_event = object.__new__
+_new_event: Callable[[Any], Any] = object.__new__
 
 
 class Link:
@@ -76,7 +81,8 @@ class Link:
         "_ser_time", "_ser_seq", "_ser_packet", "_prop",
     )
 
-    def __init__(self, sim, rate: Quantity, delay: Quantity, dst=None, name: str = ""):
+    def __init__(self, sim: "Simulator", rate: Quantity, delay: Quantity,
+                 dst: Optional["Node"] = None, name: str = "") -> None:
         self.sim = sim
         self.rate = parse_bandwidth(rate)
         if self.rate <= 0:
@@ -108,7 +114,7 @@ class Link:
         self._propagating: Dict[int, "Event"] = {}
         #: Set by the owning Interface: its output queue, so back-to-back
         #: serialization can continue without an idle round-trip.
-        self._feed_queue = None
+        self._feed_queue: Optional[Queue] = None
         # Burst-mode virtual streams (sim._burst): instead of one Event
         # per serialization end and one per delivery, the link keeps the
         # packet being serialized in three slots and the wire contents in
@@ -253,6 +259,7 @@ class Link:
         # the output interface.  A miss falls back to receive() — local
         # delivery on a host, or the RoutingError path on a router.
         dst = self.dst
+        assert dst is not None  # transmit() rejects unwired links
         try:
             iface = dst._routes.get(packet.dst)
         except AttributeError:  # duck-typed receiver (test sinks)
@@ -391,11 +398,16 @@ class Link:
 # the other inlined hot paths.
 
 
-def _burst_step(sim) -> bool:
+def _burst_step(sim: Any) -> bool:
     """Process the earliest virtual packet event; False if head was stale.
 
     Canonical copy of the burst drain body (see REPRO205).  The caller
-    guarantees ``sim._vheap`` is non-empty.
+    guarantees ``sim._vheap`` is non-empty.  ``sim`` is deliberately
+    ``Any``: the body is a hand-inlined fast path whose Optional slots
+    (``_ser_packet``, ``dst``) are guaranteed by the stream protocol,
+    not by narrowing mypy could follow — and it must stay
+    statement-identical to the drain copy (REPRO205), which rules out
+    sprinkling asserts.
     """
     vh = sim._vheap
     entry = vh[0]
@@ -492,7 +504,8 @@ def _burst_step(sim) -> bool:
     return True
 
 
-def _drain_burst(sim, peek, horizon, limit, total, sched=None) -> int:
+def _drain_burst(sim: Any, peek: Optional[List[Any]], horizon: float,
+                 limit: int, total: int, sched: Any = None) -> int:
     """Drain virtual events up to the next real event's key; returns total.
 
     ``peek`` is a list whose [0] is the backend's earliest raw entry

@@ -13,11 +13,14 @@ by omission, withhold) that desynchronizing noise.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.errors import ConfigurationError, RoutingError
 from repro.net.interface import Interface
 from repro.net.packet import MAX_HOPS, Packet
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
 
 __all__ = ["Node", "Host", "Router", "MAX_HOPS"]
 
@@ -33,7 +36,7 @@ class Node:
         Human-readable label.
     """
 
-    def __init__(self, sim, name: str = ""):
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
         self.node_id: int = -1
@@ -57,7 +60,10 @@ class Node:
             )
         return iface
 
-    def receive(self, packet: Packet) -> None:
+    def receive(self, packet: Packet) -> Optional[bool]:
+        """Accept a delivered packet.  The return value is unspecified
+        (routers alias this to :meth:`forward`, which reports drops);
+        link delivery ignores it."""
         raise NotImplementedError
 
     def forward(self, packet: Packet) -> bool:
@@ -101,7 +107,8 @@ class Host(Node):
         reaches its agent.  ``None`` means zero delay.
     """
 
-    def __init__(self, sim, name: str = "", proc_jitter: Optional[Callable[[], float]] = None):
+    def __init__(self, sim: "Simulator", name: str = "",
+                 proc_jitter: Optional[Callable[[], float]] = None) -> None:
         super().__init__(sim, name)
         self.address: int = -1
         self.proc_jitter = proc_jitter

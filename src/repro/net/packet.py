@@ -31,7 +31,7 @@ from __future__ import annotations
 import itertools
 from contextlib import contextmanager
 from enum import IntFlag
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import PacketPoolError
 
@@ -75,7 +75,7 @@ class PacketPool:
     __slots__ = ("enabled", "debug", "max_size", "free",
                  "acquired", "reused", "released", "dropped")
 
-    def __init__(self, max_size: int = 8192):
+    def __init__(self, max_size: int = 8192) -> None:
         self.enabled = False
         self.debug = False
         self.max_size = max_size
@@ -130,7 +130,8 @@ def pool_stats() -> Dict[str, Any]:
 
 
 @contextmanager
-def pooled_packets(enabled: bool = True, debug: bool = False):
+def pooled_packets(enabled: bool = True,
+                   debug: bool = False) -> Iterator[PacketPool]:
     """Context manager scoping a pool configuration to a block.
 
     The experiment runners use this so pooling is active exactly for
@@ -237,7 +238,7 @@ class Packet:
         dport: int = 0,
         created_at: float = 0.0,
         meta: Optional[Dict[str, Any]] = None,
-    ):
+    ) -> None:
         self.uid = next(_packet_uid)
         self.src = src
         self.dst = dst

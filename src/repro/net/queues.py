@@ -16,11 +16,16 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional
 
 from repro.errors import ConfigurationError, InvariantViolation, QueueError
 from repro.net.packet import Packet, PacketFlags
 from repro.obs import runtime as _obs
+
+if TYPE_CHECKING:  # import cycle: engine only needed for annotations
+    import random
+
+    from repro.sim.engine import Simulator
 
 __all__ = ["Queue", "DropTailQueue", "REDQueue"]
 
@@ -68,11 +73,11 @@ class Queue:
 
     def __init__(
         self,
-        sim,
+        sim: "Simulator",
         capacity_packets: Optional[int] = None,
         capacity_bytes: Optional[int] = None,
         unbounded: bool = False,
-    ):
+    ) -> None:
         if not unbounded and capacity_packets is None and capacity_bytes is None:
             raise ConfigurationError(
                 "queue needs capacity_packets and/or capacity_bytes "
@@ -414,17 +419,17 @@ class REDQueue(Queue):
 
     def __init__(
         self,
-        sim,
+        sim: "Simulator",
         capacity_packets: int,
         min_thresh: Optional[float] = None,
         max_thresh: Optional[float] = None,
         max_p: float = 0.1,
         weight: float = 0.002,
-        rng=None,
+        rng: Optional["random.Random"] = None,
         gentle: bool = True,
         mean_pkt_time: float = 1e-3,
         ecn: bool = False,
-    ):
+    ) -> None:
         super().__init__(sim, capacity_packets=capacity_packets)
         if rng is None:
             raise ConfigurationError("REDQueue requires an explicit rng stream")

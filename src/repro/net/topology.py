@@ -15,7 +15,8 @@ simulations vary flow RTTs between 25 ms and 300 ms).
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.errors import ConfigurationError, RoutingError
 from repro.net.interface import Interface
@@ -24,7 +25,13 @@ from repro.net.node import Host, Node, Router
 from repro.net.queues import DropTailQueue, Queue
 from repro.units import parse_bandwidth, parse_time, Quantity
 
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+
 __all__ = ["Network", "DumbbellNetwork", "build_dumbbell", "build_parking_lot"]
+
+#: Per-host processing-jitter callable (see :class:`repro.net.node.Host`).
+JitterFn = Callable[[], float]
 
 #: Queue capacity used for links that must never drop (access links etc.).
 _AMPLE_QUEUE_PACKETS = 1_000_000
@@ -46,7 +53,7 @@ class Network:
         net.compute_routes()
     """
 
-    def __init__(self, sim):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.nodes: List[Node] = []
         self.hosts: List[Host] = []
@@ -56,7 +63,8 @@ class Network:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def add_host(self, name: str = "", proc_jitter=None) -> Host:
+    def add_host(self, name: str = "",
+                 proc_jitter: Optional[JitterFn] = None) -> Host:
         """Create and register a :class:`Host` with a fresh address."""
         host = Host(self.sim, name=name, proc_jitter=proc_jitter)
         host.address = next(self._address_counter)
@@ -188,9 +196,10 @@ class DumbbellNetwork:
         Two-way propagation delay per flow (seconds), as requested.
     """
 
-    def __init__(self, network: Network, senders: List[Host], receivers: List[Host],
-                 left: Router, right: Router, bottleneck: Interface,
-                 reverse: Interface, rtts: List[float]):
+    def __init__(self, network: Network, senders: List[Host],
+                 receivers: List[Host], left: Router, right: Router,
+                 bottleneck: Interface, reverse: Interface,
+                 rtts: List[float]) -> None:
         self.network = network
         self.senders = senders
         self.receivers = receivers
@@ -201,7 +210,7 @@ class DumbbellNetwork:
         self.rtts = rtts
 
     @property
-    def sim(self):
+    def sim(self) -> "Simulator":
         return self.network.sim
 
     @property
@@ -219,7 +228,7 @@ class DumbbellNetwork:
 
 
 def build_dumbbell(
-    sim,
+    sim: "Simulator",
     n_pairs: int,
     bottleneck_rate: Quantity,
     buffer_packets: Optional[int],
@@ -228,7 +237,7 @@ def build_dumbbell(
     bottleneck_delay: Quantity = "1ms",
     receiver_delay: Quantity = "0.1ms",
     bottleneck_queue: QueueSpec = None,
-    proc_jitter=None,
+    proc_jitter: Optional[JitterFn] = None,
 ) -> DumbbellNetwork:
     """Build the paper's dumbbell with ``n_pairs`` sender/receiver pairs.
 
@@ -317,7 +326,7 @@ def build_dumbbell(
 
 
 def build_parking_lot(
-    sim,
+    sim: "Simulator",
     n_hops: int,
     n_pairs_per_hop: int,
     link_rate: Quantity,

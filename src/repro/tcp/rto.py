@@ -3,9 +3,12 @@
 Maintains the smoothed round-trip time ``srtt`` and variation ``rttvar``
 and derives ``RTO = srtt + 4 * rttvar``, clamped to ``[min_rto,
 max_rto]``.  Exponential backoff doubles the RTO after each timeout and
-is cleared by the next valid sample (Karn's algorithm: samples from
-retransmitted segments are never taken — the *sender* enforces that by
-not calling :meth:`sample` for them).
+is cleared by the next valid sample *or* by any ACK of new data
+(:meth:`on_progress`).  Karn's algorithm forbids sampling retransmitted
+segments — the *sender* enforces that by not calling :meth:`sample` for
+them — which is exactly why progress alone must also clear the backoff:
+under a loss pattern where every window contains a retransmission, no
+valid sample ever arrives.
 
 The default ``min_rto`` of 200 ms matches the ns-2 default used in the
 paper's simulations (RFC 6298 recommends 1 s; that conservatism mostly
@@ -84,6 +87,19 @@ class RtoEstimator:
     def on_timeout(self) -> None:
         """Apply exponential backoff after a retransmission timeout."""
         self.backoff = min(self.backoff * 2, self.max_backoff)
+
+    def on_progress(self) -> None:
+        """Clear exponential backoff on forward progress (new data acked).
+
+        Karn's algorithm forbids *sampling* retransmitted segments, but
+        a cumulative ACK that advances is still proof the path is
+        delivering.  Without this, a flow whose every window contains a
+        retransmission (so no valid sample ever arrives) keeps its
+        backed-off RTO indefinitely and crawls through the transfer at
+        one timeout per backed-off interval; BSD and Linux both clear
+        the backoff shift on any ACK of new data.
+        """
+        self.backoff = 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"RtoEstimator(srtt={self.srtt:.4f}, rttvar={self.rttvar:.4f}, "

@@ -270,7 +270,15 @@ class TcpSender:
         if retransmission:
             self.retransmits += 1
             self._retx_seqs.add(seq)
-            self._send_times.pop(seq, None)  # Karn: never time a retransmit
+            # Karn: never time a retransmit — and cancel *every* timing
+            # in progress.  Each outstanding segment's cumulative ACK
+            # can now only arrive after this loss is repaired, so its
+            # send-to-ACK interval measures the recovery stall, not the
+            # path RTT; feeding those into srtt compounds into an RTO
+            # spiral under repeated single losses.  (BSD cancels the
+            # in-flight timing, t_rtttime = 0, at every retransmission
+            # for the same reason.)
+            self._send_times.clear()
         else:
             self._send_times[seq] = self.sim.now
         if seq + 1 > self.high_water:
@@ -320,6 +328,7 @@ class TcpSender:
         newly_acked = ackno - self.snd_una
         cwnd_before = self.cc.cwnd if _obs.enabled else -1.0
         self._sample_rtt(ackno)
+        self.rto.on_progress()
         self._forget_acked(ackno)
         self.snd_una = ackno
         if self.snd_nxt < self.snd_una:

@@ -1,0 +1,118 @@
+"""The on-disk lint cache: hit/miss keying, invalidation, persistence."""
+
+import json
+import os
+
+from repro.analysis.cache import DEFAULT_CACHE_DIR, LintCache
+from repro.analysis.engine import LintEngine, lint_paths
+
+from tests.analysis.conftest import rule_ids
+
+BAD_WALLCLOCK = """\
+import time
+
+
+def stamp():
+    return time.time()
+"""
+
+CLEAN = "x = 1\n"
+
+
+def _tree(tmp_path, files):
+    root = tmp_path / "repro" / "sim"
+    root.mkdir(parents=True, exist_ok=True)
+    for name, source in files.items():
+        (root / name).write_text(source)
+    return root
+
+
+def _run(tmp_path, root, select=None):
+    cache = LintCache(str(tmp_path / "cache"), select=select)
+    result = LintEngine(select=select, cache=cache).run([str(root)])
+    return result, cache
+
+
+class TestCacheRoundTrip:
+    def test_cold_run_analyzes_everything(self, tmp_path):
+        root = _tree(tmp_path, {"a.py": BAD_WALLCLOCK, "b.py": CLEAN})
+        result, cache = _run(tmp_path, root)
+        assert result.files_analyzed == 2
+        assert result.cache_hits == 0
+        assert rule_ids(result) == {"REPRO103"}
+        assert os.path.exists(cache.path)
+
+    def test_warm_rerun_analyzes_nothing(self, tmp_path):
+        root = _tree(tmp_path, {"a.py": BAD_WALLCLOCK, "b.py": CLEAN})
+        _run(tmp_path, root)
+        result, _ = _run(tmp_path, root)
+        assert result.files_analyzed == 0
+        assert result.cache_hits == 2
+        # Cached raw diagnostics round-trip exactly.
+        assert rule_ids(result) == {"REPRO103"}
+        diag = result.diagnostics[0]
+        assert diag.line == 5 and diag.rule_id == "REPRO103"
+
+    def test_editing_one_file_reanalyzes_only_it(self, tmp_path):
+        root = _tree(tmp_path, {"a.py": BAD_WALLCLOCK, "b.py": CLEAN})
+        _run(tmp_path, root)
+        (root / "b.py").write_text("y = 2\n")
+        result, _ = _run(tmp_path, root)
+        # a.py is unchanged: its file-local rules are served from the
+        # cache via lookup_local even though the project hash moved.
+        assert result.files_analyzed == 2  # project-sensitive passes rerun
+        assert rule_ids(result) == {"REPRO103"}
+
+    def test_noqa_edit_invalidates_its_file(self, tmp_path):
+        root = _tree(tmp_path, {"a.py": BAD_WALLCLOCK})
+        first, _ = _run(tmp_path, root)
+        assert rule_ids(first) == {"REPRO103"}
+        (root / "a.py").write_text(BAD_WALLCLOCK.replace(
+            "time.time()", "time.time()  # repro: noqa"))
+        result, _ = _run(tmp_path, root)
+        assert result.diagnostics == []
+        assert result.suppressed == 1
+
+
+class TestCacheInvalidation:
+    def test_select_changes_signature(self, tmp_path):
+        root = _tree(tmp_path, {"a.py": BAD_WALLCLOCK})
+        _run(tmp_path, root)
+        result, _ = _run(tmp_path, root, select=["REPRO1"])
+        assert result.cache_hits == 0  # different signature: full miss
+
+    def test_version_mismatch_drops_cache(self, tmp_path):
+        root = _tree(tmp_path, {"a.py": BAD_WALLCLOCK})
+        _, cache = _run(tmp_path, root)
+        payload = json.loads(open(cache.path).read())
+        payload["version"] = -1
+        with open(cache.path, "w") as handle:
+            json.dump(payload, handle)
+        result, _ = _run(tmp_path, root)
+        assert result.cache_hits == 0
+        assert rule_ids(result) == {"REPRO103"}
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        root = _tree(tmp_path, {"a.py": BAD_WALLCLOCK})
+        _, cache = _run(tmp_path, root)
+        with open(cache.path, "w") as handle:
+            handle.write("{not json")
+        result, _ = _run(tmp_path, root)
+        assert rule_ids(result) == {"REPRO103"}
+
+    def test_deleted_file_entry_garbage_collected(self, tmp_path):
+        root = _tree(tmp_path, {"a.py": BAD_WALLCLOCK, "b.py": CLEAN})
+        _, cache = _run(tmp_path, root)
+        (root / "b.py").unlink()
+        _, cache = _run(tmp_path, root)
+        payload = json.loads(open(cache.path).read())
+        assert not any(path.endswith("b.py") for path in payload["files"])
+
+
+class TestCacheOffByDefault:
+    def test_lint_paths_does_not_create_default_cache_dir(self, tmp_path,
+                                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        root = _tree(tmp_path, {"a.py": CLEAN})
+        lint_paths([str(root)])
+        assert not (tmp_path / DEFAULT_CACHE_DIR).exists()

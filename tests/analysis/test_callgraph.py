@@ -1,0 +1,172 @@
+"""Symbol table and call graph: resolution and reachability."""
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.context import FileContext, Project
+from repro.analysis.symbols import module_name_for_path
+
+
+def make_project(files):
+    ctxs = []
+    for rel, source in files.items():
+        text = textwrap.dedent(source)
+        ctxs.append(FileContext(rel, text, ast.parse(text)))
+    return Project(ctxs)
+
+
+class TestModuleNames:
+    def test_anchored_at_last_repro_component(self):
+        assert module_name_for_path(
+            "/tmp/x/repro/net/link.py") == "repro.net.link"
+        assert module_name_for_path(
+            "src/repro/sim/engine.py") == "repro.sim.engine"
+
+    def test_mirror_tree_resolves_like_real_tree(self):
+        # Fixture mirrors under tmp/.../repro/ must collide on purpose.
+        real = module_name_for_path("src/repro/net/link.py")
+        mirror = module_name_for_path("/tmp/pytest-1/repro/net/link.py")
+        assert real == mirror
+
+    def test_package_init_maps_to_package(self):
+        assert module_name_for_path(
+            "src/repro/fabric/__init__.py") == "repro.fabric"
+
+
+class TestResolution:
+    def test_local_and_imported_functions(self):
+        project = make_project({
+            "repro/sim/a.py": """\
+            from repro.sim.b import helper
+
+            def caller():
+                helper()
+                local()
+
+            def local():
+                pass
+            """,
+            "repro/sim/b.py": """\
+            def helper():
+                pass
+            """,
+        })
+        graph = CallGraph(project.symbols)
+        assert graph.callees("repro.sim.a.caller") == {
+            "repro.sim.b.helper", "repro.sim.a.local"}
+
+    def test_bound_method_with_inheritance(self):
+        project = make_project({
+            "repro/sim/m.py": """\
+            class Base:
+                def shared(self):
+                    pass
+
+            class Child(Base):
+                def run(self):
+                    self.shared()
+            """,
+        })
+        graph = CallGraph(project.symbols)
+        assert graph.callees("repro.sim.m.Child.run") == {
+            "repro.sim.m.Base.shared"}
+
+    def test_decorated_function_is_indexed_and_resolved(self):
+        project = make_project({
+            "repro/sim/d.py": """\
+            import functools
+
+            @functools.lru_cache(maxsize=None)
+            def cached():
+                pass
+
+            def caller():
+                cached()
+            """,
+        })
+        graph = CallGraph(project.symbols)
+        assert graph.callees("repro.sim.d.caller") == {
+            "repro.sim.d.cached"}
+
+    def test_constructor_resolves_to_init(self):
+        project = make_project({
+            "repro/sim/c.py": """\
+            class Thing:
+                def __init__(self):
+                    pass
+
+            def build():
+                return Thing()
+            """,
+        })
+        graph = CallGraph(project.symbols)
+        assert graph.callees("repro.sim.c.build") == {
+            "repro.sim.c.Thing.__init__"}
+
+    def test_calls_in_comprehensions_are_attributed(self):
+        project = make_project({
+            "repro/sim/comp.py": """\
+            def source(x):
+                return x
+
+            def caller(items):
+                return [source(x) for x in items if source(x)]
+            """,
+        })
+        graph = CallGraph(project.symbols)
+        assert "repro.sim.comp.source" in graph.callees(
+            "repro.sim.comp.caller")
+
+    def test_nested_def_body_not_attributed_to_parent(self):
+        project = make_project({
+            "repro/sim/n.py": """\
+            def target():
+                pass
+
+            def outer():
+                def inner():
+                    target()
+                return inner
+            """,
+        })
+        graph = CallGraph(project.symbols)
+        assert graph.callees("repro.sim.n.outer") == set()
+        assert graph.callees("repro.sim.n.outer.inner") == {
+            "repro.sim.n.target"}
+
+
+class TestReachability:
+    def test_recursion_terminates(self):
+        project = make_project({
+            "repro/sim/r.py": """\
+            def even(n):
+                return True if n == 0 else odd(n - 1)
+
+            def odd(n):
+                return False if n == 0 else even(n - 1)
+            """,
+        })
+        graph = CallGraph(project.symbols)
+        reached = graph.reachable(["repro.sim.r.even"])
+        assert reached == {"repro.sim.r.even", "repro.sim.r.odd"}
+
+    def test_duck_edges_cover_every_method_of_that_name(self):
+        project = make_project({
+            "repro/sim/q.py": """\
+            class DropTail:
+                def enqueue(self, p):
+                    pass
+
+            class RED:
+                def enqueue(self, p):
+                    pass
+
+            def pump(queue, p):
+                queue.enqueue(p)
+            """,
+        })
+        graph = CallGraph(project.symbols)
+        assert graph.callees("repro.sim.q.pump", duck=False) == set()
+        assert graph.callees("repro.sim.q.pump", duck=True) == {
+            "repro.sim.q.DropTail.enqueue", "repro.sim.q.RED.enqueue"}

@@ -1,0 +1,183 @@
+"""CFG construction and generic forward-dataflow solver."""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import ENTRY, EXIT, build_cfg
+from repro.analysis.dataflow import ForwardAnalysis, solve
+
+
+def fn(source):
+    tree = ast.parse(textwrap.dedent(source))
+    node = tree.body[0]
+    assert isinstance(node, ast.FunctionDef)
+    return node
+
+
+def lines_of(cfg, index_set):
+    return {cfg.nodes[i].stmt.lineno for i in index_set
+            if cfg.nodes[i].stmt is not None}
+
+
+class _AssignedNames(ForwardAnalysis):
+    """May-analysis used to exercise the solver: names ever assigned."""
+
+    def initial_state(self):
+        return frozenset()
+
+    def join(self, states):
+        merged = states[0]
+        for state in states[1:]:
+            merged = merged | state
+        return merged
+
+    def transfer(self, stmt, state):
+        new = set(state)
+        for target in getattr(stmt, "targets", []):
+            if isinstance(target, ast.Name):
+                new.add(target.id)
+        return frozenset(new)
+
+
+class TestCFGStructure:
+    def test_linear_chain(self):
+        cfg = build_cfg(fn("""\
+        def f():
+            a = 1
+            b = 2
+            return b
+        """))
+        stmts = cfg.statement_nodes()
+        assert [n.stmt.lineno for n in stmts] == [2, 3, 4]
+        assert cfg.succ[ENTRY] == {stmts[0].index}
+        assert cfg.succ[stmts[0].index] == {stmts[1].index}
+        # The return goes straight to EXIT.
+        assert cfg.succ[stmts[2].index] == {EXIT}
+
+    def test_return_makes_tail_unreachable(self):
+        cfg = build_cfg(fn("""\
+        def f():
+            return 1
+            x = 2
+        """))
+        # The dead assignment is never materialized as a node.
+        assert [n.stmt.lineno for n in cfg.statement_nodes()] == [2]
+
+    def test_if_else_joins(self):
+        cfg = build_cfg(fn("""\
+        def f(c):
+            if c:
+                a = 1
+            else:
+                a = 2
+            return a
+        """))
+        branch = next(n for n in cfg.nodes if n.kind == "branch")
+        assert lines_of(cfg, cfg.succ[branch.index]) == {3, 5}
+        ret = next(n for n in cfg.statement_nodes()
+                   if isinstance(n.stmt, ast.Return))
+        assert lines_of(cfg, cfg.pred[ret.index]) == {3, 5}
+
+    def test_if_without_else_falls_through_header(self):
+        cfg = build_cfg(fn("""\
+        def f(c):
+            if c:
+                a = 1
+            return 0
+        """))
+        ret = next(n for n in cfg.statement_nodes()
+                   if isinstance(n.stmt, ast.Return))
+        # Reached both from the then-body and the false edge of the test.
+        assert lines_of(cfg, cfg.pred[ret.index]) == {2, 3}
+
+    def test_while_has_back_edge_and_header_exit(self):
+        cfg = build_cfg(fn("""\
+        def f(c):
+            while c:
+                c = step()
+            return c
+        """))
+        header = next(n for n in cfg.nodes if n.kind == "loop")
+        body = next(n for n in cfg.statement_nodes()
+                    if n.stmt.lineno == 3)
+        assert header.index in cfg.succ[body.index]  # back edge
+        ret = next(n for n in cfg.statement_nodes()
+                   if isinstance(n.stmt, ast.Return))
+        assert header.index in cfg.pred[ret.index]
+
+    def test_break_exits_loop_continue_returns_to_header(self):
+        cfg = build_cfg(fn("""\
+        def f(items):
+            for x in items:
+                if x:
+                    break
+                continue
+            return 1
+        """))
+        header = next(n for n in cfg.nodes if n.kind == "loop")
+        brk = next(n for n in cfg.statement_nodes()
+                   if isinstance(n.stmt, ast.Break))
+        cont = next(n for n in cfg.statement_nodes()
+                    if isinstance(n.stmt, ast.Continue))
+        ret = next(n for n in cfg.statement_nodes()
+                   if isinstance(n.stmt, ast.Return))
+        assert brk.index in cfg.pred[ret.index]
+        assert cfg.succ[cont.index] == {header.index}
+
+    def test_except_handler_is_reachable(self):
+        cfg = build_cfg(fn("""\
+        def f():
+            try:
+                a = risky()
+            except ValueError:
+                a = None
+            return a
+        """))
+        handler = next(n for n in cfg.statement_nodes()
+                       if n.stmt.lineno == 5)
+        ret = next(n for n in cfg.statement_nodes()
+                   if isinstance(n.stmt, ast.Return))
+        assert handler.index in cfg.pred[ret.index]
+        # Entered both from before the body and from its fall-through.
+        assert cfg.pred[handler.index] >= {ENTRY}
+
+
+class TestSolver:
+    def test_states_propagate_and_join(self):
+        cfg = build_cfg(fn("""\
+        def f(c):
+            if c:
+                a = 1
+            else:
+                b = 2
+            return 0
+        """))
+        in_states, _ = solve(cfg, _AssignedNames())
+        ret = next(n for n in cfg.statement_nodes()
+                   if isinstance(n.stmt, ast.Return))
+        assert in_states[ret.index] == {"a", "b"}
+
+    def test_loop_reaches_fixpoint(self):
+        cfg = build_cfg(fn("""\
+        def f(items):
+            total = 0
+            for x in items:
+                y = x
+            return total
+        """))
+        _, out_states = solve(cfg, _AssignedNames())
+        header = next(n for n in cfg.nodes if n.kind == "loop")
+        # After at least one iteration the body's binding flows back
+        # into the header's out-state.
+        assert out_states[header.index] >= {"total", "y"}
+
+    def test_unreachable_nodes_stay_none(self):
+        cfg = build_cfg(fn("""\
+        def f():
+            while True:
+                pass
+        """))
+        in_states, _ = solve(cfg, _AssignedNames())
+        # EXIT is reached only via the (imprecise) header exit edge;
+        # ENTRY itself has no in-state to compute.
+        assert in_states[ENTRY] is None

@@ -77,7 +77,9 @@ class TestNoqa:
         miss = BAD_WALLCLOCK.replace(
             "time.time()", "time.time()  # repro: noqa(REPRO101)")
         result = lint_source(miss)
-        assert rule_ids(result) == {"REPRO103"}
+        # The wall-clock diagnostic still fires AND the suppression that
+        # silenced nothing is itself reported (REPRO002).
+        assert rule_ids(result) == {"REPRO103", "REPRO002"}
         assert result.suppressed == 0
 
 
@@ -130,3 +132,103 @@ class TestDiagnostics:
     def test_clean_tree_exits_zero(self, lint_source):
         result = lint_source("x = 1\n")
         assert result.exit_code == 0
+
+
+class TestUnusedNoqa:
+    """REPRO002: suppressions that silence nothing are themselves flagged."""
+
+    def test_unused_bare_noqa_warns(self, lint_source):
+        result = lint_source("x = 1  # repro: noqa\n")
+        assert rule_ids(result) == {"REPRO002"}
+        diag = result.diagnostics[0]
+        assert diag.severity is Severity.WARNING
+        assert "unused suppression" in diag.message
+        assert result.exit_code == 0  # warning-only stays green
+
+    def test_unused_rule_list_noqa_warns_with_the_list(self, lint_source):
+        result = lint_source("x = 1  # repro: noqa(REPRO101, REPRO103)\n")
+        assert rule_ids(result) == {"REPRO002"}
+        assert "REPRO101, REPRO103" in result.diagnostics[0].message
+
+    def test_used_noqa_does_not_warn(self, lint_source):
+        clean = BAD_WALLCLOCK.replace(
+            "time.time()", "time.time()  # repro: noqa")
+        result = lint_source(clean)
+        assert result.diagnostics == []
+
+    def test_not_emitted_under_select(self, lint_source):
+        # A --select subset cannot know whether an unselected rule
+        # would have used the suppression.
+        result = lint_source("x = 1  # repro: noqa\n", select=["REPRO1"])
+        assert result.diagnostics == []
+
+    def test_explicit_repro002_opts_out(self, lint_source):
+        result = lint_source("x = 1  # repro: noqa(REPRO002)\n")
+        assert result.diagnostics == []
+
+    def test_bare_noqa_cannot_self_suppress(self, lint_source):
+        # If a bare noqa silenced REPRO002, every stale suppression
+        # would justify itself.
+        result = lint_source("x = 1  # repro: noqa()\n")
+        assert rule_ids(result) == {"REPRO002"}
+
+    def test_noqa_in_docstring_is_not_a_suppression(self, lint_source):
+        source = '"""Docs mention ``# repro: noqa`` here."""\nx = 1\n'
+        result = lint_source(source)
+        assert result.diagnostics == []
+
+    def test_noqa_mentioned_mid_comment_is_not_a_suppression(
+            self, lint_source):
+        source = "x = 1  # prose about the # repro: noqa syntax\n"
+        result = lint_source(source)
+        assert result.diagnostics == []
+
+
+class TestReportOnly:
+    """--changed semantics: analyse everything, report a subset."""
+
+    def test_filters_reported_diagnostics(self, tmp_path):
+        root = tmp_path / "repro" / "sim"
+        root.mkdir(parents=True)
+        (root / "a.py").write_text(BAD_WALLCLOCK)
+        (root / "b.py").write_text(BAD_WALLCLOCK)
+        only_b = {os.path.abspath(str(root / "b.py"))}
+        result = lint_paths([str(root)], report_only=only_b)
+        assert {os.path.basename(d.path) for d in result.diagnostics} \
+            == {"b.py"}
+        # The whole tree was still scanned for project context.
+        assert result.files_scanned == 2
+
+    def test_empty_changed_set_reports_nothing(self, tmp_path):
+        root = tmp_path / "repro" / "sim"
+        root.mkdir(parents=True)
+        (root / "a.py").write_text(BAD_WALLCLOCK)
+        result = lint_paths([str(root)], report_only=set())
+        assert result.diagnostics == []
+        assert result.exit_code == 0
+
+
+class TestSarif:
+    def test_sarif_shape_and_columns(self, lint_source):
+        from repro.analysis.sarif import to_sarif
+
+        result = lint_source(BAD_WALLCLOCK)
+        doc = to_sarif(result.diagnostics)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_list = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "REPRO103" in rule_list and "REPRO501" in rule_list
+        (res,) = run["results"]
+        assert res["ruleId"] == "REPRO103"
+        assert res["level"] == "error"
+        region = res["locations"][0]["physicalLocation"]["region"]
+        diag = result.diagnostics[0]
+        assert region["startLine"] == diag.line
+        assert region["startColumn"] == diag.col + 1  # SARIF is 1-based
+
+    def test_clean_run_has_empty_results(self, lint_source):
+        from repro.analysis.sarif import to_sarif
+
+        result = lint_source("x = 1\n")
+        assert to_sarif(result.diagnostics)["runs"][0]["results"] == []

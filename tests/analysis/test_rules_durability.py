@@ -1,0 +1,174 @@
+"""Fabric durability-protocol rules: REPRO106/107/108."""
+
+import shutil
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from tests.analysis.conftest import rule_ids
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+class TestPublishWithoutFsync:
+    def test_flags_write_then_rename_without_fsync(self, lint_source):
+        result = lint_source("""\
+        import os
+
+        def publish(path, tmp, payload):
+            with open(tmp, "wb") as fh:
+                fh.write(payload)
+            os.rename(tmp, path)
+        """, rel="fabric/fixture.py")
+        assert "REPRO106" in rule_ids(result)
+
+    def test_fsync_before_publish_is_clean(self, lint_source):
+        result = lint_source("""\
+        import os
+
+        def publish(path, tmp, payload):
+            with open(tmp, "wb") as fh:
+                fh.write(payload)
+                os.fsync(fh.fileno())
+            os.rename(tmp, path)
+            fsync_directory(path)
+        """, rel="fabric/fixture.py")
+        assert "REPRO106" not in rule_ids(result)
+
+    def test_fsync_on_one_branch_only_still_flags(self, lint_source):
+        # May-analysis: any path carrying un-fsync'd data to the
+        # publish is a bug.
+        result = lint_source("""\
+        import os
+
+        def publish(path, tmp, payload, fast):
+            with open(tmp, "wb") as fh:
+                fh.write(payload)
+                if not fast:
+                    os.fsync(fh.fileno())
+            os.rename(tmp, path)
+            fsync_directory(path)
+        """, rel="fabric/fixture.py")
+        assert "REPRO106" in rule_ids(result)
+
+    def test_rename_of_existing_file_is_clean(self, lint_source):
+        # Quarantine-style moves write nothing themselves.
+        result = lint_source("""\
+        import os
+
+        def quarantine(path):
+            os.replace(path, path + ".corrupt")
+            fsync_directory(path)
+        """, rel="fabric/fixture.py")
+        assert "REPRO106" not in rule_ids(result)
+
+    def test_outside_fabric_scope_is_ignored(self, lint_source):
+        result = lint_source("""\
+        import os
+
+        def publish(path, tmp, payload):
+            with open(tmp, "wb") as fh:
+                fh.write(payload)
+            os.rename(tmp, path)
+        """, rel="runner/fixture.py")
+        assert "REPRO106" not in rule_ids(result)
+
+
+class TestPublishWithoutDirFsync:
+    def test_flags_publish_with_no_directory_fsync(self, lint_source):
+        result = lint_source("""\
+        import os
+
+        def publish(path, tmp):
+            os.rename(tmp, path)
+        """, rel="fabric/fixture.py")
+        assert "REPRO107" in rule_ids(result)
+
+    def test_trailing_fsync_directory_is_clean(self, lint_source):
+        result = lint_source("""\
+        import os
+
+        def publish(path, tmp):
+            os.rename(tmp, path)
+            fsync_directory(path)
+        """, rel="fabric/fixture.py")
+        assert "REPRO107" not in rule_ids(result)
+
+
+class TestNonAtomicClaim:
+    def test_flags_exists_check_then_open_w(self, lint_source):
+        result = lint_source("""\
+        import os
+
+        def claim(path, worker):
+            if not os.path.exists(path):
+                with open(path, "w") as fh:
+                    fh.write(worker)
+        """, rel="fabric/fixture.py")
+        assert "REPRO108" in rule_ids(result)
+
+    def test_flags_exists_check_then_nonexclusive_record(self, lint_source):
+        result = lint_source("""\
+        import os
+
+        def claim(path, payload):
+            if not os.path.exists(path):
+                write_record(path, payload)
+        """, rel="fabric/fixture.py")
+        assert "REPRO108" in rule_ids(result)
+
+    def test_exclusive_record_claim_is_clean(self, lint_source):
+        result = lint_source("""\
+        import os
+
+        def claim(path, payload):
+            if not os.path.exists(path):
+                return write_record(path, payload, exclusive=True)
+            return False
+        """, rel="fabric/fixture.py")
+        assert "REPRO108" not in rule_ids(result)
+
+    def test_link_claim_is_clean(self, lint_source):
+        # os.link raises on conflict, so the check-then-act window is
+        # harmless (the loser gets FileExistsError).
+        result = lint_source("""\
+        import os
+
+        def claim(path, tmp):
+            if not os.path.exists(path):
+                os.link(tmp, path)
+        """, rel="fabric/fixture.py")
+        assert "REPRO108" not in rule_ids(result)
+
+
+class TestMutationOnRealRecords:
+    """The rules must catch a dropped fsync in repro.fabric.records."""
+
+    def _mirror(self, tmp_path, mutate=None):
+        dst = tmp_path / "repro" / "fabric"
+        dst.mkdir(parents=True)
+        shutil.copy(REPO_SRC / "fabric" / "records.py", dst / "records.py")
+        if mutate:
+            old, new = mutate
+            text = (dst / "records.py").read_text()
+            assert old in text
+            (dst / "records.py").write_text(text.replace(old, new))
+        return lint_paths([str(tmp_path)], select=["REPRO106", "REPRO107"])
+
+    def test_pristine_records_is_clean(self, tmp_path):
+        result = self._mirror(tmp_path)
+        assert not rule_ids(result)
+
+    def test_dropped_file_fsync_is_caught(self, tmp_path):
+        result = self._mirror(tmp_path, mutate=(
+            "            fh.flush()\n"
+            "            os.fsync(fh.fileno())\n",
+            "            fh.flush()\n",
+        ))
+        assert "REPRO106" in rule_ids(result)
+
+    def test_dropped_directory_fsync_is_caught(self, tmp_path):
+        result = self._mirror(tmp_path, mutate=(
+            "        fsync_directory(directory)\n",
+            "",
+        ))
+        assert "REPRO107" in rule_ids(result)

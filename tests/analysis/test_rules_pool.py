@@ -76,3 +76,80 @@ class TestUseAfterRelease:
                 stats.bytes += pkt.size
         """)
         assert "REPRO501" in rule_ids(result)
+
+
+class TestInterproceduralRelease:
+    """Releases through helper calls — the old walker's false negative."""
+
+    def test_release_through_helper_is_flagged(self, lint_source):
+        result = lint_source("""\
+        def _recycle(pkt):
+            pkt.release()
+
+        def drop(pkt, stats):
+            _recycle(pkt)
+            stats.bytes += pkt.size
+        """)
+        assert "REPRO501" in rule_ids(result)
+
+    def test_release_through_helper_chain_is_flagged(self, lint_source):
+        result = lint_source("""\
+        def _inner(pkt):
+            pkt.release()
+
+        def _outer(pkt):
+            _inner(pkt)
+
+        def drop(pkt, stats):
+            _outer(pkt)
+            stats.bytes += pkt.size
+        """)
+        assert "REPRO501" in rule_ids(result)
+
+    def test_bound_method_release_maps_past_self(self, lint_source):
+        result = lint_source("""\
+        class Pool:
+            def recycle(self, pkt):
+                pkt.release()
+
+        def drop(pool, pkt, stats):
+            pool.recycle(pkt)
+            stats.bytes += pkt.size
+        """)
+        assert "REPRO501" not in rule_ids(result)
+
+    def test_self_method_release_is_flagged(self, lint_source):
+        result = lint_source("""\
+        class Pool:
+            def recycle(self, pkt):
+                pkt.release()
+
+            def drop(self, pkt, stats):
+                self.recycle(pkt)
+                stats.bytes += pkt.size
+        """)
+        assert "REPRO501" in rule_ids(result)
+
+    def test_conditional_helper_release_is_clean(self, lint_source):
+        # The helper releases on only one path, so no must-summary.
+        result = lint_source("""\
+        def _maybe(pkt, full):
+            if full:
+                pkt.release()
+
+        def drop(pkt, stats, full):
+            _maybe(pkt, full)
+            stats.bytes += pkt.size
+        """)
+        assert "REPRO501" not in rule_ids(result)
+
+    def test_keyword_argument_release_is_flagged(self, lint_source):
+        result = lint_source("""\
+        def _recycle(pkt):
+            pkt.release()
+
+        def drop(packet, stats):
+            _recycle(pkt=packet)
+            stats.bytes += packet.size
+        """)
+        assert "REPRO501" in rule_ids(result)

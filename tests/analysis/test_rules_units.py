@@ -1,0 +1,131 @@
+"""Unit-safety rules: REPRO601/602/603 dimension taint."""
+
+import shutil
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from tests.analysis.conftest import rule_ids
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+class TestDimensionArithmetic:
+    def test_flags_seconds_plus_bytes(self, lint_source):
+        result = lint_source("""\
+        from repro.units import parse_time, parse_size
+
+        def bad(rtt, size):
+            return parse_time(rtt) + parse_size(size)
+        """)
+        assert "REPRO601" in rule_ids(result)
+
+    def test_rule_of_thumb_shape_is_clean(self, lint_source):
+        # s * (bit/s) / 8 = bytes: the canonical sizing formula.
+        result = lint_source("""\
+        from repro.units import parse_bandwidth, parse_time
+
+        def rule_of_thumb(rtt, capacity):
+            return parse_time(rtt) * parse_bandwidth(capacity) / 8.0
+        """)
+        assert "REPRO601" not in rule_ids(result)
+
+    def test_taint_flows_through_assignment(self, lint_source):
+        result = lint_source("""\
+        from repro.units import parse_time, parse_size
+
+        def bad(rtt, size):
+            rtt_s = parse_time(rtt)
+            nbytes = parse_size(size)
+            return rtt_s - nbytes
+        """)
+        assert "REPRO601" in rule_ids(result)
+
+    def test_taint_crosses_call_boundary(self, lint_source):
+        # helper() returns seconds; adding bytes in the caller must
+        # flag even though the taint source is in another function.
+        result = lint_source("""\
+        from repro.units import parse_time, parse_size
+
+        def helper(rtt):
+            return parse_time(rtt)
+
+        def bad(rtt, size):
+            return helper(rtt) + parse_size(size)
+        """)
+        assert "REPRO601" in rule_ids(result)
+
+    def test_scaling_by_literal_is_clean(self, lint_source):
+        result = lint_source("""\
+        from repro.units import parse_time
+
+        def halve(rtt):
+            return parse_time(rtt) * 0.5 + parse_time(rtt)
+        """)
+        assert "REPRO601" not in rule_ids(result)
+
+
+class TestDimensionComparison:
+    def test_flags_seconds_vs_bytes_compare(self, lint_source):
+        result = lint_source("""\
+        from repro.units import parse_time, parse_size
+
+        def bad(rtt, size):
+            return parse_time(rtt) < parse_size(size)
+        """)
+        assert "REPRO602" in rule_ids(result)
+
+    def test_compare_against_literal_is_clean(self, lint_source):
+        result = lint_source("""\
+        from repro.units import parse_time
+
+        def check(rtt):
+            return parse_time(rtt) <= 0
+        """)
+        assert "REPRO602" not in rule_ids(result)
+
+
+class TestDoubleConversion:
+    def test_flags_bits_of_bits(self, lint_source):
+        # bits() expects bytes; feeding it its own output double-converts.
+        result = lint_source("""\
+        from repro.units import bits
+
+        def bad(nbytes):
+            return bits(bits(nbytes))
+        """)
+        assert "REPRO603" in rule_ids(result)
+
+    def test_roundtrip_is_clean(self, lint_source):
+        result = lint_source("""\
+        from repro.units import bits, bytes_
+
+        def roundtrip(nbytes):
+            return bytes_(bits(nbytes))
+        """)
+        assert "REPRO603" not in rule_ids(result)
+
+
+class TestMutationOnRealSizing:
+    """The rule must catch a seeded unit-mixing edit in repro.core."""
+
+    def _mirror(self, tmp_path, mutate=None):
+        dst = tmp_path / "repro" / "core"
+        dst.mkdir(parents=True)
+        shutil.copy(REPO_SRC / "core" / "sizing.py", dst / "sizing.py")
+        if mutate:
+            old, new = mutate
+            text = (dst / "sizing.py").read_text()
+            assert old in text
+            (dst / "sizing.py").write_text(text.replace(old, new))
+        return lint_paths([str(tmp_path)], select=["REPRO601", "REPRO602"])
+
+    def test_pristine_sizing_is_clean(self, tmp_path):
+        result = self._mirror(tmp_path)
+        assert not rule_ids(result)
+
+    def test_seeded_unit_mixing_is_caught(self, tmp_path):
+        result = self._mirror(tmp_path, mutate=(
+            "return rtt_s * cap / 8.0",
+            "return rtt_s + cap / 8.0",
+        ))
+        assert "REPRO601" in rule_ids(result)

@@ -6,7 +6,7 @@ invariant the whole study rests on: every byte eventually arrives,
 exactly once, in order.
 """
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, strategies as st
 
 from repro.net import build_dumbbell
 from repro.sim import Simulator
@@ -58,6 +58,16 @@ class TestReliabilityProperties:
     )
     @settings(max_examples=25, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
+    # Regression pin: alternating early losses mean every window holds a
+    # retransmission, so Karn suppresses RTT sampling forever; before
+    # RtoEstimator.on_progress() the backed-off RTO was never cleared
+    # and this transfer took ~400 simulated seconds instead of ~15.
+    @example(drop_seqs={0, 1, 2, 4, 6, 8, 10, 12, 14, 16}, size=30)
+    # Regression pin: recovery-stall ACK times fed into srtt compound
+    # into an RTO spiral (3 s -> 51 s base RTO) unless every in-flight
+    # RTT timing is cancelled at retransmission like BSD does.
+    @example(drop_seqs={0, 1, 2, 3, 4, 7, 10, 12, 14, 16, 17, 18, 20, 21, 22},
+             size=30)
     def test_transfer_completes_under_any_single_loss_pattern(self, drop_seqs, size):
         """Whatever subset of segments is lost once, TCP delivers all data."""
         sim = Simulator()

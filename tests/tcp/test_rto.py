@@ -58,6 +58,21 @@ class TestRtoEstimator:
         est.sample(0.1)
         assert est.backoff == 1
 
+    def test_progress_clears_backoff_without_sample(self):
+        # Karn's algorithm can suppress sampling indefinitely (every
+        # window contains a retransmission); an advancing cumulative
+        # ACK must still collapse the backoff or the flow crawls at
+        # one backed-off timeout per segment.
+        est = RtoEstimator()
+        est.sample(0.1)
+        base = est.rto
+        for _ in range(4):
+            est.on_timeout()
+        assert est.backoff == 16
+        est.on_progress()
+        assert est.backoff == 1
+        assert est.rto == pytest.approx(base)
+
     def test_variance_reacts_to_jitter(self):
         est = RtoEstimator()
         est.sample(0.1)
