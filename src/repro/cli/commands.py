@@ -27,6 +27,7 @@ __all__ = [
     "cmd_figure",
     "cmd_table",
     "cmd_ablations",
+    "cmd_cc_compare",
     "cmd_sweep",
     "cmd_worker",
     "cmd_bench",
@@ -209,6 +210,7 @@ def cmd_simulate_short(args: argparse.Namespace) -> int:
             rtt=args.rtt,
             duration=args.duration,
             seed=args.seed,
+            cc=getattr(args, "cc", "reno"),
             max_events=getattr(args, "max_events", None),
             max_wall_seconds=getattr(args, "timeout", None),
             engine_opts=_engine_opts(args),
@@ -219,7 +221,8 @@ def cmd_simulate_short(args: argparse.Namespace) -> int:
         return _fail(str(exc))
     buffer_label = (f"{args.buffer_packets} pkts" if args.buffer_packets
                     else "unbounded")
-    print(f"short flows ({args.flow_packets} pkts) at load {args.load}, "
+    print(f"short {getattr(args, 'cc', 'reno')} flows "
+          f"({args.flow_packets} pkts) at load {args.load}, "
           f"buffer {buffer_label}")
     print(f"  flows completed: {result.n_completed}")
     print(f"  AFCT:        {result.afct * 1000:8.1f} ms "
@@ -310,6 +313,57 @@ def cmd_ablations(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cc_compare(args: argparse.Namespace) -> int:
+    """``repro cc-compare``: the congestion-control zoo comparison.
+
+    Measures aggregate-window Gaussianity, the synchronization index,
+    and min-buffer-vs-n per CC, then checks the two theory predictions:
+    Reno still fits the √n rule, and pacing/rate-based CCs need no more
+    buffer than Reno (Spang et al. 2021).  Exit 3 when a prediction is
+    violated, so CI can gate on it.
+    """
+    import json as _json
+
+    from repro.experiments.cc_comparison import (
+        format_report,
+        run_cc_comparison,
+    )
+
+    ccs = [x.strip() for x in args.cc.split(",") if x.strip()]
+    try:
+        flows_list = [int(x) for x in args.flows.split(",")]
+    except ValueError:
+        return _fail("--flows wants comma-separated integers")
+    try:
+        result = run_cc_comparison(
+            ccs=ccs,
+            n_values=flows_list,
+            pipe_packets=args.pipe,
+            bottleneck_rate=args.rate,
+            warmup=args.warmup,
+            duration=args.duration,
+            seed=args.seed,
+            target=args.target_utilization,
+            max_events=getattr(args, "max_events", None),
+            max_wall_seconds=getattr(args, "timeout", None),
+        )
+    except (SimulationStalledError, InvariantViolation) as exc:
+        return _abort(exc)
+    except ReproError as exc:
+        return _fail(str(exc))
+    print(format_report(result))
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                _json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        except OSError as exc:
+            return _fail(f"cannot write {args.output!r}: {exc}")
+        print(f"artifact: {args.output}")
+    ok = result.reno_fits_sqrt_rule()
+    ok = ok and all(result.paced_needs_no_more_than_reno().values())
+    return 0 if ok else 3
+
+
 def cmd_profiles(args: argparse.Namespace) -> int:
     """``repro profiles``: the canonical link classes and their buffers."""
     from repro.scenarios import PROFILES
@@ -322,7 +376,8 @@ def cmd_profiles(args: argparse.Namespace) -> int:
 def _print_sweep_row(outcome) -> bool:
     """One table row per cell outcome; returns True when the cell failed."""
     params = outcome.params
-    label = f"{params['n_flows']:>6} {params['buffer_packets']:>7}"
+    label = (f"{params.get('cc', 'reno'):>8} {params['n_flows']:>6} "
+             f"{params['buffer_packets']:>7}")
     if not outcome.ok:
         print(f"{label} {'-':>7} {'-':>7} {outcome.attempts:>8}  "
               f"FAILED: {outcome.error}")
@@ -354,24 +409,34 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.common import run_long_flow_experiment
     from repro.runner import SweepSupervisor
 
+    from repro.tcp.congestion import available_ccs
+
     try:
         flows_list = [int(x) for x in args.flows.split(",")]
         factor_list = [float(x) for x in args.buffer_factors.split(",")]
     except ValueError:
         return _fail("--flows and --buffer-factors want comma-separated numbers")
+    cc_list = [x.strip() for x in getattr(args, "cc", "reno").split(",")
+               if x.strip()]
+    unknown_ccs = sorted(set(cc_list) - set(available_ccs()))
+    if unknown_ccs:
+        return _fail(f"unknown congestion control(s): "
+                     f"{', '.join(unknown_ccs)} "
+                     f"(choose from {', '.join(available_ccs())})")
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     if jobs < 1:
         return _fail(f"--jobs must be >= 0, got {args.jobs}")
 
     grid = []
-    for n in flows_list:
-        for factor in factor_list:
-            buffer_packets = max(2, round(args.pipe * factor / math.sqrt(n)))
-            grid.append(dict(
-                n_flows=n, buffer_packets=buffer_packets,
-                pipe_packets=args.pipe, bottleneck_rate=args.rate,
-                warmup=args.warmup, duration=args.duration, seed=args.seed,
-            ))
+    for cc in cc_list:
+        for n in flows_list:
+            for factor in factor_list:
+                buffer_packets = max(2, round(args.pipe * factor / math.sqrt(n)))
+                grid.append(dict(
+                    cc=cc, n_flows=n, buffer_packets=buffer_packets,
+                    pipe_packets=args.pipe, bottleneck_rate=args.rate,
+                    warmup=args.warmup, duration=args.duration, seed=args.seed,
+                ))
 
     if getattr(args, "workers", 0):
         return _cmd_sweep_fabric(args, grid)
@@ -393,7 +458,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if jobs > 1:
         print(f"running {len(grid)} cell(s) on {jobs} worker process(es)")
 
-    print(f"{'flows':>6} {'buffer':>7} {'util%':>7} {'loss%':>7} "
+    print(f"{'cc':>8} {'flows':>6} {'buffer':>7} {'util%':>7} {'loss%':>7} "
           f"{'attempts':>8}  source")
     failures = 0
     if jobs > 1:
@@ -429,7 +494,7 @@ def _cmd_sweep_fabric(args: argparse.Namespace, grid) -> int:
     print(f"fabric sweep: {len(grid)} cell(s), {args.workers} worker(s), "
           f"queue {queue_dir}")
     print(f"  attach more with: repro worker {queue_dir}")
-    print(f"{'flows':>6} {'buffer':>7} {'util%':>7} {'loss%':>7} "
+    print(f"{'cc':>8} {'flows':>6} {'buffer':>7} {'util%':>7} {'loss%':>7} "
           f"{'attempts':>8}  source")
     try:
         outcomes = run_fabric_sweep(

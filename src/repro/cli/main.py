@@ -7,6 +7,7 @@ import sys
 from typing import List, Optional
 
 from repro.cli import commands
+from repro.tcp.congestion import available_ccs
 
 __all__ = ["build_parser", "main"]
 
@@ -84,8 +85,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_long.add_argument("--warmup", type=float, default=20.0)
     p_long.add_argument("--duration", type=float, default=40.0)
     p_long.add_argument("--seed", type=int, default=1)
-    p_long.add_argument("--cc", default="reno",
-                        choices=["tahoe", "reno", "newreno"])
+    p_long.add_argument("--cc", default="reno", choices=available_ccs(),
+                        help="congestion control (default reno)")
     p_long.add_argument("--red", action="store_true",
                         help="use a RED queue instead of drop-tail")
     p_long.add_argument("--pacing", action="store_true",
@@ -113,6 +114,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_short.add_argument("--rtt", default="80ms")
     p_short.add_argument("--duration", type=float, default=40.0)
     p_short.add_argument("--seed", type=int, default=1)
+    p_short.add_argument("--cc", default="reno", choices=available_ccs(),
+                         help="congestion control (default reno)")
     _add_watchdog_args(p_short)
     _add_scheduler_arg(p_short)
     p_short.set_defaults(func=commands.cmd_simulate_short)
@@ -149,6 +152,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_abl = sub.add_parser("ablations", help="run the ablation suite")
     p_abl.set_defaults(func=commands.cmd_ablations)
 
+    p_ccc = sub.add_parser(
+        "cc-compare", help="congestion-control zoo comparison: Gaussianity, "
+                           "synchronization, and min-buffer vs n per CC")
+    p_ccc.add_argument("--cc", default="reno,compound,scalable,hstcp,bbr",
+                       help="comma-separated congestion controls to compare "
+                            '(default: the full zoo)')
+    p_ccc.add_argument("--flows", default="8,16,32",
+                       help='comma-separated flow counts (default "8,16,32")')
+    p_ccc.add_argument("--pipe", type=float, default=100.0,
+                       help="bandwidth-delay product in packets (default 100)")
+    p_ccc.add_argument("--rate", default="10Mbps")
+    p_ccc.add_argument("--warmup", type=float, default=5.0)
+    p_ccc.add_argument("--duration", type=float, default=15.0)
+    p_ccc.add_argument("--seed", type=int, default=1)
+    p_ccc.add_argument("--target-utilization", type=float, default=0.98,
+                       help="utilization SLO for the min-buffer search "
+                            "(default 0.98)")
+    p_ccc.add_argument("--output", default=None, metavar="FILE",
+                       help="also write the full comparison as JSON")
+    _add_watchdog_args(p_ccc)
+    p_ccc.set_defaults(func=commands.cmd_cc_compare)
+
     p_prof = sub.add_parser("profiles",
                             help="list canonical link profiles and their buffers")
     p_prof.set_defaults(func=commands.cmd_profiles)
@@ -160,6 +185,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--buffer-factors", default="0.5,1.0",
                          help='comma-separated buffer factors in units of '
                               'RTTxC/sqrt(n) (default "0.5,1.0")')
+    p_sweep.add_argument("--cc", default="reno",
+                         help='comma-separated congestion controls for the '
+                              'grid (default "reno"); each becomes a grid '
+                              'axis value, e.g. "reno,compound,bbr"')
     p_sweep.add_argument("--pipe", type=float, default=400.0)
     p_sweep.add_argument("--rate", default="40Mbps")
     p_sweep.add_argument("--warmup", type=float, default=20.0)

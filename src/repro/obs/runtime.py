@@ -196,6 +196,11 @@ def _sender_reader(sender: Any) -> Dict[str, Any]:
         "snd_nxt": sender.snd_nxt,
         "flight": sender.snd_nxt - sender.snd_una,
         "completed": sender.completed,
+        "pacing_releases": sender.pacing_releases,
+        # Zoo-specific counters: Compound's delay-based sheds and
+        # BBR-like bandwidth-probe phase changes (0 for other CCs).
+        "delay_backoffs": getattr(sender.cc, "delay_backoffs", 0),
+        "bw_probe_transitions": getattr(sender.cc, "bw_probe_transitions", 0),
     }
 
 

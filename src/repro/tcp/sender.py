@@ -108,8 +108,13 @@ class TcpSender:
         self.total_packets = total_packets
         self.on_complete = on_complete
         self.rto = rto if rto is not None else RtoEstimator()
-        self.pacing = pacing
-        self._pace_event = None
+        # Rate-based algorithms are meaningless ack-clocked: they force
+        # the paced-departure path on.
+        self.pacing = bool(pacing) or self.cc.wants_pacing
+        # Paced departures run on the Timer facility (same lazy-deferral
+        # machinery as the RTO timer), not raw schedule/cancel events.
+        self._pace_timer = Timer(sim, self._pace_fire)
+        self.pacing_releases = 0
         # RFC 3168 sender state: ECT is stamped on data when enabled;
         # one window reduction per RTT of ECE feedback, confirmed to the
         # receiver via CWR on the next new segment.
@@ -141,6 +146,10 @@ class TcpSender:
         self.retransmits = 0
         self.fast_retransmits = 0
 
+        # Bind last: delay/rate-based algorithms read sender state
+        # (sim clock, snd_una, flight size) through this reference.
+        self.cc.bind(self)
+
         host.bind(sport, self)
         if _obs.enabled:
             _obs.register_sender(self)
@@ -159,9 +168,7 @@ class TcpSender:
     def close(self) -> None:
         """Tear the agent down: cancel timers and release the port."""
         self._rto_timer.cancel()
-        if self._pace_event is not None:
-            self._pace_event.cancel()
-            self._pace_event = None
+        self._pace_timer.cancel()
         self.host.unbind(self.sport)
 
     # ------------------------------------------------------------------
@@ -214,12 +221,18 @@ class TcpSender:
     # Pacing
     # ------------------------------------------------------------------
     def _pacing_interval(self) -> float:
-        """Seconds between paced transmissions: ``srtt / cwnd``.
+        """Seconds between paced transmissions.
 
-        Zero before the first RTT sample, which makes the first window
-        go out back-to-back (no estimate to pace against — the same
+        Ack-clocked algorithms spread one window over one smoothed RTT
+        (``srtt / cwnd``); rate-based algorithms supply their own
+        interval from their bandwidth model
+        (:meth:`~repro.tcp.congestion.CongestionControl.pacing_interval`).
+        Zero before the first estimate, which makes the first window go
+        out back-to-back (nothing to pace against — the same
         bootstrapping behaviour real paced stacks exhibit).
         """
+        if self.cc.rate_based:
+            return self.cc.pacing_interval()
         if self.rto.samples == 0:
             return 0.0
         return self.rto.srtt / max(self.cc.cwnd, 1.0)
@@ -232,17 +245,17 @@ class TcpSender:
         return True
 
     def _pace_pump(self) -> None:
-        """Send at most one segment now; schedule the next by the pace."""
-        if self._pace_event is not None:
+        """Send at most one segment now; arm the pace timer for the next."""
+        if self._pace_timer.armed:
             return  # the running pace timer owns transmission
         if not self._window_allows_send():
             return
         self._emit(self.snd_nxt, retransmission=self.snd_nxt < self.high_water)
         self.snd_nxt += 1
-        self._pace_event = self.sim.schedule(self._pacing_interval(), self._pace_fire)
+        self.pacing_releases += 1
+        self._pace_timer.arm(self._pacing_interval())
 
     def _pace_fire(self) -> None:
-        self._pace_event = None
         if self.completed:
             return
         if self._window_allows_send():
@@ -408,6 +421,7 @@ class TcpSender:
                 rtt = self.sim._now - sent_at
                 if rtt > 0:
                     self.rto.sample(rtt)
+                    self.cc.on_rtt_sample(rtt, self.sim._now)
                 return
 
     def _forget_acked(self, ackno: int) -> None:

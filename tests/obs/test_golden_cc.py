@@ -1,0 +1,100 @@
+"""Golden traces for the congestion-control zoo (Compound and BbrLike).
+
+Same machinery as :mod:`tests.obs.test_golden_trace`, pointed at the
+two most stateful zoo algorithms: a Figure-1-shaped long-flow cell and
+a small short-flow cell for each, traced without the per-packet
+``enqueue`` kind and committed as JSONL under ``tests/obs/golden/``.
+Any behavioural drift in the delay-window machinery, the BBR model
+(round accounting, bandwidth filter, phase transitions), or the paced
+departure path shows up as a readable event-level diff.
+
+To regenerate after an *intentional* behaviour change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/obs/test_golden_cc.py
+
+then commit the updated golden files alongside the change that
+explains them.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.experiments.common import (
+    run_long_flow_experiment,
+    run_short_flow_experiment,
+)
+from repro.obs import EVENT_KINDS, read_jsonl, validate_events
+from repro.traffic.sizes import FixedSize
+
+from tests.obs.test_golden_trace import assert_traces_equal
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Everything except the per-packet enqueue firehose.
+GOLDEN_KINDS = frozenset(EVENT_KINDS) - {"enqueue"}
+
+#: Long-flow cells: Figure 1 shape (rule-of-thumb buffer, B = pipe).
+LONG_CELLS = {
+    "cc_long_compound": dict(
+        n_flows=4, buffer_packets=30, pipe_packets=30.0,
+        bottleneck_rate="10Mbps", warmup=1.0, duration=2.0, seed=7,
+        cc="compound"),
+    "cc_long_bbr": dict(
+        n_flows=4, buffer_packets=30, pipe_packets=30.0,
+        bottleneck_rate="10Mbps", warmup=1.0, duration=2.0, seed=7,
+        cc="bbr"),
+}
+
+#: Short-flow cells: slow-start-only transfers at moderate load.
+SHORT_CELLS = {
+    "cc_short_compound": dict(
+        load=0.5, buffer_packets=20, bottleneck_rate="10Mbps",
+        rtt="40ms", warmup=0.5, duration=1.5, seed=7, n_pairs=5,
+        cc="compound"),
+    "cc_short_bbr": dict(
+        load=0.5, buffer_packets=20, bottleneck_rate="10Mbps",
+        rtt="40ms", warmup=0.5, duration=1.5, seed=7, n_pairs=5,
+        cc="bbr"),
+}
+
+CELLS = sorted(LONG_CELLS) + sorted(SHORT_CELLS)
+
+
+def generate_trace(cell):
+    with obs.observed(kinds=GOLDEN_KINDS) as recorder:
+        if cell in LONG_CELLS:
+            run_long_flow_experiment(**LONG_CELLS[cell])
+        else:
+            run_short_flow_experiment(sizes=FixedSize(8),
+                                      **SHORT_CELLS[cell])
+        events = recorder.events()
+        assert not recorder.truncated, "golden cell overflowed the ring"
+        return events
+
+
+@pytest.mark.parametrize("cell", CELLS)
+class TestZooGoldenTraces:
+    def test_replay_matches_golden(self, cell):
+        path = GOLDEN_DIR / f"{cell}.jsonl"
+        actual = generate_trace(cell)
+        assert actual, "traced cell produced no events"
+        if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                import json
+                for event in actual:
+                    fh.write(json.dumps(event, sort_keys=True) + "\n")
+        expected = read_jsonl(str(path))
+        assert_traces_equal(cell, expected, actual)
+
+    def test_golden_file_is_schema_valid(self, cell):
+        events = read_jsonl(str(GOLDEN_DIR / f"{cell}.jsonl"))
+        assert validate_events(events) == len(events)
+        assert all(e["kind"] in GOLDEN_KINDS for e in events)
+
+    def test_trace_is_deterministic_across_runs(self, cell):
+        assert_traces_equal(cell, generate_trace(cell),
+                            generate_trace(cell))

@@ -1,0 +1,79 @@
+"""Cross-backend identity for every zoo algorithm: bit for bit.
+
+The calendar-queue scheduler and the burst-mode departure engine change
+*how* the event stream is processed, never *what* it computes
+(tests/net/test_burst_identity.py holds that line for the raw engine).
+The zoo algorithms add new hazards on top — paced departures on the
+Timer facility, per-round model updates reading the simulation clock,
+delay-threshold comparisons — so each one is run through a
+Figure-1-style dumbbell cell on all four scheduler x burst variants and
+the complete observable history (the full experiment result plus the
+flight-recorder event stream) must be identical to the heap/no-burst
+reference.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import obs
+from repro.experiments.common import run_long_flow_experiment
+from repro.obs import EVENT_KINDS
+
+#: scheduler backend x bursting; the first entry is the reference.
+VARIANTS = (("heap", False), ("heap", True),
+            ("calendar", False), ("calendar", True))
+
+ZOO = ("compound", "scalable", "hstcp", "bbr")
+
+#: Figure-1-style cell: rule-of-thumb buffer (B = pipe), a few flows,
+#: short enough to keep 16 runs cheap but long enough to include loss
+#: recovery (and, for bbr, startup -> drain -> probe_bw).
+CELL = dict(n_flows=4, buffer_packets=30, pipe_packets=30.0,
+            bottleneck_rate="10Mbps", warmup=0.5, duration=1.5, seed=7)
+
+#: Everything except the per-packet enqueue firehose.
+TRACE_KINDS = frozenset(EVENT_KINDS) - {"enqueue"}
+
+
+def fingerprint(cc, scheduler, burst, trace=False):
+    """Run the cell on one engine variant; return a canonical history.
+
+    The experiment result is serialized to JSON (NaN-tolerant equality)
+    and, when ``trace`` is set, the full non-enqueue flight-recorder
+    event stream rides along.
+    """
+    engine_opts = {"scheduler": scheduler, "burst": burst}
+    if trace:
+        with obs.observed(kinds=TRACE_KINDS) as recorder:
+            result = run_long_flow_experiment(
+                cc=cc, engine_opts=engine_opts, **CELL)
+            events = recorder.events()
+            assert not recorder.truncated
+    else:
+        result = run_long_flow_experiment(
+            cc=cc, engine_opts=engine_opts, **CELL)
+        events = None
+    payload = dataclasses.asdict(result)
+    payload.pop("metrics", None)  # obs snapshot differs with trace on
+    return json.dumps({"result": payload, "events": events},
+                      sort_keys=True, default=str)
+
+
+class TestZooBackendIdentity:
+    @pytest.mark.parametrize("cc", ZOO)
+    def test_all_variants_agree(self, cc):
+        reference = fingerprint(cc, *VARIANTS[0])
+        for scheduler, burst in VARIANTS[1:]:
+            assert fingerprint(cc, scheduler, burst) == reference, \
+                (cc, scheduler, burst)
+
+    @pytest.mark.parametrize("cc", ("compound", "bbr"))
+    def test_event_histories_agree(self, cc):
+        """The stronger check for the two most stateful algorithms: the
+        complete flight-recorder stream, event for event."""
+        reference = fingerprint(cc, *VARIANTS[0], trace=True)
+        for scheduler, burst in VARIANTS[1:]:
+            assert fingerprint(cc, scheduler, burst, trace=True) \
+                == reference, (cc, scheduler, burst)

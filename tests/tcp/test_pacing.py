@@ -85,4 +85,25 @@ class TestPacedTransfer:
         flow = TcpFlow(sim, a, b, size_packets=None, pacing=True)
         sim.run(until=2.0)
         flow.teardown()
-        assert flow.sender._pace_event is None
+        assert not flow.sender._pace_timer.armed
+
+    def test_paced_sends_run_on_the_timer_facility(self):
+        """Paced departures go through a Timer, and every paced
+        transmission is counted as a pacing release."""
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        flow = TcpFlow(sim, a, b, size_packets=80, pacing=True)
+        sim.run(until=120.0)
+        assert flow.completed
+        assert flow.sender.pacing_releases > 0
+        # Every data segment after the back-to-back bootstrap window is
+        # released by the pacer.
+        assert flow.sender.pacing_releases <= flow.sender.segments_sent
+
+    def test_unpaced_sender_counts_no_releases(self):
+        sim = Simulator()
+        a, b, _ = build_path(sim)
+        flow = TcpFlow(sim, a, b, size_packets=80, pacing=False)
+        sim.run(until=120.0)
+        assert flow.completed
+        assert flow.sender.pacing_releases == 0
